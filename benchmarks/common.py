@@ -1,0 +1,101 @@
+"""Shared helpers for the experiment suite (E01-E21).
+
+Each ``benchmarks/test_eXX_*.py`` regenerates one figure or quantitative
+claim of the paper (see DESIGN.md's per-experiment index).  Experiments run
+the real middleware inside the discrete-event simulator, print a
+:class:`repro.bench.Report` with the rows the paper's narrative implies,
+and assert the claim's *shape* (who wins, roughly by how much, where the
+crossover falls).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.bench import (
+    ClosedLoopDriver, OpenLoopDriver, Report, TimedCluster, build_cluster,
+    load_workload,
+)
+from repro.cluster import Environment
+from repro.core import CostModel
+from repro.workloads import MicroWorkload, Workload
+
+
+def run_closed_loop(replicas: int = 3,
+                    replication: str = "writeset",
+                    propagation: str = "async",
+                    consistency: Optional[str] = "gsi",
+                    workload: Optional[Workload] = None,
+                    clients: int = 8,
+                    duration: float = 3.0,
+                    think_time: float = 0.0,
+                    apply_parallelism: int = 1,
+                    cost_model: Optional[CostModel] = None,
+                    cold_read_penalty: float = 0.0,
+                    policy=None,
+                    level=None,
+                    seed: int = 31,
+                    fault=None):
+    """Build cluster + timed driver, run, return (middleware, metrics,
+    cluster, env).  ``fault(env, middleware)`` may return a generator to
+    schedule as a fault process."""
+    from repro.core.loadbalancer import BalancingLevel
+
+    env = Environment()
+    kwargs = {}
+    if policy is not None:
+        kwargs["policy"] = policy
+    if level is not None:
+        kwargs["level"] = level
+    middleware = build_cluster(
+        replicas, replication=replication, propagation=propagation,
+        consistency=consistency, env=env, **kwargs)
+    workload = workload or MicroWorkload(rows=200, read_fraction=0.8)
+    load_workload(middleware, workload)
+    cluster = TimedCluster(env, middleware,
+                           cost_model=cost_model,
+                           apply_parallelism=apply_parallelism,
+                           cold_read_penalty=cold_read_penalty)
+    driver = ClosedLoopDriver(cluster, workload, clients=clients,
+                              think_time=think_time, seed=seed)
+    if fault is not None:
+        process = fault(env, middleware)
+        if process is not None:
+            env.process(process, name="fault")
+    driver.start(duration=duration)
+    env.run(until=duration)
+    cluster.stop()
+    return middleware, driver.metrics, cluster, env
+
+
+def run_open_loop(replicas: int = 3,
+                  replication: str = "writeset",
+                  propagation: str = "async",
+                  consistency: Optional[str] = "gsi",
+                  workload: Optional[Workload] = None,
+                  rate_tps: float = 200.0,
+                  duration: float = 3.0,
+                  drain: float = 0.5,
+                  cost_model: Optional[CostModel] = None,
+                  seed: int = 37,
+                  fault=None):
+    env = Environment()
+    middleware = build_cluster(
+        replicas, replication=replication, propagation=propagation,
+        consistency=consistency, env=env)
+    workload = workload or MicroWorkload(rows=200, read_fraction=0.8)
+    load_workload(middleware, workload)
+    cluster = TimedCluster(env, middleware, cost_model=cost_model)
+    driver = OpenLoopDriver(cluster, workload, rate_tps=rate_tps, seed=seed)
+    if fault is not None:
+        process = fault(env, middleware)
+        if process is not None:
+            env.process(process, name="fault")
+    driver.start(duration=duration)
+    env.run(until=duration + drain)
+    cluster.stop()
+    return middleware, driver.metrics, cluster, env
+
+
+def ratio(numerator: float, denominator: float) -> float:
+    return numerator / denominator if denominator else float("inf")

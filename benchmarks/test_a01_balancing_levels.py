@@ -1,0 +1,68 @@
+"""A01 (ablation) — section 3.2: load-balancing granularity.
+
+Claim: connection-level balancing "is simple, but offers poor balancing
+when clients use connection pools or persistent connections" — one
+long-lived connection pins all its traffic to one replica, while
+transaction- and query-level balancing spread it.
+
+Setup: few persistent client connections (a connection pool's worth),
+read-heavy load, more replicas than connections — exactly the situation
+where connection stickiness strands capacity.
+"""
+
+from repro.bench import Report
+from repro.core import RoundRobinPolicy
+from repro.core.loadbalancer import BalancingLevel
+from repro.workloads import MicroWorkload
+
+from common import ratio, run_closed_loop
+
+CLIENTS = 2          # a small persistent pool
+REPLICAS = 4         # more capacity than connections
+
+
+def run_level(level: BalancingLevel) -> dict:
+    workload = MicroWorkload(rows=150, read_fraction=1.0)
+    middleware, metrics, _cluster, _env = run_closed_loop(
+        replicas=REPLICAS, replication="statement", propagation="sync",
+        consistency=None, workload=workload, clients=CLIENTS,
+        duration=2.0, policy=RoundRobinPolicy(), level=level)
+    served = [r.stats["served_reads"] for r in middleware.replicas]
+    used = sum(1 for count in served if count > 0)
+    return {
+        "throughput": metrics.rate(2.0),
+        "replicas_used": used,
+        "spread": served,
+    }
+
+
+def test_a01_balancing_levels(benchmark):
+    def experiment():
+        return {
+            "connection": run_level(BalancingLevel.CONNECTION),
+            "transaction": run_level(BalancingLevel.TRANSACTION),
+            "query": run_level(BalancingLevel.QUERY),
+        }
+
+    results = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    report = Report(
+        "A01  Balancing granularity with persistent connections "
+        "(section 3.2 ablation)",
+        ["level", "throughput (tps)", "replicas actually used"])
+    for name, row in results.items():
+        report.add_row(name, row["throughput"], row["replicas_used"])
+    report.note(f"{CLIENTS} pooled connections over {REPLICAS} replicas: "
+                "connection-level stickiness strands capacity")
+    report.show()
+
+    connection = results["connection"]
+    query = results["query"]
+    # connection-level pins each client to one replica
+    assert connection["replicas_used"] <= CLIENTS
+    # finer granularity reaches every replica
+    assert query["replicas_used"] == REPLICAS
+    # each autocommit statement is its own transaction, so transaction-
+    # level balancing also reaches every replica here
+    assert results["transaction"]["replicas_used"] == REPLICAS
+    benchmark.extra_info["connection_replicas"] = connection["replicas_used"]

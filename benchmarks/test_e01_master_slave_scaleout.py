@@ -1,0 +1,63 @@
+"""E01 — Figure 1 / section 2.1: master-slave read scale-out.
+
+Claim: "As long as the master node can handle all updates, the system can
+scale linearly by merely adding more slave nodes" for a read-mostly
+workload.  We run the RSI-PC (primary-copy) configuration with 1, 2, 4 and
+8 satellites under a 95%-read workload with load scaled to the replica
+count, and check that read throughput grows with the slave count while the
+single master absorbs the writes.
+"""
+
+from repro.bench import Report
+from repro.workloads import TicketBrokerWorkload
+
+from common import ratio, run_closed_loop
+
+
+def run_point(slaves: int) -> dict:
+    workload = TicketBrokerWorkload(offers=100, agencies=20,
+                                    read_fraction=0.95)
+    middleware, metrics, _cluster, _env = run_closed_loop(
+        replicas=1 + slaves, replication="writeset", propagation="async",
+        consistency="rsi-pc", workload=workload,
+        clients=4 * (1 + slaves),        # scaled load (section 3.4 style)
+        duration=3.0, apply_parallelism=4)
+    reads_by_satellite = [
+        r.stats["served_reads"] for r in middleware.replicas
+        if r.name != middleware.master.name
+    ]
+    return {
+        "throughput": metrics.rate(3.0),
+        "read_p95_ms": metrics.read_latency.percentile(95) * 1000,
+        "master_writes": middleware.master.stats["served_writes"],
+        "satellite_reads": sum(reads_by_satellite),
+    }
+
+
+def test_e01_master_slave_read_scaleout(benchmark):
+    slave_counts = [1, 2, 4, 8]
+    results = benchmark.pedantic(
+        lambda: {n: run_point(n) for n in slave_counts},
+        rounds=1, iterations=1)
+
+    report = Report(
+        "E01  Master-slave read scale-out (Fig. 1, 95% reads, scaled load)",
+        ["slaves", "throughput (tps)", "read p95 (ms)", "master writes",
+         "satellite reads"])
+    for n in slave_counts:
+        row = results[n]
+        report.add_row(n, row["throughput"], row["read_p95_ms"],
+                       row["master_writes"], row["satellite_reads"])
+    gain = ratio(results[8]["throughput"], results[1]["throughput"])
+    report.note(f"throughput gain 1->8 slaves: {gain:.2f}x "
+                "(paper: ~linear while the master keeps up)")
+    report.show()
+
+    # shape assertions: throughput grows with slaves, substantially
+    assert results[2]["throughput"] > results[1]["throughput"] * 1.2
+    assert results[4]["throughput"] > results[2]["throughput"] * 1.2
+    assert gain > 2.5
+    # all writes stayed on the master
+    for n in slave_counts:
+        assert results[n]["master_writes"] > 0
+    benchmark.extra_info["gain_1_to_8"] = round(gain, 2)

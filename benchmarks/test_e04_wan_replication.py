@@ -1,0 +1,98 @@
+"""E04 — Figure 4 / sections 2.2, 4.3.4.1: WAN replication.
+
+Claims:
+* synchronous (total-order) replication across WAN latency is impractical
+  — commit latency is dominated by the inter-site round trips;
+* asynchronous per-site masters keep local latency LAN-grade;
+* geo-routing sends each region's updates to its owning site.
+"""
+
+from repro.bench import Report
+from repro.core import CostModel, Site, WanSystem
+from repro.bench import build_cluster
+from repro.workloads import MicroWorkload
+
+from common import ratio, run_closed_loop
+
+WAN_RTT = 0.160     # transcontinental round trip (seconds)
+LAN_RTT = 0.0006
+
+
+def run_latency(ordering_delay: float) -> dict:
+    from repro.bench import ClosedLoopDriver, TimedCluster, load_workload
+    from repro.cluster import Environment
+
+    env = Environment()
+    middleware = build_cluster(3, replication="statement", env=env)
+    workload = MicroWorkload(rows=100, read_fraction=0.5)
+    load_workload(middleware, workload)
+    cluster = TimedCluster(env, middleware, ordering_delay=ordering_delay)
+    driver = ClosedLoopDriver(cluster, workload, clients=4)
+    driver.start(duration=3.0)
+    env.run(until=3.0)
+    cluster.stop()
+    return {
+        "write_p50_ms": driver.metrics.write_latency.percentile(50) * 1000,
+        "read_p50_ms": driver.metrics.read_latency.percentile(50) * 1000,
+        "throughput": driver.metrics.rate(3.0),
+    }
+
+
+def run_geo_routing() -> dict:
+    sites = []
+    for name in ("eu", "us", "asia"):
+        middleware = build_cluster(2, replication="statement", name=name)
+        session = middleware.connect(database="shop")
+        session.execute("CREATE TABLE c (id INT PRIMARY KEY, "
+                        "region VARCHAR(8), v INT)")
+        session.close()
+        sites.append(Site(name, middleware, [name]))
+    wan = WanSystem(sites, region_column="region")
+    client = wan.connect("eu", database="shop")
+    for index in range(30):
+        region = ("eu", "us", "asia")[index % 3]
+        client.execute(
+            f"INSERT INTO c (id, region, v) VALUES ({index}, '{region}', 1)")
+    shipped = wan.ship_updates()
+    client.close()
+    return {"stats": dict(wan.stats), "shipped": shipped}
+
+
+def test_e04_wan_vs_lan_replication(benchmark):
+    def experiment():
+        return {
+            "lan_sync": run_latency(ordering_delay=LAN_RTT),
+            "wan_sync": run_latency(ordering_delay=WAN_RTT),
+            "geo": run_geo_routing(),
+        }
+
+    results = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    lan, wan = results["lan_sync"], results["wan_sync"]
+
+    report = Report(
+        "E04  WAN replication (Fig. 4): sync over WAN vs LAN; "
+        "async geo-partitioned masters",
+        ["configuration", "write p50 (ms)", "read p50 (ms)",
+         "throughput (tps)"])
+    report.add_row("sync total-order, LAN (0.6ms RTT)",
+                   lan["write_p50_ms"], lan["read_p50_ms"],
+                   lan["throughput"])
+    report.add_row("sync total-order, WAN (160ms RTT)",
+                   wan["write_p50_ms"], wan["read_p50_ms"],
+                   wan["throughput"])
+    geo = results["geo"]["stats"]
+    report.note(f"geo-routing: {geo['local_writes']} local / "
+                f"{geo['remote_writes']} remote writes, "
+                f"{results['geo']['shipped']} entries shipped async "
+                "(per-site masters keep writes local)")
+    report.show()
+
+    # shape: WAN sync writes are ~2 orders of magnitude slower
+    slowdown = ratio(wan["write_p50_ms"], lan["write_p50_ms"])
+    assert slowdown > 10
+    assert wan["write_p50_ms"] > 150  # at least one WAN round per write
+    # reads stay local in both cases
+    assert wan["read_p50_ms"] < 10
+    # throughput collapses under WAN ordering
+    assert wan["throughput"] < lan["throughput"] / 3
+    benchmark.extra_info["wan_write_slowdown"] = round(slowdown, 1)

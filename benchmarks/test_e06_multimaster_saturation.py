@@ -1,0 +1,70 @@
+"""E06 — sections 1, 2.1 and Gray's "dangers of replication" [18].
+
+Claims:
+* multi-master write throughput does not scale: "as every replica has to
+  perform all updates, there is a point beyond which adding more replicas
+  does not increase throughput, because every replica is saturated
+  applying updates";
+* read throughput *does* scale on the same cluster;
+* conflicts/aborts grow with the number of concurrent writers on hot rows
+  (Gray: reconciliation/deadlock rate grows super-linearly).
+"""
+
+from repro.bench import Report
+from repro.workloads import MicroWorkload
+
+from common import ratio, run_closed_loop
+
+SIZES = [1, 2, 4, 8]
+
+
+def run_point(replicas: int, read_fraction: float) -> dict:
+    workload = MicroWorkload(rows=100, read_fraction=read_fraction,
+                             skew=1.4, write_statements=2)
+    middleware, metrics, _cluster, _env = run_closed_loop(
+        replicas=replicas, replication="writeset", propagation="sync",
+        consistency="gsi", workload=workload,
+        clients=4 * replicas, duration=2.0)
+    total = metrics.throughput.completed + metrics.throughput.failed
+    return {
+        "throughput": metrics.rate(2.0),
+        "abort_rate": metrics.throughput.abort_rate(),
+        "conflicts": metrics.errors.get("SerializationError", 0)
+                     + metrics.errors.get("LockConflict", 0),
+        "total": total,
+    }
+
+
+def test_e06_multimaster_update_saturation(benchmark):
+    def experiment():
+        return {
+            "writes": {n: run_point(n, read_fraction=0.0) for n in SIZES},
+            "reads": {n: run_point(n, read_fraction=1.0) for n in SIZES},
+        }
+
+    results = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    writes, reads = results["writes"], results["reads"]
+
+    report = Report(
+        "E06  Multi-master scaling: Gray's update saturation "
+        "(scaled load, hot-key skew)",
+        ["replicas", "write tps", "write abort rate", "read tps"])
+    for n in SIZES:
+        report.add_row(n, writes[n]["throughput"],
+                       writes[n]["abort_rate"], reads[n]["throughput"])
+    write_gain = ratio(writes[8]["throughput"], writes[1]["throughput"])
+    read_gain = ratio(reads[8]["throughput"], reads[1]["throughput"])
+    report.note(f"1->8 replicas: write gain {write_gain:.2f}x vs read gain "
+                f"{read_gain:.2f}x (every replica applies every update)")
+    report.show()
+
+    # shape: reads scale far better than writes
+    assert read_gain > 3.0
+    assert write_gain < read_gain / 2
+    # writes plateau: 8 replicas buy little over 4
+    assert writes[8]["throughput"] < writes[4]["throughput"] * 1.35
+    # conflict aborts exist under multi-writer hot keys and grow
+    assert writes[8]["abort_rate"] >= writes[1]["abort_rate"]
+    assert writes[8]["conflicts"] > 0
+    benchmark.extra_info["write_gain_1_to_8"] = round(write_gain, 2)
+    benchmark.extra_info["read_gain_1_to_8"] = round(read_gain, 2)

@@ -1,0 +1,101 @@
+"""E09 — section 3.2: the centralized load balancer / certifier SPOF.
+
+Claims:
+* "A failure of the load balancer ... not only causes all in-flight
+  transactions to be lost, but also causes a complete system outage";
+* a centralized certifier's recovery "requires retrieving state from every
+  replica" (slow); a replicated certifier resumes from its standby copy;
+* replicating the certifier costs extra synchronization on every commit.
+"""
+
+from repro.bench import ClosedLoopDriver, Report, TimedCluster, build_cluster, load_workload
+from repro.cluster import Environment
+from repro.metrics import AvailabilityTracker
+from repro.workloads import MicroWorkload
+
+DURATION = 6.0
+FAIL_AT = 2.0
+RECOVER_AFTER = 1.5
+
+
+def run_scenario(replicated_certifier: bool) -> dict:
+    env = Environment()
+    middleware = build_cluster(3, replication="writeset",
+                               propagation="sync", consistency="gsi",
+                               env=env)
+    middleware.certifier.replicated = replicated_certifier
+    if replicated_certifier:
+        middleware.certifier._standby_log = []
+    # multi-statement transactions so sessions are genuinely in flight
+    # when the middleware dies
+    workload = MicroWorkload(rows=150, read_fraction=0.3,
+                             write_statements=3)
+    load_workload(middleware, workload)
+    cluster = TimedCluster(env, middleware)
+    driver = ClosedLoopDriver(cluster, workload, clients=6)
+    availability = AvailabilityTracker()
+    outcome = {}
+
+    def fault():
+        yield env.timeout(FAIL_AT)
+        outcome["lost_sessions"] = middleware.fail()
+        availability.service_down(env.now)
+        # centralized: state rebuild takes a full scan of every replica;
+        # replicated: the standby takes over almost immediately
+        recovery_time = 0.1 if replicated_certifier else RECOVER_AFTER
+        yield env.timeout(recovery_time)
+        middleware.recover()
+        availability.service_up(env.now)
+
+    env.process(fault(), name="fault")
+    driver.start(duration=DURATION)
+    env.run(until=DURATION)
+    cluster.stop()
+    availability.finish(DURATION)
+    summary = availability.summary()
+    return {
+        "lost_sessions": outcome.get("lost_sessions", 0),
+        "downtime_s": summary["downtime"],
+        "availability": summary["availability"],
+        "commit_p50_ms": driver.metrics.write_latency.percentile(50) * 1000,
+        "failed_txns": driver.metrics.throughput.failed,
+        "completed": driver.metrics.throughput.completed,
+    }
+
+
+def test_e09_load_balancer_spof(benchmark):
+    def experiment():
+        return {
+            "centralized": run_scenario(replicated_certifier=False),
+            "replicated": run_scenario(replicated_certifier=True),
+        }
+
+    results = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    central, replicated = results["centralized"], results["replicated"]
+
+    report = Report(
+        "E09  Centralized vs replicated middleware state (section 3.2)",
+        ["certifier", "lost in-flight sessions", "downtime (s)",
+         "availability", "commit p50 (ms)", "failed txns", "completed"])
+    report.add_row("centralized", central["lost_sessions"],
+                   central["downtime_s"], central["availability"],
+                   central["commit_p50_ms"], central["failed_txns"],
+                   central["completed"])
+    report.add_row("replicated", replicated["lost_sessions"],
+                   replicated["downtime_s"], replicated["availability"],
+                   replicated["commit_p50_ms"], replicated["failed_txns"],
+                   replicated["completed"])
+    report.note("replication of the coordinator trades per-commit "
+                "synchronization for fast takeover")
+    report.show()
+
+    # total outage with in-flight loss in both cases (the middleware died)
+    assert central["lost_sessions"] > 0
+    # centralized recovery is much longer
+    assert central["downtime_s"] > replicated["downtime_s"] * 5
+    assert replicated["availability"] > central["availability"]
+    # the replicated certifier costs commit latency during normal operation
+    assert replicated["commit_p50_ms"] > central["commit_p50_ms"]
+    benchmark.extra_info["central_downtime_s"] = round(central["downtime_s"], 2)
+    benchmark.extra_info["replicated_commit_overhead_ms"] = round(
+        replicated["commit_p50_ms"] - central["commit_p50_ms"], 3)

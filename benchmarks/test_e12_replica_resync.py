@@ -1,0 +1,109 @@
+"""E12 — section 4.4.2: adding/resynchronizing replicas.
+
+Claims:
+* full-stop (MySQL-cluster-style) sync = total outage; donor-based
+  (m/cluster-style) = capacity loss, or total outage with one replica
+  left; recovery-log (Sequoia-style) = neither;
+* "replaying the recovery log ... requires the extraction of parallelism
+  ... to prevent reapplying updates serially, in which case a new replica
+  may never catch up if the workload is update-heavy."
+"""
+
+from repro.bench import Report, build_cluster, load_workload
+from repro.core import ClusterManager, CostModel, Replica
+from repro.sqlengine import Engine, postgresql
+from repro.workloads import MicroWorkload
+
+from common import ratio
+
+
+def fresh_replica(name="new"):
+    return Replica(name, Engine(name, dialect=postgresql(), seed=5))
+
+
+def run_strategies() -> dict:
+    outcomes = {}
+    for strategy in ("full_stop", "donor", "recovery_log"):
+        middleware = build_cluster(3, replication="writeset",
+                                   propagation="sync", consistency="gsi")
+        workload = MicroWorkload(rows=300, read_fraction=0.5)
+        load_workload(middleware, workload)
+        # some post-setup traffic so the recovery log has a tail
+        session = middleware.connect(database="shop")
+        for key in range(40):
+            session.execute(f"UPDATE kv SET v = 1 WHERE k = {key}")
+        session.close()
+        manager = ClusterManager(middleware)
+        report = manager.add_replica(fresh_replica(f"new_{strategy}"),
+                                     strategy=strategy)
+        outcomes[strategy] = {
+            "write_outage": report.write_outage,
+            "donor_offline": report.donor_offline is not None,
+            "rows_transferred": report.rows_transferred,
+            "entries_replayed": report.entries_replayed,
+            "converged": middleware.check_convergence(),
+        }
+    return outcomes
+
+
+def catch_up_analysis(cost: CostModel = None) -> dict:
+    """Serial vs parallel replay feasibility: a recovering replica catches
+    up only when its apply rate exceeds the cluster's update rate."""
+    cost = cost or CostModel(writeset_apply=0.002)
+    serial_rate = 1.0 / cost.writeset_apply            # entries/s
+    update_rates = [200, 400, 800, 1600]
+    rows = []
+    for update_rate in update_rates:
+        # parallel apply overlaps the IO-bound fraction across 8 appliers
+        io = cost.apply_io_fraction
+        parallel_cost = cost.writeset_apply * (1 - io) \
+            + cost.writeset_apply * io / 8
+        parallel_rate = 1.0 / parallel_cost
+        rows.append({
+            "update_rate": update_rate,
+            "serial_feasible": serial_rate > update_rate,
+            "parallel_feasible": parallel_rate > update_rate,
+            "serial_rate": serial_rate,
+            "parallel_rate": parallel_rate,
+        })
+    return {"rows": rows, "serial_rate": serial_rate}
+
+
+def test_e12_replica_add_and_resync(benchmark):
+    def experiment():
+        return run_strategies(), catch_up_analysis()
+
+    strategies, catchup = benchmark.pedantic(experiment, rounds=1,
+                                             iterations=1)
+
+    report = Report(
+        "E12  Add-replica strategies (section 4.4.2)",
+        ["strategy", "total write outage", "donor offline",
+         "rows copied", "log entries replayed", "converged"])
+    for name, row in strategies.items():
+        report.add_row(name, row["write_outage"], row["donor_offline"],
+                       row["rows_transferred"], row["entries_replayed"],
+                       row["converged"])
+    report.show()
+
+    catch = Report(
+        "E12b Catch-up feasibility: serial vs 8-way parallel replay",
+        ["cluster update rate (tps)", "serial applier keeps up",
+         "parallel applier keeps up"])
+    for row in catchup["rows"]:
+        catch.add_row(row["update_rate"], row["serial_feasible"],
+                      row["parallel_feasible"])
+    catch.note("'a new replica may never catch up if the workload is "
+               "update-heavy' — unless replay extracts parallelism")
+    catch.show()
+
+    # strategy cost ordering, as the paper describes
+    assert strategies["full_stop"]["write_outage"]
+    assert not strategies["donor"]["write_outage"]
+    assert strategies["donor"]["donor_offline"]
+    assert not strategies["recovery_log"]["write_outage"]
+    assert not strategies["recovery_log"]["donor_offline"]
+    assert all(row["converged"] for row in strategies.values())
+    # the catch-up cliff: at high update rates only parallel replay works
+    high = catchup["rows"][-1]
+    assert not high["serial_feasible"] and high["parallel_feasible"]

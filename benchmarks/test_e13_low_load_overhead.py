@@ -1,0 +1,114 @@
+"""E13 — section 4.4.5: latency overhead at low load.
+
+Claims:
+* "when faced with workloads that have little parallelism, replicated
+  databases usually perform poorly when load is low" — a single-client
+  sequential batch runs much slower through the middleware than against a
+  single database;
+* "OLTP-style sub-millisecond queries suffer the most from latency
+  overheads ... more so than heavyweight queries that take seconds".
+"""
+
+from repro.bench import ClosedLoopDriver, Report, TimedCluster, build_cluster, load_workload
+from repro.cluster import Environment
+from repro.core import CostModel
+from repro.workloads import SequentialBatchWorkload, TxnSpec, Workload
+
+from common import ratio
+
+DURATION = 2.0
+
+
+class HeavyQueryWorkload(Workload):
+    """Analytical scans — seconds-per-query class (here: 40ms)."""
+
+    name = "heavy"
+
+    def setup_sql(self):
+        statements = ["CREATE TABLE big (k INT PRIMARY KEY, v INT)"]
+        statements += [f"INSERT INTO big VALUES ({k}, {k})"
+                       for k in range(50)]
+        return statements
+
+    def read_fraction_estimate(self):
+        return 1.0
+
+    def next_transaction(self, rng):
+        sql = "SELECT COUNT(*), SUM(v), MIN(v), MAX(v) FROM big"
+        return TxnSpec([(sql, [])], True, ["big"], kind="scan")
+
+
+def run_config(replicas: int, workload, direct: bool = False,
+               cost: CostModel = None) -> float:
+    """Mean per-statement latency (ms) for ONE sequential client."""
+    cost = cost or CostModel()
+    env = Environment()
+    if direct:
+        # "single database": same statement costs, but no middleware hop,
+        # no ordering round, no per-statement middleware processing
+        import copy
+        cost = copy.copy(cost)
+        cost.middleware_overhead = 0.0
+        cost.interception_overhead = 0.0
+        middleware = build_cluster(1, replication="statement", env=env)
+        cluster = TimedCluster(env, middleware, cost_model=cost,
+                               client_latency=0.0001, ordering_delay=0.0)
+    else:
+        middleware = build_cluster(replicas, replication="statement",
+                                   env=env)
+        cluster = TimedCluster(env, middleware, cost_model=cost)
+    load_workload(middleware, workload)
+    driver = ClosedLoopDriver(cluster, workload, clients=1)
+    driver.start(duration=DURATION)
+    env.run(until=DURATION)
+    cluster.stop()
+    return driver.metrics.latency.mean() * 1000
+
+
+def test_e13_low_load_latency_overhead(benchmark):
+    heavy_cost = CostModel(scan_read=0.040)
+
+    def experiment():
+        batch = lambda: SequentialBatchWorkload(rows=100)
+        return {
+            "batch_direct": run_config(1, batch(), direct=True),
+            "batch_1replica": run_config(1, batch()),
+            "batch_3replicas": run_config(3, batch()),
+            "heavy_direct": run_config(1, HeavyQueryWorkload(),
+                                       direct=True, cost=heavy_cost),
+            "heavy_3replicas": run_config(3, HeavyQueryWorkload(),
+                                          cost=heavy_cost),
+        }
+
+    results = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    batch_overhead = ratio(results["batch_3replicas"],
+                           results["batch_direct"])
+    heavy_overhead = ratio(results["heavy_3replicas"],
+                           results["heavy_direct"])
+
+    report = Report(
+        "E13  Low-load latency: sequential batch through the middleware "
+        "(section 4.4.5)",
+        ["configuration", "mean statement latency (ms)"])
+    report.add_row("single DB, direct (batch updates)",
+                   results["batch_direct"])
+    report.add_row("middleware, 1 replica (batch updates)",
+                   results["batch_1replica"])
+    report.add_row("middleware, 3 replicas (batch updates)",
+                   results["batch_3replicas"])
+    report.add_row("single DB, direct (40ms scans)",
+                   results["heavy_direct"])
+    report.add_row("middleware, 3 replicas (40ms scans)",
+                   results["heavy_3replicas"])
+    report.note(f"relative overhead: {batch_overhead:.2f}x on sub-ms "
+                f"updates vs {heavy_overhead:.2f}x on heavy scans")
+    report.show()
+
+    # the batch script runs much slower replicated than direct
+    assert batch_overhead > 1.3
+    assert results["batch_3replicas"] > results["batch_1replica"]
+    # sub-millisecond statements suffer relatively more than heavy ones
+    assert batch_overhead > heavy_overhead * 1.2
+    benchmark.extra_info["batch_overhead"] = round(batch_overhead, 2)
+    benchmark.extra_info["heavy_overhead"] = round(heavy_overhead, 2)

@@ -1,0 +1,118 @@
+"""E14 — section 5.1's proposed evaluation methodology, executed.
+
+"It is necessary to assess performance in the presence of failures, in
+degraded modes, as well as under low loads ... researchers need new
+benchmarks that are not necessarily closed-loop systems, that could
+integrate fault injection" — with MTTF/MTTR and availability reported.
+
+We run an open-loop (non-closed) load against a 3-replica cluster for a
+long simulated window, inject crash/repair faults, failback recovered
+replicas through the recovery log, and report exactly the metrics the
+paper asks for.
+"""
+
+from repro.bench import OpenLoopDriver, Report, TimedCluster, build_cluster, load_workload
+from repro.cluster import Environment
+from repro.core import FailoverManager
+from repro.metrics import AvailabilityTracker
+from repro.workloads import MicroWorkload
+
+DURATION = 60.0
+FAULTS = [(10.0, 6.0), (30.0, 4.0)]      # (crash_at, repair_after)
+
+
+def run_campaign() -> dict:
+    env = Environment()
+    middleware = build_cluster(3, replication="writeset",
+                               propagation="async", consistency="gsi",
+                               env=env)
+    workload = MicroWorkload(rows=200, read_fraction=0.8)
+    load_workload(middleware, workload)
+    cluster = TimedCluster(env, middleware, apply_parallelism=4)
+    driver = OpenLoopDriver(cluster, workload, rate_tps=300.0)
+    failover = FailoverManager(middleware)
+    # full-service availability: all replicas healthy
+    tracker = AvailabilityTracker()
+    window_rates = {}
+
+    def fault(crash_at, repair_after, victim_index):
+        def scenario():
+            yield env.timeout(crash_at)
+            victim = middleware.replicas[victim_index]
+            tracker.service_down(env.now)   # degraded window opens
+            victim.node.crash()
+            victim.engine.crash()
+            victim.mark_failed()
+            yield env.timeout(repair_after)
+            victim.node.recover()
+            failover.failback(victim.name)
+            tracker.service_up(env.now)
+        return scenario
+
+    for index, (crash_at, repair_after) in enumerate(FAULTS):
+        env.process(fault(crash_at, repair_after, index % 3)(),
+                    name=f"fault{index}")
+
+    # sample throughput in healthy vs degraded windows
+    samples = {"healthy": [], "degraded": []}
+
+    def sampler():
+        last_completed = 0
+        while env.now < DURATION:
+            yield env.timeout(1.0)
+            done = driver.metrics.throughput.completed
+            rate = done - last_completed
+            last_completed = done
+            degraded = any(not r.is_online for r in middleware.replicas)
+            samples["degraded" if degraded else "healthy"].append(rate)
+
+    env.process(sampler(), name="sampler")
+    driver.start(duration=DURATION)
+    env.run(until=DURATION)
+    cluster.stop()
+    tracker.finish(DURATION)
+    summary = tracker.summary()
+    return {
+        "summary": summary,
+        "healthy_tps": (sum(samples["healthy"]) / len(samples["healthy"])
+                        if samples["healthy"] else 0),
+        "degraded_tps": (sum(samples["degraded"]) / len(samples["degraded"])
+                         if samples["degraded"] else 0),
+        "failed_txns": driver.metrics.throughput.failed,
+        "completed": driver.metrics.throughput.completed,
+        "converged": middleware.check_convergence(online_only=False),
+    }
+
+
+def test_e14_availability_evaluation(benchmark):
+    results = benchmark.pedantic(run_campaign, rounds=1, iterations=1)
+    summary = results["summary"]
+
+    report = Report(
+        "E14  The paper's evaluation agenda: open-loop load + fault "
+        "injection (section 5.1)",
+        ["metric", "value"])
+    report.add_row("full-health availability", summary["availability"])
+    report.add_row("nines", summary["nines"])
+    report.add_row("MTTF (s)", summary["mttf"])
+    report.add_row("MTTR (s)", summary["mttr"])
+    report.add_row("outages", summary["outages"])
+    report.add_row("throughput healthy (tps)", results["healthy_tps"])
+    report.add_row("throughput degraded (tps)", results["degraded_tps"])
+    report.add_row("failed transactions", results["failed_txns"])
+    report.add_row("cluster converged after campaign",
+                   results["converged"])
+    report.show()
+
+    assert summary["outages"] == len(FAULTS)
+    assert summary["mttr"] == (sum(r for _c, r in FAULTS) / len(FAULTS))
+    assert 0.7 < summary["availability"] < 1.0
+    # the open-loop generator kept offering load during degradation, and
+    # the surviving replicas carried it (degraded throughput > 0)
+    assert results["degraded_tps"] > 0
+    assert results["completed"] > 10000
+    # failback restored byte-identical replicas
+    assert results["converged"]
+    benchmark.extra_info.update(
+        {k: round(v, 3) if isinstance(v, float) else v
+         for k, v in summary.items()})

@@ -1,0 +1,93 @@
+"""E15 — section 2.2: field failure rates and the sync challenge.
+
+Claim: "on average, one fatal failure (software or hardware) occurs per
+day per 200 processors" — we calibrate the Poisson fault injector to that
+rate, verify it statistically, and show its consequence: the probability
+that *every* replica of a cluster is healthy at once drops as the cluster
+grows ("keeping replicas in sync can be challenging when failures are
+frequent").
+"""
+
+from repro.bench import Report
+from repro.cluster import (
+    Environment, FaultInjector, Node, PAPER_FAILURES_PER_CPU_DAY,
+    SECONDS_PER_DAY,
+)
+
+
+def measure_rate(nodes_count: int, days: float, seed: int = 3) -> dict:
+    env = Environment()
+    nodes = [Node(env, f"n{i}") for i in range(nodes_count)]
+    injector = FaultInjector(env, seed=seed)
+    injector.poisson_crashes(nodes, mean_repair_time=3600.0)
+    env.run(until=days * SECONDS_PER_DAY)
+    injector.stop()
+    crashes = injector.count("crash")
+    return {
+        "crashes": crashes,
+        "per_day_per_200": crashes / days / (nodes_count / 200.0),
+    }
+
+
+def all_healthy_fraction(cluster_size: int, days: float = 30.0,
+                         seed: int = 7) -> float:
+    env = Environment()
+    nodes = [Node(env, f"n{i}") for i in range(cluster_size)]
+    injector = FaultInjector(env, seed=seed)
+    # a denser, more failure-prone environment (hosting-center reality)
+    injector.poisson_crashes(nodes,
+                             failures_per_node_day=0.05,
+                             mean_repair_time=4 * 3600.0)
+    healthy_time = [0.0]
+
+    def sampler():
+        step = 600.0
+        while True:
+            if all(node.up for node in nodes):
+                healthy_time[0] += step
+            yield env.timeout(step)
+
+    env.process(sampler(), name="sampler")
+    horizon = days * SECONDS_PER_DAY
+    env.run(until=horizon)
+    injector.stop()
+    return healthy_time[0] / horizon
+
+
+def test_e15_failure_rates(benchmark):
+    def experiment():
+        grid_rate = measure_rate(nodes_count=600, days=20.0)
+        fractions = {n: all_healthy_fraction(n) for n in (2, 4, 8, 16)}
+        return grid_rate, fractions
+
+    grid_rate, fractions = benchmark.pedantic(experiment, rounds=1,
+                                              iterations=1)
+
+    report = Report(
+        "E15  Field failure rates (section 2.2: 1 fatal failure/day/200 "
+        "CPUs, measured on a 600-CPU grid)",
+        ["metric", "value"])
+    report.add_row("crashes in 20 days (600 nodes)", grid_rate["crashes"])
+    report.add_row("failures/day/200 CPUs (measured)",
+                   grid_rate["per_day_per_200"])
+    report.add_row("failures/day/200 CPUs (paper)",
+                   PAPER_FAILURES_PER_CPU_DAY * 200)
+    report.show()
+
+    healthy = Report(
+        "E15b Fraction of time the WHOLE cluster is healthy "
+        "(failure-dense environment)",
+        ["cluster size", "all-replicas-healthy fraction"])
+    for n, fraction in fractions.items():
+        healthy.add_row(n, fraction)
+    healthy.note("larger clusters are almost never fully healthy — "
+                 "resynchronization becomes a steady-state activity")
+    healthy.show()
+
+    # calibration within statistical tolerance (~60 expected crashes)
+    assert 0.5 < grid_rate["per_day_per_200"] < 1.6
+    # monotone decay of the all-healthy fraction
+    assert fractions[2] > fractions[8] > fractions[16]
+    assert fractions[16] < 0.95
+    benchmark.extra_info["measured_rate"] = round(
+        grid_rate["per_day_per_200"], 3)

@@ -1,0 +1,76 @@
+"""E16 — section 3.4: scaled-load evaluation hides middleware overhead.
+
+Claim: "Scalability measurements almost always use a scaled load to find
+the best achievable performance ... This usually hides the system overhead
+at low or constant load.  As most production systems operate at less than
+50% load, it would be interesting to know how the proposed prototypes
+perform when under-loaded."
+
+We measure the same clusters two ways: the flattering scaled-load curve
+(clients grow with replicas) and the honest constant-low-load view (one
+lightly-loaded client), where adding replicas only adds write latency.
+"""
+
+from repro.bench import Report
+from repro.workloads import MicroWorkload
+
+from common import ratio, run_closed_loop
+
+SIZES = [1, 2, 4]
+
+
+def scaled_load(replicas: int) -> float:
+    workload = MicroWorkload(rows=200, read_fraction=0.9)
+    _mw, metrics, _c, _e = run_closed_loop(
+        replicas=replicas, replication="statement", propagation="sync",
+        consistency=None, workload=workload,
+        clients=6 * replicas, duration=2.0)
+    return metrics.rate(2.0)
+
+
+def constant_low_load(replicas: int) -> dict:
+    workload = MicroWorkload(rows=200, read_fraction=0.5)
+    _mw, metrics, _c, _e = run_closed_loop(
+        replicas=replicas, replication="statement", propagation="sync",
+        consistency=None, workload=workload,
+        clients=1, duration=2.0, think_time=0.01)   # far below capacity
+    return {
+        "write_p50_ms": metrics.write_latency.percentile(50) * 1000,
+        "throughput": metrics.rate(2.0),
+    }
+
+
+def test_e16_scaled_vs_constant_load(benchmark):
+    def experiment():
+        return (
+            {n: scaled_load(n) for n in SIZES},
+            {n: constant_low_load(n) for n in SIZES},
+        )
+
+    scaled, constant = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    report = Report(
+        "E16  Scaled load vs constant low load (section 3.4)",
+        ["replicas", "scaled-load tps (flattering)",
+         "low-load write p50 ms (honest)", "low-load tps"])
+    for n in SIZES:
+        report.add_row(n, scaled[n], constant[n]["write_p50_ms"],
+                       constant[n]["throughput"])
+    scale_gain = ratio(scaled[4], scaled[1])
+    latency_growth = ratio(constant[4]["write_p50_ms"],
+                           constant[1]["write_p50_ms"])
+    report.note(f"scaled load shows {scale_gain:.2f}x 'scalability' while "
+                f"the under-loaded client sees writes get "
+                f"{latency_growth:.2f}x slower")
+    report.show()
+
+    # the scaled curve looks great (read-heavy workload scales)
+    assert scale_gain > 2.0
+    # ...while the constant-load client's write latency strictly grows
+    # with cluster size and its throughput does NOT improve
+    assert (constant[4]["write_p50_ms"]
+            > constant[2]["write_p50_ms"]
+            > constant[1]["write_p50_ms"])
+    assert constant[4]["throughput"] <= constant[1]["throughput"] * 1.05
+    benchmark.extra_info["scaled_gain"] = round(scale_gain, 2)
+    benchmark.extra_info["lowload_latency_growth"] = round(latency_growth, 2)

@@ -1,0 +1,122 @@
+"""E17 — section 4.3.4.3: network partitions, quorums and split brain.
+
+Claims:
+* a replicated database must favour C and A over P: the quorum side keeps
+  serving, the minority side refuses updates ("the system must shut down
+  and make the customer unhappy");
+* without quorum enforcement, "updating each partition independently
+  leads to replica divergence" and reconciliation "remains largely
+  manual" (ETL-style tooling [7]).
+"""
+
+from repro.bench import Report
+from repro.core import (
+    MiddlewareConfig, QuorumGuard, QuorumLost, Reconciler, Replica,
+    ReplicationMiddleware,
+)
+from repro.sqlengine import Engine, postgresql
+
+
+def make_side(names):
+    """One partition side: its own middleware over its replicas (after a
+    split, each side believes it owns the cluster)."""
+    replicas = []
+    for name in names:
+        engine = Engine(name, dialect=postgresql(), seed=11)
+        engine.create_database("shop")
+        c = engine.connect(database="shop")
+        c.execute("CREATE TABLE accounts (id INT PRIMARY KEY, balance INT)")
+        for account in range(5):
+            c.execute(f"INSERT INTO accounts VALUES ({account}, 100)")
+        c.close()
+        replicas.append(Replica(name, engine))
+    return ReplicationMiddleware(
+        replicas, MiddlewareConfig(replication="statement"),
+        name="+".join(names))
+
+
+def run_quorum_scenario() -> dict:
+    middleware = make_side(["a", "b", "c"])
+    guard = QuorumGuard(middleware)
+    # partition: {a, b} | {c}
+    majority_reachable = ["a", "b"]
+    minority_reachable = ["c"]
+
+    guard.set_reachable(majority_reachable)
+    majority_ok = True
+    try:
+        guard.check_write_allowed()
+        session = middleware.connect(database="shop")
+        session.execute("UPDATE accounts SET balance = 150 WHERE id = 0")
+        session.close()
+    except QuorumLost:
+        majority_ok = False
+
+    guard.set_reachable(minority_reachable)
+    minority_refused = False
+    try:
+        guard.check_write_allowed()
+    except QuorumLost:
+        minority_refused = True
+    return {
+        "majority_serves": majority_ok,
+        "minority_refused": minority_refused,
+        "refused_writes": guard.refused_writes,
+    }
+
+
+def run_split_brain() -> dict:
+    # no quorum enforcement: both sides accept writes independently
+    side_a = make_side(["a1", "a2"])
+    side_b = make_side(["b1"])
+    session_a = side_a.connect(database="shop")
+    session_b = side_b.connect(database="shop")
+    session_a.execute("UPDATE accounts SET balance = 10 WHERE id = 0")
+    session_a.execute("INSERT INTO accounts VALUES (100, 1)")
+    session_b.execute("UPDATE accounts SET balance = 99 WHERE id = 0")
+    session_b.execute("INSERT INTO accounts VALUES (200, 2)")
+    session_a.close()
+    session_b.close()
+
+    reconciler = Reconciler()
+    engine_a = side_a.replicas[0].engine
+    engine_b = side_b.replicas[0].engine
+    before = reconciler.compare(engine_a, engine_b)
+    divergence = {
+        "conflicts": before.count("conflict"),
+        "only_left": before.count("only_left"),
+        "only_right": before.count("only_right"),
+    }
+    # heal: operator picks a policy (application-dependent, manual)
+    reconciler.merge(engine_a, engine_b, policy="prefer_left")
+    after = reconciler.compare(engine_a, engine_b)
+    divergence["resolved"] = not after.divergent
+    return divergence
+
+
+def test_e17_partitions_and_split_brain(benchmark):
+    def experiment():
+        return run_quorum_scenario(), run_split_brain()
+
+    quorum, split = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    report = Report(
+        "E17  Partitions: quorum behaviour and split-brain divergence "
+        "(section 4.3.4.3)",
+        ["scenario", "outcome"])
+    report.add_row("majority side keeps serving", quorum["majority_serves"])
+    report.add_row("minority side refuses writes (unhappy customer)",
+                   quorum["minority_refused"])
+    report.add_row("split-brain: conflicting rows",
+                   split["conflicts"])
+    report.add_row("split-brain: rows only on side A", split["only_left"])
+    report.add_row("split-brain: rows only on side B", split["only_right"])
+    report.add_row("reconciliation (prefer_left) converged",
+                   split["resolved"])
+    report.show()
+
+    assert quorum["majority_serves"]
+    assert quorum["minority_refused"]
+    assert split["conflicts"] == 1           # balance of account 0
+    assert split["only_left"] == 1 and split["only_right"] == 1
+    assert split["resolved"]

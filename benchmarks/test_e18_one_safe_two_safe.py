@@ -1,0 +1,93 @@
+"""E18 — section 2.2: 1-safe vs 2-safe commit.
+
+Claim: "2-safe database replication forces the master to commit only when
+the backup has also confirmed receipt of the update ... This avoids
+transaction loss, but increases latency."
+
+We measure both sides of the trade: commit latency under normal operation
+(1-safe acks locally; 2-safe waits for the standby) and the transaction
+loss window when the master dies mid-stream.
+"""
+
+from repro.bench import ClosedLoopDriver, Report, TimedCluster, build_cluster, load_workload
+from repro.cluster import Environment
+from repro.core import FailoverManager
+from repro.workloads import MicroWorkload
+
+DURATION = 3.0
+CRASH_AT = 2.0
+
+
+def run_safety(safety: str) -> dict:
+    env = Environment()
+    middleware = build_cluster(
+        2, replication="writeset",
+        propagation="sync" if safety == "2-safe" else "async",
+        consistency="rsi-pc", env=env, name=safety,
+        speed_factors=[1.0, 0.4])
+    workload = MicroWorkload(rows=100, read_fraction=0.0)
+    load_workload(middleware, workload)
+    from repro.core import CostModel
+    # standby application is random-IO bound and the standby is the
+    # weaker box: under 2-safe every commit waits for it
+    cluster = TimedCluster(env, middleware,
+                           cost_model=CostModel(writeset_apply=0.004))
+    driver = ClosedLoopDriver(cluster, workload, clients=4)
+    master, slave = middleware.replicas
+    failover = FailoverManager(middleware)
+    outcome = {}
+
+    def fault():
+        yield env.timeout(CRASH_AT)
+        master.node.crash()
+        master.engine.crash()
+        if safety == "1-safe":
+            outcome["window"] = slave.lag_items
+            slave.apply_queue.clear()    # shipping died with the master
+        report = failover.handle_replica_failure(
+            master.name, discard_pending=(safety == "1-safe"))
+        outcome["lost"] = report.lost_transactions
+
+    env.process(fault(), name="fault")
+    driver.start(duration=DURATION)
+    env.run(until=DURATION)
+    cluster.stop()
+    return {
+        "commit_mean_ms": driver.metrics.write_latency.mean() * 1000,
+        "commit_p95_ms": driver.metrics.write_latency.percentile(95) * 1000,
+        "throughput": driver.metrics.rate(CRASH_AT),
+        "lost": outcome.get("lost", 0),
+    }
+
+
+def test_e18_one_safe_vs_two_safe(benchmark):
+    def experiment():
+        return {
+            "1-safe": run_safety("1-safe"),
+            "2-safe": run_safety("2-safe"),
+        }
+
+    results = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    one, two = results["1-safe"], results["2-safe"]
+
+    report = Report(
+        "E18  1-safe vs 2-safe commit (section 2.2, slow standby)",
+        ["safety", "commit mean (ms)", "commit p95 (ms)",
+         "pre-crash tps", "committed txns lost at master crash"])
+    report.add_row("1-safe", one["commit_mean_ms"], one["commit_p95_ms"],
+                   one["throughput"], one["lost"])
+    report.add_row("2-safe", two["commit_mean_ms"], two["commit_p95_ms"],
+                   two["throughput"], two["lost"])
+    report.note("the paper's trade: 2-safe 'avoids transaction loss, but "
+                "increases latency'")
+    report.show()
+
+    # 2-safe pays commit latency...
+    assert two["commit_mean_ms"] > one["commit_mean_ms"] * 1.05
+    assert two["throughput"] < one["throughput"]
+    # ...and loses nothing; 1-safe loses its shipping window
+    assert two["lost"] == 0
+    assert one["lost"] > 0
+    benchmark.extra_info["latency_cost"] = round(
+        two["commit_mean_ms"] / one["commit_mean_ms"], 2)
+    benchmark.extra_info["one_safe_loss"] = one["lost"]

@@ -1,0 +1,101 @@
+"""E19 — section 4.3.4.1: group communication as a scalability limit.
+
+Claims:
+* "the group communication layer is an intrinsic scalability limit" —
+  total-order delivery latency grows with group size;
+* protocol structure matters (fixed sequencer vs token ring trade
+  ordering latency differently);
+* "it is inefficient to perform state transfers when a new replica joins
+  a cluster using group communication, because of the large amount of
+  state to transfer".
+"""
+
+from repro.bench import Report
+from repro.cluster import Environment, Network, TotalOrderChannel
+
+GROUP_SIZES = [2, 4, 8, 16]
+MESSAGES = 60
+
+
+def run_protocol(protocol: str, members: int) -> dict:
+    env = Environment()
+    network = Network(env)
+    channel = TotalOrderChannel(env, network, "grp", protocol=protocol)
+    delivered = {f"m{i}": [] for i in range(members)}
+    for name in delivered:
+        channel.join(name, lambda d, name=name: delivered[name].append(d.seq))
+
+    def senders():
+        for index in range(MESSAGES):
+            channel.multicast(f"m{index % members}", f"msg{index}")
+            yield env.timeout(0.004)
+
+    env.process(senders(), name="senders")
+    env.run(until=10.0)
+    channel.stop()
+    sequences = list(delivered.values())
+    total_order_holds = all(s == sequences[0] for s in sequences)
+    return {
+        "mean_latency_ms": channel.mean_delivery_latency() * 1000,
+        "messages": channel.messages_ordered,
+        "control_messages": channel.control_messages,
+        "total_order": total_order_holds,
+    }
+
+
+def state_transfer_times() -> dict:
+    env = Environment()
+    network = Network(env)
+    channel = TotalOrderChannel(env, network, "grp")
+    times = {}
+    for size in (100, 10000, 1000000):
+        start = env.now
+        done = channel.state_transfer("donor", "joiner", state_size=size)
+        env.run_until(done)
+        times[size] = env.now - start
+    return times
+
+
+def test_e19_group_communication_limits(benchmark):
+    def experiment():
+        results = {}
+        for protocol in ("sequencer", "token"):
+            results[protocol] = {
+                n: run_protocol(protocol, n) for n in GROUP_SIZES
+            }
+        return results, state_transfer_times()
+
+    results, transfers = benchmark.pedantic(experiment, rounds=1,
+                                            iterations=1)
+
+    report = Report(
+        "E19  Total-order multicast latency vs group size "
+        "(section 4.3.4.1)",
+        ["members", "sequencer latency (ms)", "token latency (ms)",
+         "total order holds"])
+    for n in GROUP_SIZES:
+        seq_row = results["sequencer"][n]
+        token_row = results["token"][n]
+        report.add_row(n, seq_row["mean_latency_ms"],
+                       token_row["mean_latency_ms"],
+                       seq_row["total_order"] and token_row["total_order"])
+    report.note("state transfer over the GC channel: "
+                + ", ".join(f"{size} units -> {t*1000:.1f}ms"
+                            for size, t in transfers.items()))
+    report.show()
+
+    # safety: total order held everywhere
+    for protocol in ("sequencer", "token"):
+        assert all(results[protocol][n]["total_order"]
+                   for n in GROUP_SIZES)
+    # latency grows with group size for both protocols
+    for protocol in ("sequencer", "token"):
+        latencies = [results[protocol][n]["mean_latency_ms"]
+                     for n in GROUP_SIZES]
+        assert latencies[-1] > latencies[0]
+    # the token ring waits for the token: worse ordering latency than a
+    # sequencer at larger group sizes
+    assert (results["token"][16]["mean_latency_ms"]
+            > results["sequencer"][16]["mean_latency_ms"])
+    # state transfer cost scales with state size (the join inefficiency)
+    assert transfers[1000000] > transfers[100] * 100

@@ -1,0 +1,122 @@
+"""E20 — section 4.4.1: backup impact on a replicated cluster.
+
+Claims:
+* hot backup degrades performance while it runs ("database performance is
+  typically degraded during backup" — the donor slows down);
+* cold backup costs a replica of capacity and the donor must replay what
+  it missed ("the backup time is not only the time it takes for the data
+  to be dumped, but also the time needed to resynchronize the replica");
+* the middleware checkpoint makes restore + replay exact.
+"""
+
+from repro.bench import ClosedLoopDriver, Report, TimedCluster, build_cluster, load_workload
+from repro.cluster import Environment
+from repro.core import BackupCoordinator, Replica, ReplicaState
+from repro.sqlengine import Engine, postgresql
+from repro.workloads import MicroWorkload
+
+DURATION = 6.0
+BACKUP_START = 2.0
+BACKUP_WINDOW = 2.0
+
+
+def run_scenario(mode: str) -> dict:
+    """mode: 'none' | 'hot' | 'cold'."""
+    env = Environment()
+    middleware = build_cluster(3, replication="writeset",
+                               propagation="async", consistency="gsi",
+                               env=env)
+    workload = MicroWorkload(rows=300, read_fraction=0.8)
+    load_workload(middleware, workload)
+    cluster = TimedCluster(env, middleware, apply_parallelism=4)
+    driver = ClosedLoopDriver(cluster, workload, clients=9)
+    coordinator = BackupCoordinator(middleware)
+    samples = {"before": [], "during": [], "after": []}
+    outcome = {"resync_entries": 0}
+
+    def backup():
+        if mode == "none":
+            return
+            yield  # pragma: no cover
+        yield env.timeout(BACKUP_START)
+        donor = middleware.replicas[0]
+        if mode == "hot":
+            # redo-log amplification: the donor runs slower while dumping
+            donor.node.degrade_disk(3.0)
+            backup_obj = coordinator.hot_backup(donor.name)
+            yield env.timeout(BACKUP_WINDOW)
+            donor.node.disk_factor = 1.0
+        else:
+            backup_obj = coordinator.cold_backup(donor.name)
+            yield env.timeout(BACKUP_WINDOW)
+            outcome["resync_entries"] = coordinator.resume_offline_donor(
+                backup_obj)
+        outcome["backup_rows"] = backup_obj.dump.size_rows()
+
+    env.process(backup(), name="backup")
+
+    def sampler():
+        last = 0
+        while env.now < DURATION:
+            yield env.timeout(0.5)
+            done = driver.metrics.throughput.completed
+            rate = (done - last) * 2.0
+            last = done
+            if env.now <= BACKUP_START:
+                samples["before"].append(rate)
+            elif env.now <= BACKUP_START + BACKUP_WINDOW:
+                samples["during"].append(rate)
+            else:
+                samples["after"].append(rate)
+
+    env.process(sampler(), name="sampler")
+    driver.start(duration=DURATION)
+    env.run(until=DURATION)
+    cluster.stop()
+    middleware.pump()
+
+    def mean(values):
+        return sum(values) / len(values) if values else 0.0
+
+    return {
+        "before_tps": mean(samples["before"]),
+        "during_tps": mean(samples["during"]),
+        "after_tps": mean(samples["after"]),
+        "resync_entries": outcome.get("resync_entries", 0),
+        "converged": middleware.check_convergence(online_only=False),
+    }
+
+
+def test_e20_backup_impact(benchmark):
+    def experiment():
+        return {
+            "no backup": run_scenario("none"),
+            "hot backup": run_scenario("hot"),
+            "cold backup": run_scenario("cold"),
+        }
+
+    results = benchmark.pedantic(experiment, rounds=1, iterations=1)
+
+    report = Report(
+        "E20  Backup impact on cluster throughput (section 4.4.1)",
+        ["scenario", "tps before", "tps during backup", "tps after",
+         "donor resync entries", "converged"])
+    for name, row in results.items():
+        report.add_row(name, row["before_tps"], row["during_tps"],
+                       row["after_tps"], row["resync_entries"],
+                       row["converged"])
+    report.note("hot backup: donor slows (redo amplification); "
+                "cold backup: capacity loss + resynchronization debt")
+    report.show()
+
+    baseline = results["no backup"]
+    hot, cold = results["hot backup"], results["cold backup"]
+    # throughput dips during either backup relative to no-backup
+    assert hot["during_tps"] < baseline["during_tps"] * 0.95
+    assert cold["during_tps"] < baseline["during_tps"] * 0.95
+    # the cold donor missed updates and had to replay them
+    assert cold["resync_entries"] > 0
+    # everything converges afterwards
+    assert all(row["converged"] for row in results.values())
+    benchmark.extra_info["hot_dip"] = round(
+        1 - hot["during_tps"] / max(1e-9, baseline["during_tps"]), 3)

@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Figure 3: hot standby with heartbeat detection and virtual-IP failover.
+
+Master/slave pair (Slony-I style), asynchronous apply at the slave, a
+heartbeat failure detector, and a virtual IP the application connects
+through.  We compare the 1-safe loss window against 2-safe operation, and
+exercise failback once the old master returns.
+"""
+
+from repro.bench import build_cluster, load_workload
+from repro.cluster import Environment, HeartbeatDetector, Network
+from repro.core import FailoverManager, VirtualIP
+from repro.workloads import MicroWorkload
+
+
+def run(safety: str) -> None:
+    print(f"--- {safety} configuration ---")
+    env = Environment()
+    propagation = "sync" if safety == "2-safe" else "async"
+    middleware = build_cluster(
+        2, replication="writeset", propagation=propagation,
+        consistency="rsi-pc", env=env, name=f"hs_{safety}")
+    load_workload(middleware, MicroWorkload(rows=50))
+    master, slave = middleware.replicas
+
+    vip = VirtualIP("db-vip", master.name)
+    failover = FailoverManager(middleware, vip)
+
+    network = Network(env)
+    heartbeat = HeartbeatDetector(env, network, "monitor",
+                                  interval=0.5, timeout=0.5,
+                                  miss_threshold=3)
+    heartbeat.watch(master.node)
+    heartbeat.watch(slave.node)
+    detected = {}
+
+    def on_failure(name: str) -> None:
+        detected[name] = env.now
+        replica = middleware.replica_by_name(name)
+        report = failover.handle_replica_failure(
+            name, discard_pending=(safety == "1-safe"))
+        print(f"[{env.now:5.2f}s] {name} declared dead -> "
+              f"promoted {report.new_master}, vip={vip.target}, "
+              f"lost={report.lost_transactions} committed txns")
+
+    heartbeat.on_failure(on_failure)
+    heartbeat.start()
+
+    # Application traffic: bursts of updates at the master.
+    session = middleware.connect(database="shop")
+
+    applied = {"count": 0, "failed": 0}
+
+    def traffic():
+        for i in range(40):
+            try:
+                session.execute(
+                    f"UPDATE kv SET v = v + 1 WHERE k = {i % 50}")
+                applied["count"] += 1
+            except Exception:  # noqa: BLE001 — master down, retry next tick
+                applied["failed"] += 1
+            yield env.timeout(0.05)
+
+    env.process(traffic(), name="app")
+
+    # The master dies at t=1.5s.
+    def fault():
+        yield env.timeout(1.5)
+        print(f"[{env.now:5.2f}s] master {master.name} crashes "
+              f"(slave applied {slave.applied_seq}/{master.applied_seq})")
+        master.node.crash()
+        master.engine.crash()
+
+    env.process(fault(), name="fault")
+    env.run(until=10.0)
+    heartbeat.stop()
+
+    detection_latency = detected.get(master.name, 0.0) - 1.5
+    print(f"detection latency: {detection_latency:.2f}s "
+          f"(heartbeat interval 0.5s x 3 misses)")
+
+    # Failback: the old master is repaired and resynchronized.
+    master.node.recover()
+    replayed = failover.failback(master.name)
+    print(f"failback replayed {replayed} recovery-log entries; "
+          f"cluster converged: {middleware.check_convergence()}")
+    session.close()
+    print()
+
+
+def main() -> None:
+    run("1-safe")
+    run("2-safe")
+    print("1-safe loses the in-flight shipping window; "
+          "2-safe loses nothing but pays commit latency (section 2.2).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,14 @@
+"""``repro.bench`` — benchmark harness and timed simulation drivers."""
+
+from .harness import (
+    DEFAULT_DATABASE, Report, build_cluster, build_replicas, load_workload,
+)
+from .simdriver import (
+    ClosedLoopDriver, LagProbe, OpenLoopDriver, RunMetrics, TimedCluster,
+)
+
+__all__ = [
+    "ClosedLoopDriver", "DEFAULT_DATABASE", "LagProbe", "OpenLoopDriver",
+    "Report", "RunMetrics", "TimedCluster", "build_cluster",
+    "build_replicas", "load_workload",
+]

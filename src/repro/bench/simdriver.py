@@ -1,0 +1,485 @@
+"""The timed execution layer: runs *real* middleware SQL under the
+discrete-event simulator, charging service times from the cost model.
+
+Design: state changes (the actual SQL against the in-memory engines) are
+instantaneous; what the simulation adds is *where the time goes* — replica
+CPU queueing, total-order rounds, certification, asynchronous apply
+workers.  The driver first makes the routing decision through the same
+middleware code the synchronous path uses, charges the simulated cost on
+the chosen node(s), then executes the statement with a routing override so
+the middleware's state change lands on the replica that was charged.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from ..cluster.nodes import NodeDown
+from ..cluster.sim import Environment, Store
+from ..core.analysis import analyze
+from ..core.costmodel import CostModel
+from ..core.loadbalancer import RoutingContext
+from ..core.middleware import MiddlewareSession, ReplicationMiddleware
+from ..metrics.perf import LatencyRecorder, ThroughputMeter, TimeSeries
+from ..sqlengine import ast_nodes as ast
+from ..sqlengine.parser import parse_script
+from ..workloads.generator import TxnSpec, Workload
+
+
+class TimedCluster:
+    """Wires a middleware cluster into a simulation environment."""
+
+    def __init__(self, env: Environment,
+                 middleware: ReplicationMiddleware,
+                 cost_model: Optional[CostModel] = None,
+                 client_latency: float = 0.0003,
+                 ordering_delay: Optional[float] = None,
+                 apply_parallelism: int = 1,
+                 cold_read_penalty: float = 0.0):
+        self.env = env
+        self.middleware = middleware
+        self.cost = cost_model or CostModel()
+        self.client_latency = client_latency
+        # total-order round (sequencer: to-orderer + fan-out)
+        self.ordering_delay = (ordering_delay if ordering_delay is not None
+                               else 2 * client_latency)
+        self.apply_parallelism = max(1, apply_parallelism)
+        # Buffer-pool locality model (Tashkent+ experiments, E08): reads of
+        # tables outside the replica's working set cost
+        # (1 + cold_read_penalty) x the nominal service time.
+        self.cold_read_penalty = cold_read_penalty
+        self._running = True
+        self._signals: Dict[str, Store] = {}
+        self._analysis_cache: Dict[str, list] = {}
+        if middleware.config.propagation == "async":
+            self._start_apply_workers()
+
+    # ------------------------------------------------------------------
+    # apply workers (asynchronous propagation)
+    # ------------------------------------------------------------------
+
+    def _start_apply_workers(self) -> None:
+        for replica in self.middleware.replicas:
+            self._signals[replica.name] = Store(self.env)
+            self.env.process(self._apply_worker(replica),
+                             name=f"apply:{replica.name}")
+
+        def wake(replica, item) -> None:
+            signal = self._signals.get(replica.name)
+            if signal is not None:
+                signal.put(1)
+
+        self.middleware.on_apply_enqueued = wake
+        # anything already queued (e.g. workload setup) must drain too
+        for replica in self.middleware.replicas:
+            if replica.apply_queue:
+                self._signals[replica.name].put(1)
+
+    def _apply_worker(self, replica):
+        """Drains the replica's apply queue.  ``apply_parallelism`` items
+        are in flight at once (1 = the serial apply whose lag section 2.2
+        complains about)."""
+        signal = self._signals[replica.name]
+        while self._running:
+            yield signal.get()
+            while replica.apply_queue and self._running:
+                if not replica.is_online:
+                    break
+                # Peek (do not pop): a commit-time synchronous drain may
+                # race with us, and both paths must consume the queue
+                # strictly from the head to preserve apply order.
+                batch: List = list(
+                    replica.apply_queue[:self.apply_parallelism])
+                try:
+                    if replica.node is not None:
+                        # k-way apply pipeline: CPU parts serialize on the
+                        # node, IO parts overlap across the k appliers
+                        io_f = self.cost.apply_io_fraction
+                        costs = [self.cost.apply_cost(len(item.payload))
+                                 for item in batch]
+                        cpu_total = sum(c * (1 - io_f) for c in costs)
+                        io_overlapped = max(c * io_f for c in costs)
+                        combined = cpu_total + io_overlapped
+                        yield from replica.node.execute(
+                            combined,
+                            io_fraction=io_overlapped / combined)
+                except NodeDown:
+                    break
+                highest = batch[-1].seq
+                while replica.apply_queue \
+                        and replica.apply_queue[0].seq <= highest:
+                    item = replica.apply_queue.pop(0)
+                    self.middleware._apply_item(replica, item)
+
+    def stop(self) -> None:
+        self._running = False
+        for signal in self._signals.values():
+            signal.put(0)
+
+    # ------------------------------------------------------------------
+    # timed statement execution
+    # ------------------------------------------------------------------
+
+    def run_transaction(self, session: MiddlewareSession, spec: TxnSpec):
+        """Generator: execute ``spec`` with simulated timing.  Returns
+        (latency_seconds, ok, error_kind)."""
+        start = self.env.now
+        try:
+            if len(spec.statements) == 1:
+                sql, params = spec.statements[0]
+                yield from self._timed_statement(session, sql, params)
+            else:
+                yield from self._timed_statement(session, "BEGIN", [])
+                for sql, params in spec.statements:
+                    yield from self._timed_statement(session, sql, params)
+                yield from self._timed_statement(session, "COMMIT", [])
+            return (self.env.now - start, True, "")
+        except Exception as exc:  # noqa: BLE001 — abort accounting
+            try:
+                session.execute("ROLLBACK")
+            except Exception:  # noqa: BLE001
+                pass
+            return (self.env.now - start, False, type(exc).__name__)
+
+    def _statements_of(self, sql: str) -> list:
+        cached = self._analysis_cache.get(sql)
+        if cached is None:
+            cached = [(stmt, analyze(stmt)) for stmt in parse_script(sql)]
+            if len(self._analysis_cache) < 4096:
+                self._analysis_cache[sql] = cached
+        return cached
+
+    def _timed_statement(self, session: MiddlewareSession, sql: str,
+                         params: list):
+        middleware = self.middleware
+        # client -> middleware hop + middleware processing
+        yield self.env.timeout(self.client_latency
+                               + self.cost.middleware_cost())
+        for statement, info in self._statements_of(sql):
+            if isinstance(statement, (ast.BeginStatement,
+                                      ast.RollbackStatement)):
+                session.execute_one_parsed(statement, sql, params)
+                continue
+            if isinstance(statement, ast.CommitStatement):
+                yield from self._timed_commit(session, statement, sql, params)
+                continue
+            if info.is_read_only:
+                yield from self._timed_read(session, statement, info, sql,
+                                            params)
+            else:
+                yield from self._timed_write(session, statement, info, sql,
+                                             params)
+
+    def _timed_read(self, session, statement, info, sql, params):
+        middleware = self.middleware
+        yield from self._wait_for_freshness(session)
+        replica = middleware.choose_read_replica(session, info)
+        if replica.node is not None:
+            service = self.cost.statement_cost(info)
+            if self.cold_read_penalty > 0:
+                tables = sorted(info.all_tables())
+                hotness = replica.hotness(tables) if tables else 1.0
+                service *= 1.0 + self.cold_read_penalty * (1.0 - hotness)
+            yield from replica.node.execute(service, io_fraction=0.1)
+        session.route_override = replica.name
+        try:
+            session.execute_one_parsed(statement, sql, params)
+        finally:
+            session.route_override = None
+
+    def _timed_write(self, session, statement, info, sql, params):
+        middleware = self.middleware
+        config = middleware.config
+        statement_cost = self.cost.statement_cost(info)
+        autocommit = not session.in_transaction
+        if config.replication == "statement" \
+                and config.consistency.write_mode != "master":
+            # total order + parallel execution at every online replica
+            yield self.env.timeout(self.ordering_delay)
+            tasks = []
+            for replica in middleware.online_replicas():
+                if replica.node is not None:
+                    tasks.append(self.env.process(replica.node.execute(
+                        statement_cost, io_fraction=self.cost.io_fraction)))
+            if tasks:
+                yield self.env.all_of(tasks)
+                yield self.env.timeout(self.ACK_PROCESSING * len(tasks))
+            if autocommit:
+                yield from self._charge_statement_commit()
+            session.execute_one_parsed(statement, sql, params)
+            return
+        # writeset / master mode: execute at the local replica only
+        replica = self._local_write_replica(session, info)
+        if replica is not None and replica.node is not None:
+            yield from replica.node.execute(
+                statement_cost, io_fraction=self.cost.io_fraction)
+        if autocommit and replica is not None:
+            yield from self._charge_writeset_commit(replica)
+        if replica is not None:
+            session.write_override = replica.name
+        try:
+            session.execute_one_parsed(statement, sql, params)
+        finally:
+            session.write_override = None
+
+    # Middleware-side per-replica acknowledgement processing: collecting N
+    # replies serializes at the coordinator, so broadcast cost grows
+    # (slightly) with the cluster size even when replicas run in parallel.
+    ACK_PROCESSING = 0.00008
+
+    def _charge_statement_commit(self):
+        """Commit IO forced in parallel at every replica (statement mode),
+        plus coordinator-side acknowledgement collection."""
+        tasks = []
+        online = self.middleware.online_replicas()
+        for replica in online:
+            if replica.node is not None:
+                tasks.append(self.env.process(replica.node.execute(
+                    self.cost.commit_io, io_fraction=0.9)))
+        if tasks:
+            yield self.env.all_of(tasks)
+        yield self.env.timeout(self.ACK_PROCESSING * len(online))
+
+    def _charge_writeset_commit(self, local):
+        """Certification round, pending-prefix catch-up, local commit IO,
+        and (under synchronous propagation) the remote applies."""
+        middleware = self.middleware
+        certification_rounds = 2 if middleware.certifier.replicated else 1
+        yield self.env.timeout(self.ordering_delay * certification_rounds
+                               + self.cost.certification)
+        if local.node is not None:
+            pending = len(local.apply_queue)
+            if pending:
+                yield from local.node.execute(
+                    self.cost.writeset_apply * pending,
+                    io_fraction=self.cost.io_fraction)
+            yield from local.node.execute(self.cost.commit_io,
+                                          io_fraction=0.9)
+        if middleware.config.propagation == "sync":
+            tasks = []
+            for replica in middleware.online_replicas():
+                if replica.name != local.name and replica.node is not None:
+                    tasks.append(self.env.process(replica.node.execute(
+                        self.cost.writeset_apply,
+                        io_fraction=self.cost.io_fraction)))
+            if tasks:
+                yield self.env.all_of(tasks)
+
+    def _wait_for_freshness(self, session, max_wait: float = 2.0):
+        """Freshness waits cost real (simulated) time: when no replica is
+        eligible for this session's reads, wait for the apply workers to
+        advance instead of draining queues for free.  Falls through after
+        ``max_wait`` (the synchronous drain then models a forced sync)."""
+        middleware = self.middleware
+        protocol = middleware.config.consistency
+        if session.pinned_replica is not None or session.in_transaction:
+            return
+        deadline = self.env.now + max_wait
+        while self.env.now < deadline:
+            cluster_view = middleware.cluster_view()
+            eligible = any(
+                protocol.read_eligible(r, session.view, cluster_view)
+                for r in middleware.online_replicas()
+            )
+            if eligible:
+                return
+            middleware.stats["freshness_waits"] += 1
+            yield self.env.timeout(0.002)
+
+    def _local_write_replica(self, session, info):
+        middleware = self.middleware
+        if session._local_replica is not None:
+            return middleware.replica_by_name(session._local_replica)
+        if middleware.config.consistency.write_mode == "master":
+            return middleware.master
+        context = RoutingContext(tables=sorted(info.all_tables()),
+                                 session_id=session.id, is_write=True)
+        return middleware.config.balancer.choose(
+            middleware.online_replicas(), context)
+
+    def _timed_commit(self, session, statement, sql, params):
+        middleware = self.middleware
+        config = middleware.config
+        if not session.in_transaction:
+            return
+        was_write = session._txn_is_write
+        if was_write and config.replication == "statement" \
+                and config.consistency.write_mode != "master":
+            yield from self._charge_statement_commit()
+        elif was_write:
+            local_name = session._local_replica
+            local = (middleware.replica_by_name(local_name)
+                     if local_name else middleware.master)
+            yield from self._charge_writeset_commit(local)
+        session.execute_one_parsed(statement, sql, params)
+
+
+# ---------------------------------------------------------------------------
+# load drivers
+# ---------------------------------------------------------------------------
+
+class RunMetrics:
+    """Collected by every driver."""
+
+    def __init__(self, env: Environment):
+        self.env = env
+        self.latency = LatencyRecorder()
+        self.read_latency = LatencyRecorder("read")
+        self.write_latency = LatencyRecorder("write")
+        self.throughput = ThroughputMeter()
+        self.errors: Dict[str, int] = {}
+        self.throughput.start(env.now)
+
+    def note(self, spec: TxnSpec, latency: float, ok: bool,
+             error_kind: str) -> None:
+        if ok:
+            self.latency.add(latency)
+            if spec.is_read_only:
+                self.read_latency.add(latency)
+            else:
+                self.write_latency.add(latency)
+            self.throughput.note_completion(self.env.now)
+        else:
+            self.throughput.note_failure(self.env.now)
+            self.errors[error_kind] = self.errors.get(error_kind, 0) + 1
+
+    def rate(self, until: Optional[float] = None) -> float:
+        return self.throughput.rate(until)
+
+
+class ClosedLoopDriver:
+    """N clients, each running transactions back-to-back with optional
+    think time — the classic (criticized) academic load shape."""
+
+    def __init__(self, cluster: TimedCluster, workload: Workload,
+                 clients: int = 8, think_time: float = 0.0,
+                 seed: int = 31, database: str = "shop",
+                 retry_backoff: float = 0.05):
+        self.cluster = cluster
+        self.workload = workload
+        self.clients = clients
+        self.think_time = think_time
+        self.seed = seed
+        self.database = database
+        # real clients back off after an error instead of hammering a
+        # half-failed cluster
+        self.retry_backoff = retry_backoff
+        self.metrics = RunMetrics(cluster.env)
+
+    def start(self, duration: float) -> None:
+        env = self.cluster.env
+        deadline = env.now + duration
+        for client in range(self.clients):
+            env.process(self._client_loop(client, deadline),
+                        name=f"client{client}")
+
+    def _client_loop(self, client_id: int, deadline: float):
+        env = self.cluster.env
+        rng = random.Random(self.seed + client_id * 101)
+        session = self.cluster.middleware.connect(database=self.database)
+        while env.now < deadline:
+            spec = self.workload.next_transaction(rng)
+            outcome = yield from self.cluster.run_transaction(session, spec)
+            latency, ok, error_kind = outcome
+            self.metrics.note(spec, latency, ok, error_kind)
+            if not ok and self.retry_backoff > 0:
+                yield env.timeout(self.retry_backoff)
+            if session.closed:
+                # middleware died under us: reconnect when it returns
+                try:
+                    session = self.cluster.middleware.connect(
+                        database=self.database)
+                except Exception:  # noqa: BLE001
+                    yield env.timeout(0.5)
+                    continue
+            if self.think_time > 0:
+                yield env.timeout(self.think_time)
+        session.close()
+
+
+class OpenLoopDriver:
+    """Poisson arrivals at a fixed rate, independent of completions — the
+    non-closed-loop generator the paper's agenda calls for (section 5.1).
+    Under overload, latency grows without bound instead of the generator
+    politely slowing down."""
+
+    def __init__(self, cluster: TimedCluster, workload: Workload,
+                 rate_tps: float = 100.0, seed: int = 37,
+                 database: str = "shop", max_sessions: int = 256):
+        self.cluster = cluster
+        self.workload = workload
+        self.rate = rate_tps
+        self.seed = seed
+        self.database = database
+        self.max_sessions = max_sessions
+        self.metrics = RunMetrics(cluster.env)
+        self._free_sessions: List[MiddlewareSession] = []
+        self._session_count = 0
+        self.dropped_arrivals = 0
+
+    def start(self, duration: float) -> None:
+        self.cluster.env.process(self._arrivals(duration), name="arrivals")
+
+    def _arrivals(self, duration: float):
+        env = self.cluster.env
+        rng = random.Random(self.seed)
+        deadline = env.now + duration
+        while env.now < deadline:
+            yield env.timeout(rng.expovariate(self.rate))
+            spec = self.workload.next_transaction(rng)
+            session = self._acquire_session()
+            if session is None:
+                self.dropped_arrivals += 1
+                continue
+            env.process(self._one_transaction(session, spec))
+
+    def _acquire_session(self) -> Optional[MiddlewareSession]:
+        while self._free_sessions:
+            session = self._free_sessions.pop()
+            if not session.closed:
+                return session
+        if self._session_count >= self.max_sessions:
+            return None
+        try:
+            session = self.cluster.middleware.connect(database=self.database)
+        except Exception:  # noqa: BLE001 — middleware down
+            return None
+        self._session_count += 1
+        return session
+
+    def _one_transaction(self, session: MiddlewareSession, spec: TxnSpec):
+        outcome = yield from self.cluster.run_transaction(session, spec)
+        latency, ok, error_kind = outcome
+        self.metrics.note(spec, latency, ok, error_kind)
+        if not session.closed:
+            self._free_sessions.append(session)
+        else:
+            self._session_count -= 1
+
+
+class LagProbe:
+    """Samples per-replica apply lag over time (E07)."""
+
+    def __init__(self, env: Environment,
+                 middleware: ReplicationMiddleware,
+                 interval: float = 0.5):
+        self.env = env
+        self.middleware = middleware
+        self.interval = interval
+        self.series: Dict[str, TimeSeries] = {
+            r.name: TimeSeries(r.name) for r in middleware.replicas
+        }
+        self._running = True
+        env.process(self._probe(), name="lag_probe")
+
+    def _probe(self):
+        while self._running:
+            head = self.middleware.global_seq
+            for replica in self.middleware.replicas:
+                self.series[replica.name].add(
+                    self.env.now, replica.lag_behind(head))
+            yield self.env.timeout(self.interval)
+
+    def stop(self) -> None:
+        self._running = False

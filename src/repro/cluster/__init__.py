@@ -1,0 +1,34 @@
+"""``repro.cluster`` — the simulated distributed environment substrate.
+
+A deterministic discrete-event simulator (``sim``), a network fabric with
+latency/partitions/loss (``network``), simulated hosts with CPU queues and
+silent degradation (``nodes``), total-order group communication
+(``groupcomm``), failure detectors (``heartbeat``) and a fault injector
+(``failures``).
+"""
+
+from .failures import (
+    FaultEvent, FaultInjector, PAPER_FAILURES_PER_CPU_DAY, SECONDS_PER_DAY,
+)
+from .groupcomm import Delivery, TotalOrderChannel
+from .heartbeat import (
+    DetectionRecord, HeartbeatDetector, TCP_KEEPALIVE_DEFAULT,
+    TcpKeepaliveDetector,
+)
+from .network import (
+    LatencyModel, Message, Network, NetworkDown, NetworkTimeout, rpc_endpoint,
+)
+from .nodes import Node, NodeDown
+from .sim import (
+    AllOf, AnyOf, Environment, Event, Interrupt, Process, Resource,
+    SimulationError, Store, Timeout,
+)
+
+__all__ = [
+    "AllOf", "AnyOf", "Delivery", "DetectionRecord", "Environment", "Event",
+    "FaultEvent", "FaultInjector", "HeartbeatDetector", "Interrupt",
+    "LatencyModel", "Message", "Network", "NetworkDown", "NetworkTimeout",
+    "Node", "NodeDown", "PAPER_FAILURES_PER_CPU_DAY", "Process", "Resource",
+    "SECONDS_PER_DAY", "SimulationError", "Store", "TCP_KEEPALIVE_DEFAULT",
+    "TcpKeepaliveDetector", "Timeout", "TotalOrderChannel", "rpc_endpoint",
+]

@@ -1,0 +1,182 @@
+"""Fault injection.
+
+Section 5.1 of the paper asks for benchmarks "that could integrate fault
+injection or management operations"; section 2.2 gives the field failure
+rate we calibrate against: "on average, one fatal failure (software or
+hardware) occurs per day per 200 processors".
+
+:class:`FaultInjector` drives Poisson crash/repair schedules and one-shot
+scenario faults (rack outage, partition, silent disk slowdown, crimped
+cable, disk-full).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Optional, Sequence
+
+from .network import Network
+from .nodes import Node
+from .sim import Environment
+
+SECONDS_PER_DAY = 86400.0
+
+# The paper's field rate: 1 fatal failure per day per 200 processors.
+PAPER_FAILURES_PER_CPU_DAY = 1.0 / 200.0
+
+
+class FaultEvent:
+    """One injected fault, for post-run reporting."""
+
+    __slots__ = ("kind", "target", "time", "detail")
+
+    def __init__(self, kind: str, target: str, time: float, detail: str = ""):
+        self.kind = kind
+        self.target = target
+        self.time = time
+        self.detail = detail
+
+    def __repr__(self) -> str:
+        return f"FaultEvent({self.kind} {self.target} @ {self.time:.1f}s)"
+
+
+class FaultInjector:
+    """Schedules faults against nodes and the network."""
+
+    def __init__(self, env: Environment, seed: int = 1234,
+                 network: Optional[Network] = None):
+        self.env = env
+        self.network = network
+        self.rng = random.Random(seed)
+        self.events: List[FaultEvent] = []
+        self._running = True
+
+    # -- one-shot faults ----------------------------------------------------
+
+    def crash_at(self, node: Node, time: float,
+                 repair_after: Optional[float] = None) -> None:
+        def scenario():
+            if time > self.env.now:
+                yield self.env.timeout(time - self.env.now)
+            self._crash(node)
+            if repair_after is not None:
+                yield self.env.timeout(repair_after)
+                self._repair(node)
+        self.env.process(scenario(), name=f"crash_at:{node.name}")
+
+    def rack_outage_at(self, nodes: Sequence[Node], time: float,
+                       repair_after: Optional[float] = None) -> None:
+        """Simultaneous failure of co-located nodes (section 4.3.4.3:
+        'nodes often fail simultaneously, e.g. due to a rack-level power
+        outage')."""
+        def scenario():
+            if time > self.env.now:
+                yield self.env.timeout(time - self.env.now)
+            for node in nodes:
+                self._crash(node)
+            self.events.append(FaultEvent(
+                "rack_outage", ",".join(n.name for n in nodes), self.env.now))
+            if repair_after is not None:
+                yield self.env.timeout(repair_after)
+                for node in nodes:
+                    self._repair(node)
+        self.env.process(scenario(), name="rack_outage")
+
+    def partition_at(self, groups: Sequence[set], time: float,
+                     heal_after: Optional[float] = None) -> None:
+        if self.network is None:
+            raise ValueError("partition injection needs a network")
+
+        def scenario():
+            if time > self.env.now:
+                yield self.env.timeout(time - self.env.now)
+            self.network.partition(*groups)
+            self.events.append(FaultEvent(
+                "partition", "/".join(",".join(sorted(g)) for g in groups),
+                self.env.now))
+            if heal_after is not None:
+                yield self.env.timeout(heal_after)
+                self.network.heal_partition()
+                self.events.append(FaultEvent("heal", "network", self.env.now))
+        self.env.process(scenario(), name="partition")
+
+    def degrade_disk_at(self, node: Node, time: float, factor: float) -> None:
+        """Silent RAID-battery failure: disk becomes ``factor``x slower and
+        nothing reports it (section 4.1.3)."""
+        def scenario():
+            if time > self.env.now:
+                yield self.env.timeout(time - self.env.now)
+            node.degrade_disk(factor)
+            self.events.append(FaultEvent(
+                "disk_degraded", node.name, self.env.now, f"factor={factor}"))
+        self.env.process(scenario(), name=f"degrade:{node.name}")
+
+    def degrade_link_at(self, a: str, b: str, time: float,
+                        factor: float) -> None:
+        """Crimped-cable throughput collapse (1 Gbps -> 100 Mbps)."""
+        if self.network is None:
+            raise ValueError("link degradation needs a network")
+
+        def scenario():
+            if time > self.env.now:
+                yield self.env.timeout(time - self.env.now)
+            self.network.latency.degrade(a, b, factor)
+            self.events.append(FaultEvent(
+                "link_degraded", f"{a}<->{b}", self.env.now, f"x{factor}"))
+        self.env.process(scenario(), name="degrade_link")
+
+    # -- stochastic schedules --------------------------------------------------
+
+    def poisson_crashes(self, nodes: Sequence[Node],
+                        failures_per_node_day: float = PAPER_FAILURES_PER_CPU_DAY,
+                        mean_repair_time: float = 600.0,
+                        on_crash: Optional[Callable[[Node], None]] = None,
+                        on_repair: Optional[Callable[[Node], None]] = None) -> None:
+        """Each node independently fails with exponential inter-failure
+        times and is repaired after an exponential repair time."""
+        rate_per_second = failures_per_node_day / SECONDS_PER_DAY
+        for node in nodes:
+            self.env.process(
+                self._poisson_loop(node, rate_per_second, mean_repair_time,
+                                   on_crash, on_repair),
+                name=f"poisson:{node.name}")
+
+    def _poisson_loop(self, node: Node, rate_per_second: float,
+                      mean_repair_time: float,
+                      on_crash: Optional[Callable[[Node], None]],
+                      on_repair: Optional[Callable[[Node], None]]):
+        while self._running:
+            wait = self.rng.expovariate(rate_per_second)
+            yield self.env.timeout(wait)
+            if not self._running:
+                return
+            if not node.up:
+                continue
+            self._crash(node)
+            if on_crash is not None:
+                on_crash(node)
+            repair = self.rng.expovariate(1.0 / mean_repair_time)
+            yield self.env.timeout(repair)
+            self._repair(node)
+            if on_repair is not None:
+                on_repair(node)
+
+    def stop(self) -> None:
+        self._running = False
+
+    # -- internals ----------------------------------------------------------
+
+    def _crash(self, node: Node) -> None:
+        node.crash()
+        if self.network is not None:
+            self.network.set_endpoint_down(node.name, True)
+        self.events.append(FaultEvent("crash", node.name, self.env.now))
+
+    def _repair(self, node: Node) -> None:
+        node.recover()
+        if self.network is not None:
+            self.network.set_endpoint_down(node.name, False)
+        self.events.append(FaultEvent("repair", node.name, self.env.now))
+
+    def count(self, kind: str) -> int:
+        return sum(1 for event in self.events if event.kind == kind)

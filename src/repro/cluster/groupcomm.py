@@ -1,0 +1,266 @@
+"""Reliable total-order multicast over the simulated network.
+
+Database replication needs "reliable multicast with total order to ensure
+that each replica applies updates in the same order", and "the group
+communication layer is an intrinsic scalability limit for such systems"
+(section 4.3.4.1).  Two classic protocols are provided so the trade-off is
+measurable (benchmark E19):
+
+* **fixed sequencer** — 2 hops to order (sender -> sequencer -> all), but
+  the sequencer serializes all traffic and is itself a failure point;
+* **token ring** — no central orderer, but a sender waits on average half
+  a token rotation before it may send, so ordering latency grows with the
+  group size.
+
+Both deliver each message to every current member in the same global
+sequence order.  View changes (join/leave) are driven explicitly by the
+layer above (the failure detector / middleware), matching the paper's
+observation that failure detection is not the GC layer's magic.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from .network import Message, Network
+from .sim import Environment, Event
+
+
+class Delivery:
+    """One totally-ordered delivered message."""
+
+    __slots__ = ("seq", "sender", "payload", "sent_at", "delivered_at")
+
+    def __init__(self, seq: int, sender: str, payload: Any,
+                 sent_at: float, delivered_at: float):
+        self.seq = seq
+        self.sender = sender
+        self.payload = payload
+        self.sent_at = sent_at
+        self.delivered_at = delivered_at
+
+    @property
+    def latency(self) -> float:
+        return self.delivered_at - self.sent_at
+
+
+class _Member:
+    def __init__(self, name: str, deliver: Callable[[Delivery], None]):
+        self.name = name
+        self.deliver = deliver
+        self.next_expected = 1
+        self.buffer: Dict[int, Delivery] = {}
+        self.delivered_count = 0
+
+
+class TotalOrderChannel:
+    """A group communication channel with pluggable ordering protocol."""
+
+    def __init__(self, env: Environment, network: Network, name: str,
+                 protocol: str = "sequencer",
+                 token_hop_time: Optional[float] = None):
+        if protocol not in ("sequencer", "token"):
+            raise ValueError(f"unknown protocol {protocol!r}")
+        self.env = env
+        self.network = network
+        self.name = name
+        self.protocol = protocol
+        self._members: Dict[str, _Member] = {}
+        self._member_order: List[str] = []
+        self._seq = 0
+        self._view_id = 0
+        self._view_listeners: List[Callable[[int, List[str]], None]] = []
+        # stats
+        self.messages_ordered = 0
+        self.delivery_latencies: List[float] = []
+        self.control_messages = 0
+        # sender -> completion events for ack tracking
+        self._ack_waiters: Dict[int, Dict[str, Any]] = {}
+        # token protocol state
+        self._token_hop_time = token_hop_time
+        self._token_queue: Dict[str, List] = {}
+        self._token_running = False
+
+        for suffix in ("seq",):
+            network.register(f"{name}:{suffix}", self._sequencer_receive)
+
+    # -- membership --------------------------------------------------------
+
+    def join(self, member_name: str,
+             deliver: Callable[[Delivery], None]) -> None:
+        member = _Member(member_name, deliver)
+        member.next_expected = self._seq + 1
+        self._members[member_name] = member
+        self._member_order.append(member_name)
+        self._token_queue[member_name] = []
+        self.network.register(
+            f"{self.name}:m:{member_name}", self._member_receive(member))
+        self._bump_view()
+        if self.protocol == "token" and not self._token_running:
+            self._token_running = True
+            self.env.process(self._token_loop(), name=f"token:{self.name}")
+
+    def leave(self, member_name: str) -> None:
+        if member_name not in self._members:
+            return
+        del self._members[member_name]
+        self._member_order.remove(member_name)
+        self._token_queue.pop(member_name, None)
+        self.network.unregister(f"{self.name}:m:{member_name}")
+        self._bump_view()
+
+    def _bump_view(self) -> None:
+        self._view_id += 1
+        view = list(self._member_order)
+        for listener in list(self._view_listeners):
+            listener(self._view_id, view)
+
+    def on_view_change(self, listener: Callable[[int, List[str]], None]) -> None:
+        self._view_listeners.append(listener)
+
+    @property
+    def view(self) -> List[str]:
+        return list(self._member_order)
+
+    @property
+    def sequencer(self) -> Optional[str]:
+        return self._member_order[0] if self._member_order else None
+
+    # -- multicast ------------------------------------------------------------
+
+    def multicast(self, sender: str, payload: Any, size: int = 1) -> Event:
+        """Totally-ordered multicast.  The returned event triggers when the
+        message has been *delivered at every current member* (the stability
+        point a replication protocol waits for before acking the client)."""
+        done = self.env.event()
+        record = {
+            "sender": sender, "payload": payload, "size": size,
+            "sent_at": self.env.now, "done": done,
+            "pending": None,  # member names still to deliver
+        }
+        if self.protocol == "sequencer":
+            # hop 1: sender -> sequencer (skip the hop when sender IS the
+            # sequencer's host — still one local enqueue)
+            self.control_messages += 1
+            self.network.send(
+                f"{self.name}:m:{sender}" if sender in self._members else sender,
+                f"{self.name}:seq", record, size=size)
+        else:
+            self._token_queue.setdefault(sender, []).append(record)
+        return done
+
+    # -- sequencer protocol -----------------------------------------------------
+
+    def _sequencer_receive(self, message: Message):
+        record = message.payload
+        self._order_and_spread(record)
+        return None
+
+    def _order_and_spread(self, record: Dict[str, Any]) -> None:
+        self._seq += 1
+        seq = self._seq
+        self.messages_ordered += 1
+        members = list(self._members.keys())
+        record["pending"] = set(members)
+        self._ack_waiters[seq] = record
+        for member_name in members:
+            self.control_messages += 1
+            self.network.send(
+                f"{self.name}:seq", f"{self.name}:m:{member_name}",
+                ("deliver", seq, record["sender"], record["payload"],
+                 record["sent_at"]),
+                size=record["size"])
+        if not members:
+            self._complete(seq)
+
+    # -- member side --------------------------------------------------------------
+
+    def _member_receive(self, member: _Member):
+        def handler(message: Message):
+            kind, seq, sender, payload, sent_at = message.payload
+            delivery = Delivery(seq, sender, payload, sent_at, self.env.now)
+            member.buffer[seq] = delivery
+            self._flush_member(member)
+            return None
+        return handler
+
+    def _flush_member(self, member: _Member) -> None:
+        while member.next_expected in member.buffer:
+            delivery = member.buffer.pop(member.next_expected)
+            member.next_expected += 1
+            member.delivered_count += 1
+            delivery.delivered_at = self.env.now
+            member.deliver(delivery)
+            self._note_delivered(delivery.seq, member.name, delivery)
+
+    def _note_delivered(self, seq: int, member_name: str,
+                        delivery: Delivery) -> None:
+        record = self._ack_waiters.get(seq)
+        if record is None:
+            return
+        pending = record["pending"]
+        pending.discard(member_name)
+        # Members that left mid-flight no longer block stability.
+        pending.intersection_update(self._members.keys())
+        if not pending:
+            self.delivery_latencies.append(self.env.now - record["sent_at"])
+            self._complete(seq)
+
+    def _complete(self, seq: int) -> None:
+        record = self._ack_waiters.pop(seq, None)
+        if record is not None and not record["done"].triggered:
+            record["done"].succeed(seq)
+
+    # -- token protocol ---------------------------------------------------------
+
+    def _token_loop(self):
+        """The token visits members round-robin; the holder orders and
+        spreads its queued messages."""
+        index = 0
+        while self._token_running:
+            if not self._member_order:
+                yield self.env.timeout(self._hop_time())
+                continue
+            index %= len(self._member_order)
+            holder = self._member_order[index]
+            queued = self._token_queue.get(holder, [])
+            while queued:
+                record = queued.pop(0)
+                self._order_and_spread(record)
+                # spreading N copies costs the holder send time per member
+                yield self.env.timeout(self._hop_time() * 0.1)
+            index += 1
+            yield self.env.timeout(self._hop_time())
+
+    def _hop_time(self) -> float:
+        if self._token_hop_time is not None:
+            return self._token_hop_time
+        return self.network.latency.base + self.network.latency.jitter / 2
+
+    def stop(self) -> None:
+        self._token_running = False
+
+    # -- state transfer -----------------------------------------------------------
+
+    def state_transfer(self, donor: str, joiner: str, state_size: int) -> Event:
+        """Ship ``state_size`` units from a donor to a joining member over
+        the channel's network — the expensive join path the paper warns
+        about (section 4.3.4.1)."""
+        done = self.env.event()
+        delay = self.network.latency.sample(donor, joiner, size=state_size)
+
+        def complete(event: Event) -> None:
+            if not done.triggered:
+                done.succeed(state_size)
+
+        event = self.env.event()
+        event.callbacks.append(complete)
+        self.env._schedule_at(self.env.now + delay, event, None)
+        return done
+
+    # -- stats ----------------------------------------------------------------
+
+    def mean_delivery_latency(self) -> float:
+        if not self.delivery_latencies:
+            return 0.0
+        return sum(self.delivery_latencies) / len(self.delivery_latencies)

@@ -1,0 +1,255 @@
+"""Simulated network: latency, loss, partitions, TCP-style timeouts.
+
+Endpoints register a handler under a name; ``send`` delivers a payload
+after the modelled latency; ``rpc`` runs a request/response exchange whose
+failure behaviour mirrors the paper's section 4.3.4.2: when the peer is
+dead or partitioned away, the caller **hangs until its timeout expires** —
+there is no instant connection-reset, exactly like TCP with default
+keep-alive settings.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
+
+from .sim import Environment, Event
+
+
+class NetworkTimeout(Exception):
+    """An RPC gave up waiting (TCP keep-alive expiry analogue)."""
+
+
+class NetworkDown(Exception):
+    """The destination endpoint does not exist at all (never registered)."""
+
+
+class Message:
+    __slots__ = ("sender", "recipient", "payload", "size")
+
+    def __init__(self, sender: str, recipient: str, payload: Any, size: int = 1):
+        self.sender = sender
+        self.recipient = recipient
+        self.payload = payload
+        self.size = size
+
+
+class LatencyModel:
+    """Base latency + jitter, with per-pair (e.g. WAN site-to-site)
+    overrides.  Latencies are seconds of simulated time."""
+
+    def __init__(self, base: float = 0.0005, jitter: float = 0.0001,
+                 seed: int = 7):
+        self.base = base
+        self.jitter = jitter
+        self._rng = random.Random(seed)
+        self._pair_overrides: Dict[Tuple[str, str], float] = {}
+        # Degraded links (crimped cable, section 4.1.3): multiplier per pair.
+        self._degradation: Dict[Tuple[str, str], float] = {}
+
+    def set_pair(self, a: str, b: str, base: float) -> None:
+        self._pair_overrides[(a, b)] = base
+        self._pair_overrides[(b, a)] = base
+
+    def degrade(self, a: str, b: str, factor: float) -> None:
+        self._degradation[(a, b)] = factor
+        self._degradation[(b, a)] = factor
+
+    def heal_link(self, a: str, b: str) -> None:
+        self._degradation.pop((a, b), None)
+        self._degradation.pop((b, a), None)
+
+    def sample(self, src: str, dst: str, size: int = 1) -> float:
+        base = self._pair_overrides.get((src, dst), self.base)
+        factor = self._degradation.get((src, dst), 1.0)
+        jitter = self._rng.uniform(0, self.jitter)
+        # size is in abstract units; large transfers take proportionally
+        # longer (state transfer cost in group communication, 4.3.4.1)
+        return (base + jitter) * factor * max(1, size)
+
+
+class Network:
+    """The message fabric connecting all simulated nodes."""
+
+    def __init__(self, env: Environment,
+                 latency: Optional[LatencyModel] = None,
+                 drop_rate: float = 0.0, seed: int = 11):
+        self.env = env
+        self.latency = latency or LatencyModel()
+        self.drop_rate = drop_rate
+        self._rng = random.Random(seed)
+        self._handlers: Dict[str, Callable[[Message], Any]] = {}
+        self._down: Set[str] = set()
+        self._partition_groups: Optional[List[Set[str]]] = None
+        # statistics
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self.messages_dropped = 0
+        self.bytes_sent = 0
+
+    # -- endpoints ---------------------------------------------------------
+
+    def register(self, name: str, handler: Callable[[Message], Any]) -> None:
+        self._handlers[name] = handler
+
+    def unregister(self, name: str) -> None:
+        self._handlers.pop(name, None)
+
+    def set_endpoint_down(self, name: str, down: bool = True) -> None:
+        """A down endpoint silently swallows messages (crashed host)."""
+        if down:
+            self._down.add(name)
+        else:
+            self._down.discard(name)
+
+    def is_endpoint_up(self, name: str) -> bool:
+        return name in self._handlers and name not in self._down
+
+    # -- partitions ----------------------------------------------------------
+
+    def partition(self, *groups: Set[str]) -> None:
+        """Split the network: traffic only flows within a group
+        (section 4.3.4.3).  Endpoints not named in any group are isolated."""
+        self._partition_groups = [set(g) for g in groups]
+
+    def heal_partition(self) -> None:
+        self._partition_groups = None
+
+    def connected(self, a: str, b: str) -> bool:
+        if a == b:
+            return True
+        if self._partition_groups is None:
+            return True
+        for group in self._partition_groups:
+            if a in group and b in group:
+                return True
+        return False
+
+    # -- one-way send -----------------------------------------------------
+
+    def send(self, sender: str, recipient: str, payload: Any,
+             size: int = 1) -> None:
+        """Fire-and-forget delivery after latency.  Silently lost when the
+        path is partitioned, the endpoint is down, or the drop roll fails —
+        the sender cannot tell (that is the point)."""
+        self.messages_sent += 1
+        self.bytes_sent += size
+        if not self.connected(sender, recipient):
+            self.messages_dropped += 1
+            return
+        if self.drop_rate > 0 and self._rng.random() < self.drop_rate:
+            self.messages_dropped += 1
+            return
+        delay = self.latency.sample(sender, recipient, size)
+        message = Message(sender, recipient, payload, size)
+
+        def deliver(event: Event) -> None:
+            if not self.is_endpoint_up(recipient):
+                self.messages_dropped += 1
+                return
+            if not self.connected(sender, recipient):
+                self.messages_dropped += 1
+                return
+            self.messages_delivered += 1
+            handler = self._handlers.get(recipient)
+            if handler is not None:
+                result = handler(message)
+                if hasattr(result, "__next__"):
+                    self.env.process(result, name=f"handler:{recipient}")
+
+        event = self.env.event()
+        event.callbacks.append(deliver)
+        self.env._schedule_at(self.env.now + delay, event, None)
+
+    # -- request/response ----------------------------------------------------
+
+    def rpc(self, sender: str, recipient: str, payload: Any,
+            timeout: float = 30.0, size: int = 1):
+        """A generator (yieldable from a process) performing one RPC.
+
+        The handler may return a plain value or a generator (which is run
+        as a process whose return value becomes the response).  On any
+        silent loss the caller waits the full ``timeout`` and then gets
+        :class:`NetworkTimeout` — the TCP-keep-alive behaviour of 4.3.4.2.
+        """
+        response_event = self.env.event()
+        request = _RpcRequest(payload, response_event, self, sender, recipient)
+        self.send(sender, recipient, request, size=size)
+        timeout_event = self.env.timeout(timeout, value=_TIMEOUT_SENTINEL)
+        winner = yield self.env.any_of([response_event, timeout_event])
+        if winner is _TIMEOUT_SENTINEL:
+            raise NetworkTimeout(
+                f"rpc {sender}->{recipient} timed out after {timeout}s")
+        if isinstance(winner, _RpcFailure):
+            raise winner.exception
+        return winner
+
+
+_TIMEOUT_SENTINEL = object()
+
+
+class _RpcFailure:
+    __slots__ = ("exception",)
+
+    def __init__(self, exception: BaseException):
+        self.exception = exception
+
+
+class _RpcRequest:
+    """Internal envelope: the receiving dispatcher unwraps it, invokes the
+    real handler, and routes the response back over the network."""
+
+    __slots__ = ("payload", "response_event", "network", "sender", "recipient")
+
+    def __init__(self, payload, response_event, network, sender, recipient):
+        self.payload = payload
+        self.response_event = response_event
+        self.network = network
+        self.sender = sender
+        self.recipient = recipient
+
+
+def rpc_endpoint(network: Network, name: str,
+                 handler: Callable[[Any, str], Any]) -> None:
+    """Register ``handler(payload, sender)`` as an RPC-capable endpoint.
+
+    Responses travel back through the network (latency + partition rules
+    apply on the return path too).
+    """
+
+    def dispatch(message: Message):
+        request = message.payload
+        if not isinstance(request, _RpcRequest):
+            handler(request, message.sender)
+            return None
+
+        def respond(value: Any) -> None:
+            def deliver_response(event: Event) -> None:
+                if not network.connected(name, message.sender):
+                    return
+                if not request.response_event.triggered:
+                    request.response_event.succeed(value)
+            delay = network.latency.sample(name, message.sender)
+            event = network.env.event()
+            event.callbacks.append(deliver_response)
+            network.env._schedule_at(network.env.now + delay, event, None)
+
+        try:
+            result = handler(request.payload, message.sender)
+        except Exception as exc:  # noqa: BLE001 — errors travel to caller
+            respond(_RpcFailure(exc))
+            return None
+        if hasattr(result, "__next__"):
+            def runner():
+                try:
+                    value = yield from result
+                except Exception as exc:  # noqa: BLE001
+                    respond(_RpcFailure(exc))
+                    return
+                respond(value)
+            network.env.process(runner(), name=f"rpc:{name}")
+        else:
+            respond(result)
+        return None
+
+    network.register(name, dispatch)

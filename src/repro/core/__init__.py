@@ -1,0 +1,84 @@
+"""``repro.core`` — the replication middleware (the paper's subject).
+
+Entry point: build :class:`~repro.core.replica.Replica` objects around
+engines, configure a :class:`~repro.core.middleware.MiddlewareConfig`, and
+create a :class:`~repro.core.middleware.ReplicationMiddleware`.  Sessions
+obtained from :meth:`ReplicationMiddleware.connect` speak plain SQL.
+"""
+
+from .analysis import StatementInfo, analyze, rewrite_nondeterministic
+from .autonomic import (
+    AutonomicDecision, AutonomicProvisioner, SyncPrediction,
+    SyncTimePredictor,
+)
+from .backup import BackupCoordinator, ClusterBackup
+from .certifier import CertificationOutcome, Certifier, CertifierDown
+from .consistency import (
+    ClusterView, ConsistencyProtocol, EventualConsistency,
+    GeneralizedSnapshotIsolation, OneCopySerializability, PROTOCOLS,
+    PrefixConsistentSnapshotIsolation, ReadCommitted,
+    ReplicatedSnapshotIsolationPrimaryCopy, SessionView,
+    StrongSessionSnapshotIsolation, StrongSnapshotIsolation,
+    protocol_by_name,
+)
+from .costmodel import CostModel, default_cost_model
+from .errors import (
+    ClusterDivergence, MiddlewareDown, MiddlewareError, QuorumLost,
+    ReplicaUnavailable, UnsupportedStatementError,
+)
+from .failover import FailoverManager, FailoverReport, VirtualIP, promote_and_switch
+from .interception import (
+    DESIGNS, DriverInterception, EngineInterception, InterceptionDesign,
+    ProtocolProxyInterception, design_by_name,
+)
+from .loadbalancer import (
+    BalancingLevel, LeastPendingPolicy, LoadBalancer, MemoryAwarePolicy,
+    NoReplicaAvailable, POLICIES, Policy, RandomPolicy, RoundRobinPolicy,
+    RoutingContext, WeightedPolicy,
+)
+from .management import ClusterManager, ManagementReport
+from .middleware import MiddlewareConfig, MiddlewareSession, ReplicationMiddleware
+from .monitoring import Monitor, MonitorEvent
+from .partitioning import (
+    HashPartitioner, ListPartitioner, PartitionedCluster, PartitionedSession,
+    PartitionedTable, Partitioner, RangePartitioner,
+)
+from .quorum import QuorumGuard, ReconciliationReport, Reconciler, RowDifference
+from .recoverylog import RecoveryLog, RecoveryLogEntry
+from .replica import ApplyItem, Replica, ReplicaState
+from .sessions import ConnectionPool, MultiPool, TransactionContext
+from .wan import Site, WanSession, WanSystem
+from .writesets import (
+    ApplyReport, TriggerBasedExtractor, apply_writeset, conflict_keys,
+    extract_writeset_engine,
+)
+
+__all__ = [
+    "ApplyItem", "ApplyReport", "AutonomicDecision",
+    "AutonomicProvisioner", "SyncPrediction", "SyncTimePredictor", "BackupCoordinator", "BalancingLevel",
+    "CertificationOutcome", "Certifier", "CertifierDown", "ClusterBackup",
+    "ClusterDivergence", "ClusterManager", "ClusterView", "ConnectionPool",
+    "ConsistencyProtocol", "CostModel", "DESIGNS", "DriverInterception",
+    "EngineInterception", "EventualConsistency", "FailoverManager",
+    "FailoverReport", "GeneralizedSnapshotIsolation", "HashPartitioner",
+    "InterceptionDesign", "LeastPendingPolicy", "ListPartitioner",
+    "LoadBalancer", "ManagementReport", "MemoryAwarePolicy",
+    "MiddlewareConfig", "MiddlewareDown", "MiddlewareError",
+    "MiddlewareSession", "Monitor", "MonitorEvent", "MultiPool",
+    "NoReplicaAvailable", "OneCopySerializability", "POLICIES", "PROTOCOLS",
+    "PartitionedCluster", "PartitionedSession", "PartitionedTable",
+    "Partitioner", "Policy", "PrefixConsistentSnapshotIsolation",
+    "ProtocolProxyInterception", "QuorumGuard", "QuorumLost", "RandomPolicy",
+    "RangePartitioner", "ReadCommitted", "ReconciliationReport",
+    "Reconciler", "RecoveryLog", "RecoveryLogEntry", "Replica",
+    "ReplicaState", "ReplicaUnavailable",
+    "ReplicatedSnapshotIsolationPrimaryCopy", "ReplicationMiddleware",
+    "RoundRobinPolicy", "RoutingContext", "RowDifference", "SessionView",
+    "Site", "StatementInfo", "StrongSessionSnapshotIsolation",
+    "StrongSnapshotIsolation", "TransactionContext",
+    "TriggerBasedExtractor", "UnsupportedStatementError", "VirtualIP",
+    "WanSession", "WanSystem", "WeightedPolicy", "analyze", "apply_writeset",
+    "conflict_keys", "default_cost_model", "design_by_name",
+    "extract_writeset_engine", "promote_and_switch", "protocol_by_name",
+    "rewrite_nondeterministic",
+]

@@ -1,0 +1,222 @@
+"""Autonomic replica provisioning (paper section 4.4.2, citing [9]).
+
+"Autonomic provisioning of database replicas depends to a large extent on
+the system's ability to add and remove replicas.  Being able to model and
+predict replica synchronization time and its associated resource cost is
+key to efficient autonomic middleware-based replicated databases."
+
+Two pieces:
+
+* :class:`SyncTimePredictor` — the model the paper asks for: given a
+  backup size, the recovery-log tail, the apply cost and the cluster's
+  current update rate, predict how long a new replica needs to reach the
+  online state (and whether it can catch up at all — the §4.4.2 race
+  between replay rate and update rate).
+* :class:`AutonomicProvisioner` — a policy loop that watches load and
+  freshness and decides when to add or retire replicas, refusing to start
+  a synchronization it predicts will never converge.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from .costmodel import CostModel
+from .errors import MiddlewareError
+from .management import ClusterManager
+from .middleware import ReplicationMiddleware
+from .replica import Replica
+
+
+class SyncPrediction:
+    """Predicted cost of bringing one replica online."""
+
+    __slots__ = ("feasible", "restore_seconds", "catchup_seconds",
+                 "total_seconds", "entries_to_replay")
+
+    def __init__(self, feasible: bool, restore_seconds: float,
+                 catchup_seconds: float, entries_to_replay: int):
+        self.feasible = feasible
+        self.restore_seconds = restore_seconds
+        self.catchup_seconds = catchup_seconds
+        self.total_seconds = restore_seconds + catchup_seconds
+        self.entries_to_replay = entries_to_replay
+
+    def __repr__(self) -> str:
+        if not self.feasible:
+            return "SyncPrediction(INFEASIBLE: update rate >= replay rate)"
+        return (f"SyncPrediction({self.total_seconds:.1f}s = "
+                f"{self.restore_seconds:.1f}s restore + "
+                f"{self.catchup_seconds:.1f}s catch-up)")
+
+
+class SyncTimePredictor:
+    """The synchronization-time model of the paper's agenda.
+
+    Parameters:
+        cost: the cluster's cost model (apply costs).
+        restore_rows_per_second: bulk-load rate during restore.
+        replay_parallelism: apply workers used during catch-up.
+    """
+
+    def __init__(self, cost: Optional[CostModel] = None,
+                 restore_rows_per_second: float = 50000.0,
+                 replay_parallelism: int = 1):
+        self.cost = cost or CostModel()
+        self.restore_rows_per_second = restore_rows_per_second
+        self.replay_parallelism = max(1, replay_parallelism)
+
+    def replay_rate(self) -> float:
+        """Entries per second a recovering replica can apply."""
+        io = self.cost.apply_io_fraction
+        per_entry = (self.cost.writeset_apply * (1 - io)
+                     + self.cost.writeset_apply * io
+                     / self.replay_parallelism)
+        return 1.0 / per_entry
+
+    def predict(self, backup_rows: int, log_entries_behind: int,
+                cluster_update_rate: float) -> SyncPrediction:
+        """Predict time-to-online for a replica restored from a backup of
+        ``backup_rows`` rows that must then replay ``log_entries_behind``
+        entries while the cluster keeps committing at
+        ``cluster_update_rate`` transactions/second.
+
+        Catch-up is a pursuit problem: the replica applies at R entries/s
+        while the gap grows at U entries/s; it converges only when R > U,
+        taking gap / (R - U) seconds.
+        """
+        restore_seconds = backup_rows / self.restore_rows_per_second
+        # the gap grows while the restore itself runs
+        gap = log_entries_behind + cluster_update_rate * restore_seconds
+        rate = self.replay_rate()
+        if rate <= cluster_update_rate:
+            return SyncPrediction(False, restore_seconds, float("inf"),
+                                  int(gap))
+        catchup_seconds = gap / (rate - cluster_update_rate)
+        return SyncPrediction(True, restore_seconds, catchup_seconds,
+                              int(gap))
+
+
+class AutonomicDecision:
+    __slots__ = ("action", "reason", "prediction")
+
+    def __init__(self, action: str, reason: str,
+                 prediction: Optional[SyncPrediction] = None):
+        self.action = action        # "add" | "remove" | "hold"
+        self.reason = reason
+        self.prediction = prediction
+
+    def __repr__(self) -> str:
+        return f"AutonomicDecision({self.action}: {self.reason})"
+
+
+class AutonomicProvisioner:
+    """A simple sense-decide-act loop over a middleware cluster.
+
+    Sensors: mean replica load (CPU queue proxy) and apply lag.
+    Actuators: :class:`ClusterManager` add/remove (recovery-log strategy).
+    Policy: scale out when sustained load exceeds ``high_watermark``
+    (provided the sync is predicted feasible), scale in below
+    ``low_watermark`` while keeping ``min_replicas``.
+    """
+
+    def __init__(self, middleware: ReplicationMiddleware,
+                 predictor: Optional[SyncTimePredictor] = None,
+                 replica_factory: Optional[Callable[[str], Replica]] = None,
+                 high_watermark: float = 4.0,
+                 low_watermark: float = 0.5,
+                 min_replicas: int = 2,
+                 max_replicas: int = 8,
+                 max_sync_seconds: float = 3600.0):
+        self.middleware = middleware
+        self.manager = ClusterManager(middleware)
+        self.predictor = predictor or SyncTimePredictor()
+        self.replica_factory = replica_factory
+        self.high_watermark = high_watermark
+        self.low_watermark = low_watermark
+        self.min_replicas = min_replicas
+        self.max_replicas = max_replicas
+        self.max_sync_seconds = max_sync_seconds
+        self.decisions: List[AutonomicDecision] = []
+        self._added = 0
+
+    # -- sensors ------------------------------------------------------------
+
+    def mean_load(self) -> float:
+        online = self.middleware.online_replicas()
+        if not online:
+            return float("inf")
+        return sum(r.load for r in online) / len(online)
+
+    def total_rows(self) -> int:
+        online = self.middleware.online_replicas()
+        if not online:
+            return 0
+        engine = online[0].engine
+        return sum(
+            table.version_count()
+            for database in engine.databases.values()
+            for table in database.tables.values()
+        )
+
+    # -- the decision step ------------------------------------------------------
+
+    def evaluate(self, update_rate: float) -> AutonomicDecision:
+        """One sense-decide step.  ``update_rate`` is the cluster's current
+        write transaction rate (the caller measures it)."""
+        load = self.mean_load()
+        online = len(self.middleware.online_replicas())
+        if load > self.high_watermark and online < self.max_replicas:
+            prediction = self.predictor.predict(
+                backup_rows=self.total_rows(),
+                log_entries_behind=0,
+                cluster_update_rate=update_rate)
+            if not prediction.feasible:
+                decision = AutonomicDecision(
+                    "hold",
+                    "scale-out wanted but synchronization would never "
+                    "catch up at the current update rate (section 4.4.2)",
+                    prediction)
+            elif prediction.total_seconds > self.max_sync_seconds:
+                decision = AutonomicDecision(
+                    "hold",
+                    f"predicted sync {prediction.total_seconds:.0f}s "
+                    f"exceeds budget {self.max_sync_seconds:.0f}s",
+                    prediction)
+            else:
+                decision = AutonomicDecision(
+                    "add", f"mean load {load:.1f} > {self.high_watermark}",
+                    prediction)
+        elif load < self.low_watermark and online > self.min_replicas:
+            decision = AutonomicDecision(
+                "remove", f"mean load {load:.1f} < {self.low_watermark}")
+        else:
+            decision = AutonomicDecision(
+                "hold", f"mean load {load:.1f} within watermarks")
+        self.decisions.append(decision)
+        return decision
+
+    # -- actuators -----------------------------------------------------------
+
+    def act(self, decision: AutonomicDecision) -> Optional[str]:
+        """Apply a decision; returns the affected replica name (or None)."""
+        if decision.action == "add":
+            if self.replica_factory is None:
+                raise MiddlewareError(
+                    "autonomic scale-out needs a replica_factory")
+            self._added += 1
+            replica = self.replica_factory(f"auto{self._added}")
+            self.manager.add_replica(replica, strategy="recovery_log")
+            return replica.name
+        if decision.action == "remove":
+            candidates = self.middleware.online_replicas()
+            victim = max(candidates, key=lambda r: r.name)
+            if len(candidates) > self.min_replicas:
+                self.manager.remove_replica(victim.name)
+                return victim.name
+        return None
+
+    def step(self, update_rate: float) -> AutonomicDecision:
+        decision = self.evaluate(update_rate)
+        self.act(decision)
+        return decision

@@ -1,0 +1,152 @@
+"""Snapshot-isolation certification (first-committer-wins).
+
+Writeset-based replication sends each transaction's writeset to a
+certifier that checks it against all writesets committed since the
+transaction's snapshot; overlap on any (database, table, primary-key)
+means abort (paper section 3.3, Postgres-R/Middle-R lineage).
+
+The certifier is the poster child of the paper's SPOF discussion
+(section 3.2): a *centralized* certifier is fast but its failure takes the
+whole system down and loses in-flight certification state; a *replicated*
+certifier survives but pays a synchronization cost on every commit.  Both
+variants are provided; benchmark E09 measures the trade-off.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Optional, Set, Tuple
+
+
+class CertifierDown(Exception):
+    """The (centralized) certifier has failed — certification, and with it
+    every update transaction, is unavailable (section 3.2)."""
+
+
+class CertificationOutcome:
+    __slots__ = ("ok", "seq", "conflict_seq")
+
+    def __init__(self, ok: bool, seq: Optional[int] = None,
+                 conflict_seq: Optional[int] = None):
+        self.ok = ok
+        self.seq = seq
+        self.conflict_seq = conflict_seq
+
+    def __repr__(self) -> str:
+        if self.ok:
+            return f"CertificationOutcome(ok, seq={self.seq})"
+        return f"CertificationOutcome(ABORT, conflicts with seq={self.conflict_seq})"
+
+
+class Certifier:
+    """Global certification log.
+
+    ``keys`` are conflict footprints: frozensets of
+    (database, table, primary_key) triples; a ``None`` primary key is a
+    table-level footprint that conflicts with everything in that table
+    (the conservative fallback when a statement's rows cannot be keyed).
+    """
+
+    def __init__(self, replicated: bool = False,
+                 first_committer_wins: bool = True):
+        self.replicated = replicated
+        self.first_committer_wins = first_committer_wins
+        self._log: List[Tuple[int, FrozenSet]] = []
+        self._seq = 0
+        self.failed = False
+        self.certified = 0
+        self.aborted = 0
+        # Extra state copies kept when replicated (survive failover).
+        self._standby_log: Optional[List[Tuple[int, FrozenSet]]] = \
+            [] if replicated else None
+
+    @property
+    def current_seq(self) -> int:
+        return self._seq
+
+    def certify(self, start_seq: int, keys: FrozenSet) -> CertificationOutcome:
+        """First-committer-wins check; on success assigns and logs the next
+        global sequence number."""
+        if self.failed:
+            raise CertifierDown("certifier is down")
+        if self.first_committer_wins:
+            conflict = self._find_conflict(start_seq, keys)
+            if conflict is not None:
+                self.aborted += 1
+                return CertificationOutcome(False, conflict_seq=conflict)
+        self._seq += 1
+        entry = (self._seq, keys)
+        self._log.append(entry)
+        if self._standby_log is not None:
+            self._standby_log.append(entry)
+        self.certified += 1
+        return CertificationOutcome(True, seq=self._seq)
+
+    def _find_conflict(self, start_seq: int, keys: FrozenSet) -> Optional[int]:
+        if not keys:
+            return None
+        table_level = {
+            (database, table)
+            for database, table, pk in keys if pk is None
+        }
+        for seq, logged in reversed(self._log):
+            if seq <= start_seq:
+                break
+            if logged & keys:
+                return seq
+            for database, table, pk in logged:
+                if (database, table) in table_level:
+                    return seq
+                if pk is None and any(
+                        k[0] == database and k[1] == table for k in keys):
+                    return seq
+        return None
+
+    def assign_seq(self) -> int:
+        """Order-only mode (no conflict check) — used by master-slave and
+        eventual-consistency paths that still need a global order."""
+        if self.failed:
+            raise CertifierDown("certifier is down")
+        self._seq += 1
+        entry = (self._seq, frozenset())
+        self._log.append(entry)
+        if self._standby_log is not None:
+            self._standby_log.append(entry)
+        return self._seq
+
+    def prune(self, up_to_seq: int) -> int:
+        before = len(self._log)
+        self._log = [(s, k) for s, k in self._log if s > up_to_seq]
+        if self._standby_log is not None:
+            self._standby_log = [(s, k) for s, k in self._standby_log
+                                 if s > up_to_seq]
+        return before - len(self._log)
+
+    # -- failure / recovery ------------------------------------------------
+
+    def fail(self) -> None:
+        """The certifier process dies.  A centralized certifier loses its
+        soft state; a replicated one keeps a standby copy."""
+        self.failed = True
+        if self._standby_log is None:
+            self._log = []
+
+    def recover(self, rebuild_from_replicas: Optional[int] = None) -> None:
+        """Bring the certifier back.
+
+        Centralized: the log must be rebuilt by querying every replica for
+        its applied sequence (the expensive recovery the paper notes is
+        'rarely described and almost never evaluated').  Pass the highest
+        applied sequence as ``rebuild_from_replicas``.
+        Replicated: the standby copy is promoted instantly.
+        """
+        if self._standby_log is not None:
+            self._log = list(self._standby_log)
+            if self._log:
+                self._seq = max(self._seq, self._log[-1][0])
+        elif rebuild_from_replicas is not None:
+            self._seq = max(self._seq, rebuild_from_replicas)
+            self._log = []
+        self.failed = False
+
+    def log_length(self) -> int:
+        return len(self._log)

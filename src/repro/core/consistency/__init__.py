@@ -1,0 +1,40 @@
+"""Pluggable consistency protocols (paper sections 3.3 / 5.1)."""
+
+from .base import ClusterView, ConsistencyProtocol, SessionView
+from .eventual import EventualConsistency
+from .gsi import GeneralizedSnapshotIsolation, PrefixConsistentSnapshotIsolation
+from .one_sr import OneCopySerializability
+from .read_committed import ReadCommitted
+from .rsi_pc import ReplicatedSnapshotIsolationPrimaryCopy
+from .session import StrongSessionSnapshotIsolation
+from .si import StrongSnapshotIsolation
+
+PROTOCOLS = {
+    "1sr": OneCopySerializability,
+    "strong-si": StrongSnapshotIsolation,
+    "gsi": GeneralizedSnapshotIsolation,
+    "pcsi": PrefixConsistentSnapshotIsolation,
+    "strong-session-si": StrongSessionSnapshotIsolation,
+    "rsi-pc": ReplicatedSnapshotIsolationPrimaryCopy,
+    "read-committed": ReadCommitted,
+    "eventual": EventualConsistency,
+}
+
+
+def protocol_by_name(name: str) -> ConsistencyProtocol:
+    factory = PROTOCOLS.get(name.lower())
+    if factory is None:
+        raise ValueError(
+            f"unknown consistency protocol {name!r}; "
+            f"choose from {sorted(PROTOCOLS)}")
+    return factory()
+
+
+__all__ = [
+    "ClusterView", "ConsistencyProtocol", "EventualConsistency",
+    "GeneralizedSnapshotIsolation", "OneCopySerializability", "PROTOCOLS",
+    "PrefixConsistentSnapshotIsolation", "ReadCommitted",
+    "ReplicatedSnapshotIsolationPrimaryCopy", "SessionView",
+    "StrongSessionSnapshotIsolation", "StrongSnapshotIsolation",
+    "protocol_by_name",
+]

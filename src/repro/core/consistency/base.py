@@ -1,0 +1,79 @@
+"""Pluggable consistency protocols (paper sections 3.3 and 5.1).
+
+C-JDBC "provides pluggable consistency protocols and uses 1SR by default";
+the paper's research agenda asks for exactly this pluggability so new
+models can be compared inside one middleware.  Every protocol answers
+three questions:
+
+* **write mode** — how update transactions propagate:
+  ``broadcast`` (eager statement broadcast, 1SR), ``certify``
+  (execute-locally + writeset certification, the SI family), ``master``
+  (all updates on a primary, Ganymed's RSI-PC) or ``async``
+  (commit locally, propagate lazily, eventual consistency);
+* **read eligibility** — which replicas are fresh enough for this
+  session's reads;
+* **conflict rule** — whether certification aborts on overlap
+  (first-committer-wins) or not.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Protocol as _TypingProtocol
+
+
+class ClusterView:
+    """The cluster facts a protocol may consult."""
+
+    __slots__ = ("global_seq", "master_name")
+
+    def __init__(self, global_seq: int, master_name: Optional[str] = None):
+        self.global_seq = global_seq
+        self.master_name = master_name
+
+
+class SessionView:
+    """Per-session consistency bookkeeping.
+
+    ``last_commit_seq`` — highest global sequence this session committed;
+    ``last_seen_seq`` — highest sequence this session has observed (reads
+    included), for monotonic-reads guarantees.
+    """
+
+    __slots__ = ("last_commit_seq", "last_seen_seq")
+
+    def __init__(self):
+        self.last_commit_seq = 0
+        self.last_seen_seq = 0
+
+
+class ConsistencyProtocol:
+    """Base protocol: generalized SI semantics (any prefix is readable)."""
+
+    name = "base"
+    write_mode = "certify"            # broadcast | certify | master | async
+    first_committer_wins = True
+
+    def read_eligible(self, replica, session: SessionView,
+                      cluster: ClusterView) -> bool:
+        """May this session read from ``replica`` right now?"""
+        return True
+
+    def min_read_seq(self, session: SessionView,
+                     cluster: ClusterView) -> int:
+        """The freshness watermark a read replica must have applied; the
+        middleware may *wait* for a replica to reach it when no replica
+        qualifies immediately."""
+        return 0
+
+    def note_read(self, session: SessionView, replica_seq: int) -> None:
+        session.last_seen_seq = max(session.last_seen_seq, replica_seq)
+
+    def note_commit(self, session: SessionView, seq: int) -> None:
+        session.last_commit_seq = max(session.last_commit_seq, seq)
+        session.last_seen_seq = max(session.last_seen_seq, seq)
+
+    def describe(self) -> str:
+        return f"{self.name} (writes: {self.write_mode})"
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} {self.describe()}>"

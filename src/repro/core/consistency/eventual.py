@@ -1,0 +1,24 @@
+"""Eventual consistency [34] — the cloud-era model the paper's agenda
+(section 5.1) says "could also require applications to be written
+differently".
+
+Updates commit locally and propagate asynchronously with no certification;
+apply order still follows the global sequence, so replicas converge when
+the system quiesces (last-writer-wins per row).  During partitions each
+side keeps accepting writes — divergence is possible and must be
+reconciled afterwards (see ``repro.core.quorum``).
+"""
+
+from __future__ import annotations
+
+from .base import ClusterView, ConsistencyProtocol, SessionView
+
+
+class EventualConsistency(ConsistencyProtocol):
+    name = "eventual"
+    write_mode = "async"
+    first_committer_wins = False
+
+    def read_eligible(self, replica, session: SessionView,
+                      cluster: ClusterView) -> bool:
+        return True

@@ -1,0 +1,35 @@
+"""Generalized and prefix-consistent snapshot isolation (Tashkent [14]).
+
+GSI lets a transaction read from *any* committed prefix of the global
+commit order — stale but consistent snapshots, so any replica is read-
+eligible and no waiting is ever needed.  PCSI strengthens GSI per client:
+a session's snapshot must include at least that session's own committed
+transactions (read-your-writes), which is the guarantee Tashkent ships.
+"""
+
+from __future__ import annotations
+
+from .base import ClusterView, ConsistencyProtocol, SessionView
+
+
+class GeneralizedSnapshotIsolation(ConsistencyProtocol):
+    name = "GSI"
+    write_mode = "certify"
+    first_committer_wins = True
+
+    def read_eligible(self, replica, session: SessionView,
+                      cluster: ClusterView) -> bool:
+        return True
+
+
+class PrefixConsistentSnapshotIsolation(ConsistencyProtocol):
+    name = "PCSI"
+    write_mode = "certify"
+    first_committer_wins = True
+
+    def read_eligible(self, replica, session: SessionView,
+                      cluster: ClusterView) -> bool:
+        return replica.applied_seq >= session.last_commit_seq
+
+    def min_read_seq(self, session: SessionView, cluster: ClusterView) -> int:
+        return session.last_commit_seq

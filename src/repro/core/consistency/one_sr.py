@@ -1,0 +1,24 @@
+"""One-copy serializability via eager statement broadcast.
+
+The original correctness criterion for replicated data (section 3.3) and
+C-JDBC's default.  Writes are broadcast in total order and applied at
+every online replica *before* the commit is acknowledged, so every replica
+is always current and reads may go anywhere.  The price is the eager
+write path: every replica executes every update (Gray's scaling ceiling,
+benchmark E06) and commit latency includes the total-order round.
+"""
+
+from __future__ import annotations
+
+from .base import ClusterView, ConsistencyProtocol, SessionView
+
+
+class OneCopySerializability(ConsistencyProtocol):
+    name = "1SR"
+    write_mode = "broadcast"
+    first_committer_wins = True
+
+    def read_eligible(self, replica, session: SessionView,
+                      cluster: ClusterView) -> bool:
+        # Eager broadcast keeps every online replica current.
+        return True

@@ -1,0 +1,30 @@
+"""RSI-PC — replicated snapshot isolation with primary copy (Ganymed [28]).
+
+All update transactions execute on a designated *master* replica; read-only
+transactions run on satellite replicas at whatever snapshot the satellite
+has (optionally session-monotonic).  This is the protocol behind satellite
+databases and legacy scale-out (paper section 2.1): the master stays
+authoritative while cheap satellites absorb reads.
+"""
+
+from __future__ import annotations
+
+from .base import ClusterView, ConsistencyProtocol, SessionView
+
+
+class ReplicatedSnapshotIsolationPrimaryCopy(ConsistencyProtocol):
+    name = "RSI-PC"
+    write_mode = "master"
+    first_committer_wins = True
+
+    def __init__(self, session_monotonic: bool = True):
+        self.session_monotonic = session_monotonic
+
+    def read_eligible(self, replica, session: SessionView,
+                      cluster: ClusterView) -> bool:
+        if not self.session_monotonic:
+            return True
+        return replica.applied_seq >= session.last_commit_seq
+
+    def min_read_seq(self, session: SessionView, cluster: ClusterView) -> int:
+        return session.last_commit_seq if self.session_monotonic else 0

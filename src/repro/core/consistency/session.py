@@ -1,0 +1,25 @@
+"""Strong session snapshot isolation [22].
+
+Monotonic snapshots per session: every read must see at least everything
+the session has already seen (reads *and* writes), while different
+sessions may observe different prefixes.  The practical sweet spot the
+paper's consistency discussion points at — cheaper than strong SI, no
+time-travel for any single client.
+"""
+
+from __future__ import annotations
+
+from .base import ClusterView, ConsistencyProtocol, SessionView
+
+
+class StrongSessionSnapshotIsolation(ConsistencyProtocol):
+    name = "strong-session-SI"
+    write_mode = "certify"
+    first_committer_wins = True
+
+    def read_eligible(self, replica, session: SessionView,
+                      cluster: ClusterView) -> bool:
+        return replica.applied_seq >= session.last_seen_seq
+
+    def min_read_seq(self, session: SessionView, cluster: ClusterView) -> int:
+        return session.last_seen_seq

@@ -1,0 +1,26 @@
+"""Strong (1-copy) snapshot isolation.
+
+Global strong SI [22]: a transaction's snapshot must include *every*
+transaction committed anywhere in the cluster before it started.  Reads
+are therefore only eligible on replicas that have applied the full global
+prefix — under asynchronous apply this forces waits on lagging replicas,
+which is exactly the freshness/throughput tension the GSI family relaxes.
+Commits go through first-committer-wins certification.
+"""
+
+from __future__ import annotations
+
+from .base import ClusterView, ConsistencyProtocol, SessionView
+
+
+class StrongSnapshotIsolation(ConsistencyProtocol):
+    name = "strong-SI"
+    write_mode = "certify"
+    first_committer_wins = True
+
+    def read_eligible(self, replica, session: SessionView,
+                      cluster: ClusterView) -> bool:
+        return replica.applied_seq >= cluster.global_seq
+
+    def min_read_seq(self, session: SessionView, cluster: ClusterView) -> int:
+        return cluster.global_seq

@@ -1,0 +1,32 @@
+"""Middleware-level errors."""
+
+from __future__ import annotations
+
+
+class MiddlewareError(Exception):
+    """Base class for replication-middleware failures."""
+
+
+class MiddlewareDown(MiddlewareError):
+    """The middleware instance itself has failed — with a centralized
+    design this is a total outage (paper section 3.2)."""
+
+
+class UnsupportedStatementError(MiddlewareError):
+    """The statement cannot be replicated safely under the configured
+    policy (e.g. ``UPDATE t SET x = RAND()`` under statement replication
+    with the 'reject' non-determinism policy — section 4.3.2)."""
+
+
+class ReplicaUnavailable(MiddlewareError):
+    """The operation needs a specific replica that cannot serve."""
+
+
+class ClusterDivergence(MiddlewareError):
+    """Replicas no longer agree on committed data; manual reconciliation
+    required (sections 4.3.2 / 4.3.4.3)."""
+
+
+class QuorumLost(MiddlewareError):
+    """This partition side does not hold a quorum; updates are refused to
+    preserve consistency (CAP discussion, section 4.3.4.3)."""

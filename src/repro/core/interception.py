@@ -1,0 +1,150 @@
+"""The three query-interception architectures (Figures 5-7, section 4.3.1).
+
+Each design is an adapter that validates the cluster it can legally front
+and contributes its characteristic per-statement overhead to the cost
+model:
+
+* :class:`EngineInterception` (Fig. 5, Postgres-R style) — coordination
+  behind unmodified client/server communication, but requires the *same
+  engine, same version* everywhere, and couples the middleware to the
+  engine's release cycle (the gap that killed Postgres-R).
+* :class:`ProtocolProxyInterception` (Fig. 6) — proxies the DBMS wire
+  protocol: clients keep their native driver, but one protocol family only,
+  and per-driver protocol quirks make intent inference fragile.
+* :class:`DriverInterception` (Fig. 7, C-JDBC/Sequoia style) — the client
+  swaps its driver; heterogeneous engines are fine; updating hundreds of
+  client machines is the deployment cost (section 4.3.1).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from ..sqlengine import UnsupportedFeatureError
+from .costmodel import CostModel
+from .middleware import ReplicationMiddleware
+
+
+class InterceptionDesign:
+    """Base class: a validated deployment shape + its overhead profile."""
+
+    name = "base"
+    requires_client_change = False
+    supports_heterogeneous_engines = False
+    supports_mixed_versions = False
+    coupled_to_engine = False
+    per_statement_overhead = 0.0
+
+    def __init__(self, middleware: ReplicationMiddleware):
+        self.middleware = middleware
+        self.validate()
+        self.apply_overhead()
+
+    def validate(self) -> None:
+        raise NotImplementedError
+
+    def apply_overhead(self, cost_model: CostModel = None) -> None:
+        if cost_model is not None:
+            cost_model.interception_overhead = self.per_statement_overhead
+
+    def properties(self) -> Dict[str, object]:
+        return {
+            "design": self.name,
+            "requires_client_change": self.requires_client_change,
+            "supports_heterogeneous_engines":
+                self.supports_heterogeneous_engines,
+            "supports_mixed_versions": self.supports_mixed_versions,
+            "coupled_to_engine": self.coupled_to_engine,
+            "per_statement_overhead": self.per_statement_overhead,
+        }
+
+    # helpers -------------------------------------------------------------
+
+    def _dialect_names(self) -> List[str]:
+        return [r.engine.dialect.name for r in self.middleware.replicas]
+
+    def _dialect_versions(self) -> List[str]:
+        return [r.engine.dialect.version for r in self.middleware.replicas]
+
+
+class EngineInterception(InterceptionDesign):
+    """Figure 5: replication inside/behind the engine."""
+
+    name = "engine-level"
+    requires_client_change = False
+    supports_heterogeneous_engines = False
+    supports_mixed_versions = False
+    coupled_to_engine = True
+    # coordination rides on engine internals: cheapest per statement
+    per_statement_overhead = 0.00005
+
+    def validate(self) -> None:
+        names = set(self._dialect_names())
+        versions = set(self._dialect_versions())
+        if len(names) > 1:
+            raise UnsupportedFeatureError(
+                f"engine-level interception cannot span engines {sorted(names)} "
+                "(it is compiled against one engine's internals)")
+        if len(versions) > 1:
+            raise UnsupportedFeatureError(
+                f"engine-level interception cannot span versions "
+                f"{sorted(versions)} — this is why Postgres-R diverged and "
+                "died (section 3.1)")
+
+
+class ProtocolProxyInterception(InterceptionDesign):
+    """Figure 6: a proxy speaking the DBMS native wire protocol."""
+
+    name = "protocol-proxy"
+    requires_client_change = False
+    supports_heterogeneous_engines = False
+    supports_mixed_versions = True
+    coupled_to_engine = False
+    # full protocol parse/re-encode per statement
+    per_statement_overhead = 0.0004
+
+    def validate(self) -> None:
+        names = set(self._dialect_names())
+        if len(names) > 1:
+            raise UnsupportedFeatureError(
+                f"a protocol proxy speaks one wire protocol; cannot front "
+                f"{sorted(names)} (section 3.1: 'does not support more than "
+                "one DB engine at the low level')")
+
+
+class DriverInterception(InterceptionDesign):
+    """Figure 7: the client's driver is replaced (JDBC/ODBC remap)."""
+
+    name = "driver-based"
+    requires_client_change = True
+    supports_heterogeneous_engines = True
+    supports_mixed_versions = True
+    coupled_to_engine = False
+    # driver remap + middleware protocol hop
+    per_statement_overhead = 0.0002
+
+    def validate(self) -> None:
+        # heterogeneous clusters are the point of this design
+        return
+
+    @staticmethod
+    def deployment_cost(client_machines: int,
+                        minutes_per_machine: float = 15.0) -> float:
+        """Driver rollout cost in minutes — the 500-client showstopper of
+        section 4.3.1."""
+        return client_machines * minutes_per_machine
+
+
+DESIGNS = {
+    "engine-level": EngineInterception,
+    "protocol-proxy": ProtocolProxyInterception,
+    "driver-based": DriverInterception,
+}
+
+
+def design_by_name(name: str, middleware: ReplicationMiddleware
+                   ) -> InterceptionDesign:
+    factory = DESIGNS.get(name.lower())
+    if factory is None:
+        raise ValueError(f"unknown interception design {name!r}")
+    return factory(middleware)

@@ -1,0 +1,1009 @@
+"""The replication middleware — the system the paper is about.
+
+One :class:`ReplicationMiddleware` instance fronts a set of
+:class:`~repro.core.replica.Replica` backends (the Figure 7 / C-JDBC
+architecture: clients talk to the middleware through a driver-like
+session; the middleware holds a connection per replica).
+
+Two replication protocols (section 4.3.2):
+
+* ``statement`` — every update statement is executed at every online
+  replica in the same total order; non-deterministic statements are
+  rewritten, rejected or knowingly broadcast per policy.
+* ``writeset`` — a transaction executes at one replica; at commit its
+  writeset is certified (first-committer-wins for SI-class protocols) and
+  propagated to the other replicas, synchronously or asynchronously.
+
+Orthogonally, a :class:`~repro.core.consistency.ConsistencyProtocol`
+decides where reads may go and whether certification aborts conflicts, and
+a :class:`~repro.core.loadbalancer.LoadBalancer` picks among the eligible
+replicas.
+
+The middleware instance is deliberately a single stateful component — the
+paper's SPOF analysis (section 3.2) applies, and :meth:`fail` exists so
+experiments can measure exactly what its death costs.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..sqlengine import ast_nodes as ast
+from ..sqlengine import (
+    Connection, SQLError, SerializationError, UnsupportedFeatureError,
+)
+from ..sqlengine.errors import ConnectionError_
+from ..sqlengine.executor import Result
+from ..sqlengine.locks import LockConflict, LockManager, LockMode
+from ..sqlengine.parser import parse_script
+from .analysis import StatementInfo, analyze, rewrite_nondeterministic
+from .certifier import Certifier, CertifierDown
+from .consistency import ClusterView, ConsistencyProtocol, SessionView
+from .consistency.gsi import GeneralizedSnapshotIsolation
+from .consistency.one_sr import OneCopySerializability
+from .errors import (
+    ClusterDivergence, MiddlewareDown, ReplicaUnavailable,
+    UnsupportedStatementError,
+)
+from .loadbalancer import (
+    BalancingLevel, LoadBalancer, NoReplicaAvailable, RoutingContext,
+)
+from .monitoring import Monitor
+from .recoverylog import RecoveryLog
+from .replica import ApplyItem, Replica, ReplicaState
+from .writesets import apply_writeset, conflict_keys, extract_writeset_engine
+
+
+class MiddlewareConfig:
+    """Tunable middleware behaviour.
+
+    Attributes:
+        replication: ``"statement"`` or ``"writeset"``.
+        consistency: a :class:`ConsistencyProtocol`; defaults to 1SR for
+            statement replication and GSI for writeset replication.
+        balancer: read load balancer.
+        propagation: ``"sync"`` (updates applied everywhere before the
+            commit returns — 2-safe-like) or ``"async"`` (apply queues —
+            1-safe-like, replicas lag).
+        nondeterminism: statement-mode policy for unsafe statements:
+            ``"rewrite"`` (rewrite what is rewritable, reject the rest),
+            ``"reject"`` (refuse any non-deterministic write) or
+            ``"broadcast"`` (ship them anyway — divergence, E10).
+        compensate_counters: writeset-mode fix-up of auto-increment /
+            sequence state at apply time (off = the 4.3.2 divergence gap).
+        table_locking: statement-mode middleware-level table locks
+            (the coarse-granularity regime of section 4.3.2).
+        detect_divergence: compare per-replica rowcounts on broadcast
+            writes and raise :class:`ClusterDivergence` on mismatch.
+    """
+
+    def __init__(self,
+                 replication: str = "statement",
+                 consistency: Optional[ConsistencyProtocol] = None,
+                 balancer: Optional[LoadBalancer] = None,
+                 propagation: str = "sync",
+                 nondeterminism: str = "rewrite",
+                 compensate_counters: bool = True,
+                 table_locking: bool = True,
+                 detect_divergence: bool = False):
+        if replication not in ("statement", "writeset"):
+            raise ValueError(f"unknown replication mode {replication!r}")
+        if propagation not in ("sync", "async"):
+            raise ValueError(f"unknown propagation {propagation!r}")
+        if nondeterminism not in ("rewrite", "reject", "broadcast"):
+            raise ValueError(f"unknown nondeterminism policy {nondeterminism!r}")
+        self.replication = replication
+        if consistency is None:
+            consistency = (OneCopySerializability()
+                           if replication == "statement"
+                           else GeneralizedSnapshotIsolation())
+        self.consistency = consistency
+        self.balancer = balancer or LoadBalancer()
+        self.propagation = propagation
+        self.nondeterminism = nondeterminism
+        self.compensate_counters = compensate_counters
+        self.table_locking = table_locking
+        self.detect_divergence = detect_divergence
+
+
+class ReplicationMiddleware:
+    """The central coordinator."""
+
+    def __init__(self, replicas: Sequence[Replica],
+                 config: Optional[MiddlewareConfig] = None,
+                 name: str = "mw", monitor: Optional[Monitor] = None):
+        if not replicas:
+            raise ValueError("a cluster needs at least one replica")
+        self.name = name
+        self.replicas: List[Replica] = list(replicas)
+        self.config = config or MiddlewareConfig()
+        self.monitor = monitor or Monitor()
+        self.certifier = Certifier(
+            first_committer_wins=self.config.consistency.first_committer_wins)
+        self.recovery_log = RecoveryLog()
+        self.failed = False
+        self.sessions: List["MiddlewareSession"] = []
+        self._session_counter = itertools.count(1)
+        # Middleware-level table locks for statement-mode 1SR (4.3.2).
+        self._table_locks = LockManager()
+        self._lock_txn_counter = itertools.count(1)
+        # Designated master for write_mode == "master" protocols.
+        self._master_name: Optional[str] = self.replicas[0].name
+        self.stats = {
+            "reads": 0, "writes": 0, "commits": 0, "aborts": 0,
+            "certification_aborts": 0, "freshness_waits": 0,
+        }
+        # Hook used by the timed driver to wake per-replica apply workers
+        # when asynchronous propagation enqueues work.
+        self.on_apply_enqueued = None
+        for replica in self.replicas:
+            replica.on_state_change(self._replica_state_changed)
+
+    # ------------------------------------------------------------------
+    # cluster views
+    # ------------------------------------------------------------------
+
+    @property
+    def global_seq(self) -> int:
+        return self.certifier.current_seq
+
+    def cluster_view(self) -> ClusterView:
+        return ClusterView(self.global_seq, self._master_name)
+
+    def replica_by_name(self, name: str) -> Replica:
+        for replica in self.replicas:
+            if replica.name == name:
+                return replica
+        raise ReplicaUnavailable(f"no replica named {name!r}")
+
+    def online_replicas(self) -> List[Replica]:
+        return [r for r in self.replicas if r.is_online]
+
+    @property
+    def master(self) -> Replica:
+        return self.replica_by_name(self._master_name)
+
+    def set_master(self, name: str) -> None:
+        self.replica_by_name(name)
+        self._master_name = name
+        self.monitor.record("master_changed", name)
+
+    def _replica_state_changed(self, replica: Replica,
+                               state: ReplicaState) -> None:
+        self.monitor.record("replica_state", replica.name, state=state.value)
+        if state is ReplicaState.FAILED:
+            self.config.balancer.forget_replica(replica.name)
+
+    # ------------------------------------------------------------------
+    # sessions
+    # ------------------------------------------------------------------
+
+    def connect(self, user: str = "admin", password: str = "",
+                database: Optional[str] = None) -> "MiddlewareSession":
+        self._check_up()
+        session = MiddlewareSession(
+            self, next(self._session_counter), user, password, database)
+        self.sessions.append(session)
+        return session
+
+    def _check_up(self) -> None:
+        if self.failed:
+            raise MiddlewareDown(f"middleware {self.name!r} is down")
+
+    # ------------------------------------------------------------------
+    # middleware failure (SPOF experiments)
+    # ------------------------------------------------------------------
+
+    def fail(self) -> int:
+        """Kill the middleware instance.  All in-flight transactions are
+        lost (rolled back at the replicas once their connections break) and
+        every session dies.  Returns the number of sessions lost."""
+        lost = 0
+        for session in list(self.sessions):
+            if session.in_transaction:
+                lost += 1
+            session._abort_everywhere(silent=True)
+            session.closed = True
+        self.sessions.clear()
+        self.failed = True
+        if not self.certifier.replicated:
+            self.certifier.fail()
+        self.monitor.record("middleware_failed", self.name,
+                            lost_sessions=lost)
+        return lost
+
+    def recover(self) -> None:
+        """Restart the middleware.  A centralized certifier must rebuild
+        its state from the replicas (slow, section 3.2); a replicated one
+        resumes from its standby copy."""
+        highest = max((r.applied_seq for r in self.replicas), default=0)
+        self.certifier.recover(rebuild_from_replicas=highest)
+        self.failed = False
+        self.monitor.record("middleware_recovered", self.name)
+
+    # ------------------------------------------------------------------
+    # routing
+    # ------------------------------------------------------------------
+
+    def choose_read_replica(self, session: "MiddlewareSession",
+                            info: Optional[StatementInfo]) -> Replica:
+        """Pick a read replica honouring pinning, consistency eligibility
+        and the balancer; waits (drains) for freshness when required."""
+        if session.pinned_replica is not None:
+            replica = self.replica_by_name(session.pinned_replica)
+            if not replica.can_serve:
+                raise ReplicaUnavailable(
+                    f"session pinned to failed replica {replica.name!r} "
+                    "(temporary tables are not replicated, section 4.1.4)")
+            return replica
+        if session.route_override is not None:
+            replica = self.replica_by_name(session.route_override)
+            if replica.can_serve:
+                return replica
+
+        cluster = self.cluster_view()
+        protocol = self.config.consistency
+        tables = sorted(info.all_tables()) if info else []
+        context = RoutingContext(tables=tables, session_id=session.id)
+        candidates = [
+            r for r in self.online_replicas()
+            if protocol.read_eligible(r, session.view, cluster)
+        ]
+        if candidates:
+            return self.config.balancer.choose(candidates, context)
+
+        # Nobody fresh enough: wait for the most caught-up replica.
+        online = self.online_replicas()
+        if not online:
+            raise NoReplicaAvailable("no online replicas")
+        best = max(online, key=lambda r: r.applied_seq)
+        needed = protocol.min_read_seq(session.view, cluster)
+        self.stats["freshness_waits"] += 1
+        self.drain_replica(best.name, up_to_seq=needed)
+        return best
+
+    # ------------------------------------------------------------------
+    # update propagation
+    # ------------------------------------------------------------------
+
+    def propagate_writeset(self, origin: Replica, seq: int,
+                           entries: List[Dict],
+                           tables: Sequence[str]) -> None:
+        """Ship a certified writeset to every other replica (sync or
+        async per configuration)."""
+        for replica in self.replicas:
+            if replica.name == origin.name:
+                continue
+            if not replica.is_online:
+                continue  # it will resynchronize from the recovery log
+            item = ApplyItem(seq, "writeset", entries, tuple(tables))
+            if self.config.propagation == "sync":
+                self._apply_item(replica, item)
+            else:
+                replica.enqueue(item)
+                if self.on_apply_enqueued is not None:
+                    self.on_apply_enqueued(replica, item)
+
+    def _apply_item(self, replica: Replica, item: ApplyItem) -> None:
+        if item.kind == "writeset":
+            report = apply_writeset(
+                replica.engine, item.payload,
+                compensate_counters=self.config.compensate_counters)
+            if not report.clean:
+                self.monitor.record("apply_divergence", replica.name,
+                                    seq=item.seq, issues=report.conflicts)
+        else:
+            connection = replica.apply_connection()
+            for sql, params in item.payload:
+                connection.execute(sql, params)
+        replica.applied_seq = max(replica.applied_seq, item.seq)
+        replica.stats["applied_items"] += 1
+
+    def pump(self, max_items: Optional[int] = None) -> int:
+        """Drain asynchronous apply queues (round-robin across replicas).
+        Returns the number of items applied."""
+        applied = 0
+        progress = True
+        while progress and (max_items is None or applied < max_items):
+            progress = False
+            for replica in self.replicas:
+                if not replica.is_online or not replica.apply_queue:
+                    continue
+                item = replica.apply_queue.pop(0)
+                self._apply_item(replica, item)
+                applied += 1
+                progress = True
+                if max_items is not None and applied >= max_items:
+                    break
+        return applied
+
+    def drain_replica(self, name: str,
+                      up_to_seq: Optional[int] = None) -> int:
+        """Apply a replica's queued items (optionally only up to a
+        sequence watermark).  Models a freshness wait."""
+        replica = self.replica_by_name(name)
+        applied = 0
+        while replica.apply_queue:
+            if up_to_seq is not None and replica.applied_seq >= up_to_seq:
+                break
+            item = replica.apply_queue.pop(0)
+            self._apply_item(replica, item)
+            applied += 1
+        return applied
+
+    def drain_all(self) -> int:
+        return self.pump()
+
+    # ------------------------------------------------------------------
+    # multi-master key safety
+    # ------------------------------------------------------------------
+
+    def interleave_auto_increment(self) -> None:
+        """Configure every replica to generate auto-increment keys in a
+        disjoint congruence class (replica k of n hands out k, k+n, ...),
+        the standard industry mitigation for the duplicate-key divergence
+        of multi-master writeset replication (section 4.3.2).  Must be
+        re-run after adding or removing replicas."""
+        step = len(self.replicas)
+        for offset, replica in enumerate(self.replicas, start=1):
+            for database in replica.engine.databases.values():
+                for table in database.tables.values():
+                    if not table.temporary:
+                        table.set_auto_interleave(step, offset)
+        self.monitor.record("auto_increment_interleaved", self.name,
+                            step=step)
+
+    # ------------------------------------------------------------------
+    # convergence checks
+    # ------------------------------------------------------------------
+
+    def content_signatures(self) -> Dict[str, str]:
+        return {r.name: r.engine.content_signature() for r in self.replicas}
+
+    def check_convergence(self, online_only: bool = True) -> bool:
+        replicas = self.online_replicas() if online_only else self.replicas
+        signatures = {r.engine.content_signature() for r in replicas}
+        return len(signatures) <= 1
+
+    def assert_convergence(self) -> None:
+        if not self.check_convergence():
+            raise ClusterDivergence(
+                f"replicas diverged: {self.content_signatures()}")
+
+
+class MiddlewareSession:
+    """A client session through the middleware (the 'driver' of Fig. 7)."""
+
+    def __init__(self, middleware: ReplicationMiddleware, session_id: int,
+                 user: str, password: str, database: Optional[str]):
+        self.middleware = middleware
+        self.id = session_id
+        self.user = user
+        self.password = password
+        self.database = database
+        self.view = SessionView()
+        self.closed = False
+        # connection-per-replica caches
+        self._read_connections: Dict[str, Connection] = {}
+        # explicit transaction state
+        self.in_transaction = False
+        self._txn_connections: Dict[str, Connection] = {}
+        self._txn_statements: List[Tuple[str, list]] = []
+        self._txn_tables_written: set = set()
+        self._txn_start_seq = 0
+        self._txn_is_write = False
+        self._txn_lock_id: Optional[int] = None
+        self._local_replica: Optional[str] = None  # writeset mode
+        # temp-table pinning (section 4.1.4)
+        self.pinned_replica: Optional[str] = None
+        self._pinned_connection: Optional[Connection] = None
+        self.temp_tables: set = set()
+        # Statement log of the whole session's current transaction —
+        # Sequoia-style transparent failover replays this (section 4.3.3).
+        self.failover_replays = 0
+        # Routing overrides used by the timed simulation driver so that the
+        # time-charging layer and the state-changing layer agree on the
+        # chosen replica (see repro.bench.simdriver).
+        self.route_override: Optional[str] = None
+        self.write_override: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    # public API
+    # ------------------------------------------------------------------
+
+    def execute(self, sql: str, params: Optional[List[Any]] = None) -> Result:
+        """Execute one or more ``;``-separated statements."""
+        self._check_open()
+        result = Result()
+        for statement in parse_script(sql):
+            result = self._execute_one(statement, sql, list(params or []))
+        return result
+
+    def execute_one_parsed(self, statement: ast.Statement, sql_text: str,
+                           params: Optional[List[Any]] = None) -> Result:
+        """Execute one pre-parsed statement (timed-driver fast path)."""
+        self._check_open()
+        return self._execute_one(statement, sql_text, list(params or []))
+
+    def begin(self, isolation: Optional[str] = None) -> None:
+        self.execute("BEGIN" if isolation is None
+                     else f"BEGIN ISOLATION LEVEL {isolation}")
+
+    def commit(self) -> None:
+        self.execute("COMMIT")
+
+    def rollback(self) -> None:
+        self.execute("ROLLBACK")
+
+    def close(self) -> None:
+        if self.closed:
+            return
+        self._abort_everywhere(silent=True)
+        for connection in self._read_connections.values():
+            try:
+                connection.close()
+            except SQLError:
+                pass
+        self._read_connections.clear()
+        if self._pinned_connection is not None:
+            try:
+                self._pinned_connection.close()
+            except SQLError:
+                pass
+            self._pinned_connection = None
+        self.middleware.config.balancer.end_connection(self.id)
+        if self in self.middleware.sessions:
+            self.middleware.sessions.remove(self)
+        self.closed = True
+
+    def __enter__(self) -> "MiddlewareSession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+
+    def _execute_one(self, statement: ast.Statement, sql_text: str,
+                     params: List[Any]) -> Result:
+        self.middleware._check_up()
+        if isinstance(statement, ast.BeginStatement):
+            self._begin_transaction(statement.isolation)
+            return Result()
+        if isinstance(statement, ast.CommitStatement):
+            self._commit_transaction()
+            return Result()
+        if isinstance(statement, ast.RollbackStatement):
+            self._rollback_transaction()
+            return Result()
+
+        info = analyze(statement)
+        self._track_temp_tables(info)
+
+        if info.is_read_only and not self._statement_touches_temp(info):
+            return self._execute_read(statement, sql_text, params, info)
+        return self._execute_write(statement, sql_text, params, info)
+
+    def _track_temp_tables(self, info: StatementInfo) -> None:
+        if info.creates_temp_table:
+            self.temp_tables |= info.touches_temp_names
+
+    def _statement_touches_temp(self, info: StatementInfo) -> bool:
+        if info.creates_temp_table:
+            return True
+        if not self.temp_tables:
+            return False
+        return bool(
+            {t.split(".")[-1] for t in info.all_tables()} & self.temp_tables)
+
+    # ------------------------------------------------------------------
+    # reads
+    # ------------------------------------------------------------------
+
+    def _execute_read(self, statement: ast.Statement, sql_text: str,
+                      params: List[Any], info: StatementInfo) -> Result:
+        middleware = self.middleware
+        middleware.stats["reads"] += 1
+        writeset_like = (middleware.config.replication == "writeset"
+                         or middleware.config.consistency.write_mode == "master")
+        if self.in_transaction and writeset_like:
+            # reads inside a writeset transaction stay on the local replica
+            # (master-mode read-only transactions may run on a satellite)
+            if self._local_replica is None and not self._txn_is_write:
+                replica = middleware.choose_read_replica(self, info)
+                connection = self._txn_connection(replica)
+                if middleware.config.consistency.write_mode != "master":
+                    # the transaction is now anchored here; later writes
+                    # must see these reads' snapshot, and certification
+                    # must cover everything this snapshot misses
+                    self._local_replica = replica.name
+                    self._txn_start_seq = min(self._txn_start_seq,
+                                              replica.applied_seq)
+            else:
+                replica = self._ensure_local_replica()
+                connection = self._txn_connections[replica.name]
+            result = connection.execute_statement(statement, sql_text, params)
+        elif self.in_transaction:
+            # statement mode: read through a replica holding the txn
+            if self._txn_connections:
+                replica = self._pick_txn_read_replica(info)
+            else:
+                replica = middleware.choose_read_replica(self, info)
+            connection = self._txn_connection(replica)
+            result = connection.execute_statement(statement, sql_text, params)
+        else:
+            replica = middleware.choose_read_replica(self, info)
+            connection = self._read_connection(replica)
+            result = self._run_with_failover(
+                replica, connection, statement, sql_text, params, info)
+        replica.stats["served_reads"] += 1
+        replica.note_hot_tables(sorted(info.all_tables()))
+        middleware.config.consistency.note_read(self.view, replica.applied_seq)
+        if not self.in_transaction:
+            # an autocommit statement is its own transaction: transaction-
+            # level balancing re-chooses for the next one
+            middleware.config.balancer.end_transaction(self.id)
+        return result
+
+    def _pick_txn_read_replica(self, info: StatementInfo) -> Replica:
+        for name in self._txn_connections:
+            replica = self.middleware.replica_by_name(name)
+            if replica.can_serve:
+                return replica
+        raise ReplicaUnavailable("no live replica holds this transaction")
+
+    def _run_with_failover(self, replica: Replica, connection: Connection,
+                           statement: ast.Statement, sql_text: str,
+                           params: List[Any],
+                           info: StatementInfo) -> Result:
+        """Autocommit read with transparent retry on another replica when
+        the chosen one dies mid-request (section 4.3.3)."""
+        try:
+            return connection.execute_statement(statement, sql_text, params)
+        except ConnectionError_:
+            self._note_replica_failure(replica)
+            retry = self.middleware.choose_read_replica(self, info)
+            retry_connection = self._read_connection(retry)
+            self.failover_replays += 1
+            return retry_connection.execute_statement(
+                statement, sql_text, params)
+
+    def _read_connection(self, replica: Replica) -> Connection:
+        connection = self._read_connections.get(replica.name)
+        if connection is None or connection.closed or replica.engine.crashed:
+            connection = replica.engine.connect(
+                self.user, self.password, database=self.database)
+            self._read_connections[replica.name] = connection
+        return connection
+
+    def _note_replica_failure(self, replica: Replica) -> None:
+        replica.mark_failed()
+        self._read_connections.pop(replica.name, None)
+
+    # ------------------------------------------------------------------
+    # writes
+    # ------------------------------------------------------------------
+
+    def _execute_write(self, statement: ast.Statement, sql_text: str,
+                       params: List[Any], info: StatementInfo) -> Result:
+        middleware = self.middleware
+        middleware.stats["writes"] += 1
+        implicit = not self.in_transaction
+        if implicit:
+            self._begin_transaction(None)
+        try:
+            if self._statement_touches_temp(info):
+                result = self._execute_on_pinned(statement, sql_text, params)
+            elif middleware.config.replication == "statement" \
+                    and middleware.config.consistency.write_mode != "master":
+                result = self._statement_mode_write(
+                    statement, sql_text, params, info)
+            else:
+                result = self._writeset_mode_write(
+                    statement, sql_text, params, info)
+        except Exception:
+            if implicit:
+                self._rollback_transaction()
+            raise
+        if implicit:
+            self._commit_transaction()
+        return result
+
+    # -- temp-table pinning ------------------------------------------------
+
+    def _execute_on_pinned(self, statement: ast.Statement, sql_text: str,
+                           params: List[Any]) -> Result:
+        """Temp-table work sticks to one replica (section 4.1.4).
+
+        The pinned connection is *persistent* — temp tables are
+        per-connection state at the engine, so the middleware must hold one
+        connection open for the session's whole lifetime.
+        """
+        middleware = self.middleware
+        if self.pinned_replica is None:
+            if self._local_replica is not None:
+                self.pinned_replica = self._local_replica
+            elif self._txn_connections:
+                self.pinned_replica = next(iter(self._txn_connections))
+            else:
+                context = RoutingContext(session_id=self.id)
+                self.pinned_replica = middleware.config.balancer.choose(
+                    middleware.online_replicas(), context).name
+            middleware.monitor.record("session_pinned", self.pinned_replica,
+                                      session=self.id)
+        replica = middleware.replica_by_name(self.pinned_replica)
+        if not replica.can_serve or replica.engine.crashed:
+            raise ReplicaUnavailable(
+                f"session pinned to failed replica {replica.name!r}; its "
+                "temporary tables are unrecoverable (section 4.1.4)")
+        connection = self._pinned_connection_for(replica)
+        if self.in_transaction and not connection.in_transaction:
+            connection.begin(getattr(self, "_txn_isolation", None))
+            self._txn_connections[replica.name] = connection
+        return connection.execute_statement(statement, sql_text, params)
+
+    def _pinned_connection_for(self, replica: Replica) -> Connection:
+        if self._pinned_connection is None or self._pinned_connection.closed:
+            self._pinned_connection = replica.engine.connect(
+                self.user, self.password, database=self.database)
+        return self._pinned_connection
+
+    # -- statement replication ------------------------------------------------
+
+    def _statement_mode_write(self, statement: ast.Statement, sql_text: str,
+                              params: List[Any],
+                              info: StatementInfo) -> Result:
+        middleware = self.middleware
+        config = middleware.config
+
+        statement = self._handle_nondeterminism(statement, info)
+
+        if config.table_locking and info.tables_written:
+            self._acquire_table_locks(info)
+
+        targets = [
+            r for r in middleware.replicas
+            if r.is_online or r.name in self._txn_connections
+        ]
+        live_targets = [r for r in targets if r.is_online]
+        if not live_targets:
+            raise NoReplicaAvailable("no online replica for the write")
+
+        results: List[Tuple[Replica, Result]] = []
+        for replica in live_targets:
+            connection = self._txn_connection(replica)
+            try:
+                result = connection.execute_statement(
+                    statement, sql_text, params)
+                results.append((replica, result))
+            except ConnectionError_:
+                # Replica died mid-broadcast: statement replication keeps
+                # full state on the survivors — transparent failover.
+                self._note_replica_failure(replica)
+                self._txn_connections.pop(replica.name, None)
+            except (SQLError, LockConflict):
+                # A deterministic error must strike every replica alike;
+                # abort the statement everywhere and surface it.
+                raise
+        if not results:
+            raise NoReplicaAvailable("every replica failed during the write")
+
+        if config.detect_divergence:
+            rowcounts = {result.rowcount for _r, result in results}
+            if len(rowcounts) > 1:
+                middleware.monitor.record(
+                    "divergence_detected", self.middleware.name,
+                    rowcounts={r.name: res.rowcount for r, res in results})
+                raise ClusterDivergence(
+                    f"statement affected different row counts per replica: "
+                    f"{[(r.name, res.rowcount) for r, res in results]}")
+
+        self._txn_statements.append((sql_text, list(params)))
+        self._txn_tables_written |= info.tables_written
+        self._txn_is_write = True
+        for replica, _result in results:
+            replica.stats["served_writes"] += 1
+        return results[0][1]
+
+    def _handle_nondeterminism(self, statement: ast.Statement,
+                               info: StatementInfo) -> ast.Statement:
+        config = self.middleware.config
+        if info.is_deterministic and info.safe_for_statement_replication:
+            return statement
+        if config.nondeterminism == "broadcast":
+            return statement
+        if config.nondeterminism == "reject":
+            reasons = (info.nondeterministic_calls
+                       or (["LIMIT without ORDER BY"]
+                           if info.limit_without_order_in_write else [])
+                       or ["opaque stored procedure"])
+            raise UnsupportedStatementError(
+                f"non-deterministic write ({', '.join(reasons)}) refused "
+                "under statement replication")
+        # rewrite policy
+        if info.is_procedure_call:
+            return self._vet_procedure_call(statement)
+        if info.rewritable_calls:
+            now_value = self.middleware.monitor.now()
+            statement, _count = rewrite_nondeterministic(statement, now_value)
+        if info.unsafe_calls or info.limit_without_order_in_write:
+            reason = (info.unsafe_calls
+                      or ["LIMIT without ORDER BY"])
+            raise UnsupportedStatementError(
+                f"cannot make statement deterministic ({', '.join(map(str, reason))}); "
+                "use writeset replication for this workload (section 4.3.2)")
+        return statement
+
+    def _vet_procedure_call(self, statement: ast.Statement) -> ast.Statement:
+        """Broadcast a stored-procedure call only when static analysis can
+        prove it deterministic — the engine-cooperation capability the
+        paper's agenda calls for (section 4.2.1); real middleware cannot
+        see the body and must reject or risk divergence."""
+        from ..sqlengine.procedures import analyze_procedure
+
+        middleware = self.middleware
+        replica = next(iter(middleware.online_replicas()), None)
+        if replica is None:
+            raise NoReplicaAvailable("no online replica")
+        database_name = (statement.name.database or self.database)
+        try:
+            database = replica.engine.database(database_name)
+            procedure = database.procedure(statement.name.name)
+        except SQLError as exc:
+            raise UnsupportedStatementError(
+                f"cannot analyze procedure: {exc}")
+        analysis = analyze_procedure(procedure)
+        if not analysis.deterministic:
+            raise UnsupportedStatementError(
+                f"stored procedure {procedure.name!r} is non-deterministic; "
+                "broadcasting it would diverge the cluster (section 4.2.1)")
+        return statement
+
+    def _acquire_table_locks(self, info: StatementInfo) -> None:
+        """Middleware-level exclusive locks on written tables, held until
+        the transaction ends (coarse table granularity, section 4.3.2)."""
+        if self._txn_lock_id is None:
+            self._txn_lock_id = next(self.middleware._lock_txn_counter)
+        for table in sorted(info.tables_written):
+            self.middleware._table_locks.acquire(
+                self._txn_lock_id, table, LockMode.EXCLUSIVE)
+
+    # -- writeset replication --------------------------------------------------
+
+    def _writeset_mode_write(self, statement: ast.Statement, sql_text: str,
+                             params: List[Any],
+                             info: StatementInfo) -> Result:
+        middleware = self.middleware
+        if info.is_ddl:
+            return self._broadcast_ddl(statement, sql_text, params, info)
+        replica = self._ensure_local_replica()
+        connection = self._txn_connections[replica.name]
+        result = connection.execute_statement(statement, sql_text, params)
+        self._txn_statements.append((sql_text, list(params)))
+        self._txn_tables_written |= info.tables_written
+        self._txn_is_write = True
+        replica.stats["served_writes"] += 1
+        return result
+
+    def _broadcast_ddl(self, statement: ast.Statement, sql_text: str,
+                       params: List[Any], info: StatementInfo) -> Result:
+        """DDL has no writeset (section 4.3.2: 'database updates that
+        cannot be rolled back'); even writeset-mode systems broadcast it as
+        statements, outside certification."""
+        middleware = self.middleware
+        result = Result()
+        for replica in middleware.online_replicas():
+            connection = self._txn_connection(replica) \
+                if replica.name in self._txn_connections \
+                else self._read_connection(replica)
+            result = connection.execute_statement(statement, sql_text, params)
+        seq = middleware.certifier.assign_seq()
+        middleware.recovery_log.append(
+            seq, "statements", [(sql_text, list(params))],
+            tables=sorted(info.tables_written), user=self.user,
+            database=self.database)
+        for replica in middleware.online_replicas():
+            replica.applied_seq = max(replica.applied_seq, seq)
+        return result
+
+    def _ensure_local_replica(self) -> Replica:
+        middleware = self.middleware
+        if middleware.config.consistency.write_mode == "master":
+            replica = middleware.master
+            if not replica.is_online:
+                raise ReplicaUnavailable(
+                    f"master {replica.name!r} is down; promote a new master")
+        elif self._local_replica is None and self.write_override is not None:
+            replica = middleware.replica_by_name(self.write_override)
+            if not replica.is_online:
+                raise ReplicaUnavailable(
+                    f"write-override replica {replica.name!r} is down")
+        elif self._local_replica is not None:
+            replica = middleware.replica_by_name(self._local_replica)
+            if not replica.is_online:
+                # Transaction replication cannot transparently fail over:
+                # the transaction lived only here (section 4.3.3).
+                raise ReplicaUnavailable(
+                    f"replica {replica.name!r} executing this transaction "
+                    "died; the transaction must be replayed by the client")
+        else:
+            context = RoutingContext(session_id=self.id, is_write=True)
+            replica = middleware.config.balancer.choose(
+                middleware.online_replicas(), context)
+        self._local_replica = replica.name
+        if replica.name not in self._txn_connections:
+            self._txn_connections[replica.name] = \
+                self._open_txn_connection(replica)
+            # GSI-correct certification: the conflict window starts at the
+            # snapshot this transaction actually reads — the local
+            # replica's applied watermark, which may trail the global
+            # sequence under asynchronous propagation.
+            self._txn_start_seq = min(self._txn_start_seq,
+                                      replica.applied_seq)
+        return replica
+
+    # ------------------------------------------------------------------
+    # transaction control
+    # ------------------------------------------------------------------
+
+    def _begin_transaction(self, isolation: Optional[str]) -> None:
+        if self.in_transaction:
+            raise SQLError("transaction already in progress")
+        self.in_transaction = True
+        self._txn_isolation = isolation
+        self._txn_statements = []
+        self._txn_tables_written = set()
+        self._txn_is_write = False
+        self._txn_start_seq = self.middleware.global_seq
+        self._txn_connections = {}
+        self._local_replica = None
+
+    def _txn_connection(self, replica: Replica) -> Connection:
+        connection = self._txn_connections.get(replica.name)
+        if connection is None:
+            connection = self._open_txn_connection(replica)
+            self._txn_connections[replica.name] = connection
+        return connection
+
+    def _open_txn_connection(self, replica: Replica) -> Connection:
+        connection = replica.engine.connect(
+            self.user, self.password, database=self.database)
+        isolation = self._choose_isolation(replica)
+        connection.begin(isolation)
+        return connection
+
+    def _choose_isolation(self, replica: Replica) -> Optional[str]:
+        requested = getattr(self, "_txn_isolation", None)
+        if requested is not None:
+            return requested
+        if self.middleware.config.replication == "writeset" \
+                and self.middleware.config.consistency.name != "read-committed":
+            # SI-class protocols want snapshot transactions locally; fall
+            # back to the engine default when the dialect lacks SI (the
+            # 4.1.2 heterogeneity headache).
+            if replica.engine.dialect.supports_snapshot_isolation:
+                return "SNAPSHOT"
+        return None
+
+    def _commit_transaction(self) -> None:
+        if not self.in_transaction:
+            return
+        middleware = self.middleware
+        try:
+            if not self._txn_is_write:
+                for connection in self._txn_connections.values():
+                    connection.commit()
+                return
+            if middleware.config.replication == "statement" \
+                    and middleware.config.consistency.write_mode != "master":
+                self._commit_statement_mode()
+            else:
+                self._commit_writeset_mode()
+            middleware.stats["commits"] += 1
+        finally:
+            self._end_transaction()
+
+    def _commit_statement_mode(self) -> None:
+        middleware = self.middleware
+        committed = []
+        for name, connection in list(self._txn_connections.items()):
+            try:
+                connection.commit()
+                committed.append(name)
+            except ConnectionError_:
+                self._note_replica_failure(middleware.replica_by_name(name))
+        if not committed:
+            middleware.stats["aborts"] += 1
+            raise NoReplicaAvailable("commit failed on every replica")
+        seq = middleware.certifier.assign_seq()
+        middleware.recovery_log.append(
+            seq, "statements", list(self._txn_statements),
+            tables=sorted(self._txn_tables_written), user=self.user,
+            database=self.database)
+        for name in committed:
+            replica = middleware.replica_by_name(name)
+            replica.applied_seq = max(replica.applied_seq, seq)
+        middleware.config.consistency.note_commit(self.view, seq)
+
+    def _commit_writeset_mode(self) -> None:
+        middleware = self.middleware
+        replica = middleware.replica_by_name(self._local_replica)
+        connection = self._txn_connections[replica.name]
+        txn = connection.txn
+        entries = extract_writeset_engine(txn) if txn is not None else []
+        if not entries:
+            connection.commit()
+            return
+        keys = conflict_keys(entries)
+        try:
+            outcome = middleware.certifier.certify(self._txn_start_seq, keys)
+        except CertifierDown:
+            connection.rollback()
+            middleware.stats["aborts"] += 1
+            raise
+        if not outcome.ok:
+            connection.rollback()
+            middleware.stats["aborts"] += 1
+            middleware.stats["certification_aborts"] += 1
+            replica.stats["aborts"] += 1
+            raise SerializationError(
+                f"certification failed: conflicts with global seq "
+                f"{outcome.conflict_seq} (first-committer-wins)")
+        # Prefix discipline: the replica must apply every earlier-certified
+        # writeset before this commit lands, or its applied watermark would
+        # skip updates it never saw.  Certification already guarantees the
+        # pending items are disjoint from this transaction's writeset.
+        seq = outcome.seq
+        middleware.drain_replica(replica.name, up_to_seq=seq - 1)
+        connection.commit()
+        replica.applied_seq = max(replica.applied_seq, seq)
+        tables = sorted(self._txn_tables_written)
+        middleware.recovery_log.append(
+            seq, "writeset", entries, tables=tables, user=self.user,
+            database=self.database)
+        middleware.propagate_writeset(replica, seq, entries, tables)
+        middleware.config.consistency.note_commit(self.view, seq)
+
+    def _rollback_transaction(self) -> None:
+        if not self.in_transaction:
+            return
+        # A rollback must always succeed from the client's point of view:
+        # if a replica connection is broken, its transaction died with it.
+        self._abort_everywhere(silent=True)
+        self._end_transaction()
+        self.middleware.stats["aborts"] += 1
+
+    def _abort_everywhere(self, silent: bool) -> None:
+        for connection in self._txn_connections.values():
+            try:
+                connection.rollback()
+                if connection is not self._pinned_connection:
+                    connection.close()
+            except SQLError:
+                if not silent:
+                    raise
+        self._txn_connections = {}
+
+    def _end_transaction(self) -> None:
+        for connection in self._txn_connections.values():
+            if connection is self._pinned_connection:
+                continue  # persistent: temp tables live on it (4.1.4)
+            try:
+                connection.close()
+            except SQLError:
+                pass
+        self._txn_connections = {}
+        self.in_transaction = False
+        self._txn_is_write = False
+        self._local_replica = None
+        if self._txn_lock_id is not None:
+            self.middleware._table_locks.release_all(self._txn_lock_id)
+            self._txn_lock_id = None
+        self.middleware.config.balancer.end_transaction(self.id)
+
+    def _check_open(self) -> None:
+        if self.closed:
+            raise MiddlewareDown("session is closed")

@@ -1,0 +1,67 @@
+"""Event timeline monitoring.
+
+Section 4.4.4: "The vast majority of production systems have a monitoring
+infrastructure" and the paper asks what the replication layer should feed
+it.  Our answer: every state-changing middleware event lands on a single
+timestamped timeline, from which ``repro.metrics.availability`` computes
+MTTF/MTTR/nines and benchmarks build their reports.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+
+class MonitorEvent:
+    __slots__ = ("time", "kind", "target", "detail")
+
+    def __init__(self, time: float, kind: str, target: str = "",
+                 detail: Optional[Dict[str, Any]] = None):
+        self.time = time
+        self.kind = kind
+        self.target = target
+        self.detail = detail or {}
+
+    def __repr__(self) -> str:
+        return f"MonitorEvent({self.time:.3f}, {self.kind}, {self.target})"
+
+
+class Monitor:
+    """Timestamped event sink.
+
+    ``time_source`` defaults to a logical counter; simulations plug the
+    simulated clock in so availability math uses simulated seconds.
+    """
+
+    def __init__(self, time_source: Optional[Callable[[], float]] = None):
+        self._logical = 0.0
+        self.time_source = time_source
+        self.events: List[MonitorEvent] = []
+        self._listeners: List[Callable[[MonitorEvent], None]] = []
+
+    def now(self) -> float:
+        if self.time_source is not None:
+            return float(self.time_source())
+        self._logical += 1.0
+        return self._logical
+
+    def record(self, kind: str, target: str = "",
+               **detail: Any) -> MonitorEvent:
+        event = MonitorEvent(self.now(), kind, target, detail)
+        self.events.append(event)
+        for listener in list(self._listeners):
+            listener(event)
+        return event
+
+    def on_event(self, listener: Callable[[MonitorEvent], None]) -> None:
+        self._listeners.append(listener)
+
+    def events_of(self, *kinds: str) -> List[MonitorEvent]:
+        wanted = set(kinds)
+        return [e for e in self.events if e.kind in wanted]
+
+    def count(self, kind: str) -> int:
+        return sum(1 for e in self.events if e.kind == kind)
+
+    def clear(self) -> None:
+        self.events.clear()

@@ -1,0 +1,355 @@
+"""Data partitioning across replica groups (Figure 2 of the paper).
+
+"Data is logically split into different partitions, each one being
+replicated ...  The benefits of this approach are similar to RAID-0 for
+disks: updates can be done in parallel to partitioned data segments.  Read
+latency can also be improved by exploiting intra-query parallelism."
+
+A :class:`PartitionedCluster` owns N partition groups (each its own
+:class:`ReplicationMiddleware`).  Tables registered with a partitioner
+route by key; unregistered ("global") tables are broadcast to every group.
+Queries whose WHERE clause pins the partition key go to one group; others
+scatter-gather, with the basic aggregate merges (COUNT/SUM) done at the
+middleware — the distributed-joins limitation of section 5.1 is surfaced
+as an explicit error.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..sqlengine import ast_nodes as ast
+from ..sqlengine.executor import Result
+from ..sqlengine.parser import parse_script
+from .analysis import analyze
+from .errors import MiddlewareError, UnsupportedStatementError
+from .middleware import ReplicationMiddleware
+
+
+class Partitioner:
+    """Maps a partition-key value to a partition index."""
+
+    kind = "base"
+
+    def __init__(self, partitions: int):
+        self.partitions = partitions
+
+    def partition_for(self, value: Any) -> int:
+        raise NotImplementedError
+
+
+class HashPartitioner(Partitioner):
+    kind = "hash"
+
+    def partition_for(self, value: Any) -> int:
+        # stable across runs (no PYTHONHASHSEED dependence for ints/strs)
+        if isinstance(value, int):
+            return value % self.partitions
+        if isinstance(value, str):
+            acc = 0
+            for ch in value:
+                acc = (acc * 131 + ord(ch)) % 1000000007
+            return acc % self.partitions
+        return abs(hash(value)) % self.partitions
+
+
+class RangePartitioner(Partitioner):
+    """``bounds`` are the inclusive upper bounds of the first N-1
+    partitions: bounds=[100, 200] -> [..100], (100..200], (200..]."""
+
+    kind = "range"
+
+    def __init__(self, bounds: Sequence[Any]):
+        super().__init__(len(bounds) + 1)
+        self.bounds = list(bounds)
+
+    def partition_for(self, value: Any) -> int:
+        for index, bound in enumerate(self.bounds):
+            if value <= bound:
+                return index
+        return len(self.bounds)
+
+
+class ListPartitioner(Partitioner):
+    """Explicit value lists per partition, e.g. geographic regions."""
+
+    kind = "list"
+
+    def __init__(self, value_lists: Sequence[Sequence[Any]]):
+        super().__init__(len(value_lists))
+        self._map: Dict[Any, int] = {}
+        for index, values in enumerate(value_lists):
+            for value in values:
+                self._map[value] = index
+
+    def partition_for(self, value: Any) -> int:
+        if value not in self._map:
+            raise MiddlewareError(
+                f"value {value!r} not assigned to any list partition")
+        return self._map[value]
+
+
+class PartitionedTable:
+    __slots__ = ("table", "key_column", "partitioner")
+
+    def __init__(self, table: str, key_column: str, partitioner: Partitioner):
+        self.table = table.lower()
+        self.key_column = key_column.lower()
+        self.partitioner = partitioner
+
+
+class PartitionedCluster:
+    """Figure 2: partitions, each replicated by its own middleware."""
+
+    def __init__(self, groups: Sequence[ReplicationMiddleware],
+                 name: str = "partitioned"):
+        if not groups:
+            raise ValueError("need at least one partition group")
+        self.name = name
+        self.groups: List[ReplicationMiddleware] = list(groups)
+        self.tables: Dict[str, PartitionedTable] = {}
+        self.stats = {"single_partition": 0, "scatter_gather": 0,
+                      "broadcast_writes": 0}
+
+    def register_table(self, table: str, key_column: str,
+                       partitioner: Partitioner) -> None:
+        if partitioner.partitions != len(self.groups):
+            raise ValueError(
+                f"partitioner has {partitioner.partitions} partitions but "
+                f"cluster has {len(self.groups)} groups")
+        self.tables[table.lower()] = PartitionedTable(
+            table, key_column, partitioner)
+
+    def connect(self, user: str = "admin", password: str = "",
+                database: Optional[str] = None) -> "PartitionedSession":
+        sessions = [g.connect(user, password, database) for g in self.groups]
+        return PartitionedSession(self, sessions)
+
+    def pump(self) -> int:
+        return sum(g.pump() for g in self.groups)
+
+    def check_convergence(self) -> bool:
+        return all(g.check_convergence() for g in self.groups)
+
+
+class PartitionedSession:
+    """A client session over the partitioned cluster."""
+
+    def __init__(self, cluster: PartitionedCluster, sessions):
+        self.cluster = cluster
+        self.sessions = sessions
+        self.closed = False
+
+    def execute(self, sql: str, params: Optional[List[Any]] = None) -> Result:
+        result = Result()
+        for statement in parse_script(sql):
+            result = self._execute_one(statement, sql, list(params or []))
+        return result
+
+    def close(self) -> None:
+        for session in self.sessions:
+            session.close()
+        self.closed = True
+
+    def __enter__(self) -> "PartitionedSession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+
+    def _execute_one(self, statement: ast.Statement, sql_text: str,
+                     params: List[Any]) -> Result:
+        info = analyze(statement)
+        table, spec = self._partitioned_table_of(info)
+
+        if info.is_ddl or spec is None:
+            # global table or DDL: all groups must see it
+            if info.is_write or info.is_ddl:
+                self.cluster.stats["broadcast_writes"] += 1
+                result = Result()
+                for session in self.sessions:
+                    result = session.execute(sql_text, params)
+                return result
+            # read of a global table: any one group
+            return self.sessions[0].execute(sql_text, params)
+
+        targets = self._route(statement, spec, params)
+        if targets is None:
+            if info.is_write:
+                raise UnsupportedStatementError(
+                    f"write to partitioned table {spec.table!r} without a "
+                    "partition-key predicate would need cross-partition "
+                    "coordination (section 5.1: open problem)")
+            self.cluster.stats["scatter_gather"] += 1
+            return self._scatter_gather(statement, sql_text, params)
+        if len(targets) == 1:
+            self.cluster.stats["single_partition"] += 1
+            return self.sessions[targets[0]].execute(sql_text, params)
+        if info.is_write:
+            raise UnsupportedStatementError(
+                "a single write statement may not span partitions")
+        self.cluster.stats["scatter_gather"] += 1
+        return self._merge([
+            self.sessions[t].execute(sql_text, params) for t in targets
+        ], statement)
+
+    def _partitioned_table_of(self, info):
+        for table in info.all_tables():
+            short = table.split(".")[-1]
+            if short in self.cluster.tables:
+                return short, self.cluster.tables[short]
+        return None, None
+
+    # -- routing -------------------------------------------------------------
+
+    def _route(self, statement: ast.Statement, spec: PartitionedTable,
+               params: List[Any]) -> Optional[List[int]]:
+        """Partition indices this statement pins, or None for 'all'."""
+        if isinstance(statement, ast.InsertStatement):
+            return self._route_insert(statement, spec, params)
+        where = getattr(statement, "where", None)
+        if isinstance(statement, ast.SelectStatement):
+            where = statement.where
+        values = _key_values_from_where(where, spec.key_column, params)
+        if values is None:
+            return None
+        indices = sorted({
+            spec.partitioner.partition_for(value) for value in values})
+        return indices
+
+    def _route_insert(self, statement: ast.InsertStatement,
+                      spec: PartitionedTable,
+                      params: List[Any]) -> Optional[List[int]]:
+        if statement.columns is None or statement.rows is None:
+            return None
+        lowered = [c.lower() for c in statement.columns]
+        if spec.key_column not in lowered:
+            return None
+        key_index = lowered.index(spec.key_column)
+        indices = set()
+        for row in statement.rows:
+            expr = row[key_index]
+            value = _literal_value(expr, params)
+            if value is None:
+                return None
+            indices.add(spec.partitioner.partition_for(value))
+        return sorted(indices)
+
+    # -- scatter-gather ----------------------------------------------------------
+
+    def _scatter_gather(self, statement: ast.Statement, sql_text: str,
+                        params: List[Any]) -> Result:
+        results = [session.execute(sql_text, params)
+                   for session in self.sessions]
+        return self._merge(results, statement)
+
+    def _merge(self, results: List[Result],
+               statement: ast.Statement) -> Result:
+        """Concatenate partial results; merge simple aggregates."""
+        if not results:
+            return Result()
+        columns = results[0].columns
+        if isinstance(statement, ast.SelectStatement) \
+                and not statement.group_by \
+                and self._is_simple_aggregate(statement):
+            merged_row = []
+            for column_index, (expr, _alias) in enumerate(statement.columns):
+                values = [r.rows[0][column_index] for r in results if r.rows]
+                values = [v for v in values if v is not None]
+                name = expr.name if isinstance(expr, ast.FunctionCall) else ""
+                if name in ("COUNT", "SUM"):
+                    merged_row.append(sum(values) if values else
+                                      (0 if name == "COUNT" else None))
+                elif name == "MIN":
+                    merged_row.append(min(values) if values else None)
+                elif name == "MAX":
+                    merged_row.append(max(values) if values else None)
+                else:
+                    raise UnsupportedStatementError(
+                        f"cannot merge aggregate {name or expr!r} across "
+                        "partitions (AVG needs a rewrite to SUM/COUNT)")
+            return Result(columns=columns, rows=[tuple(merged_row)],
+                          rowcount=1)
+        rows: List[tuple] = []
+        rowcount = 0
+        for result in results:
+            rows.extend(result.rows)
+            rowcount += result.rowcount
+        merged = Result(columns=columns, rows=rows, rowcount=rowcount)
+        if isinstance(statement, ast.SelectStatement) and statement.order_by:
+            # Re-sort the union on the output columns named in ORDER BY.
+            lowered = [c.lower() for c in columns]
+            for expr, ascending in reversed(statement.order_by):
+                if isinstance(expr, ast.ColumnRef) \
+                        and expr.name.lower() in lowered:
+                    index = lowered.index(expr.name.lower())
+                    from ..sqlengine.expressions import sort_key
+                    merged.rows = sorted(
+                        merged.rows, key=lambda r: sort_key(r[index]),
+                        reverse=not ascending)
+        return merged
+
+    @staticmethod
+    def _is_simple_aggregate(statement: ast.SelectStatement) -> bool:
+        return bool(statement.columns) and all(
+            isinstance(expr, ast.FunctionCall)
+            and expr.name in ("COUNT", "SUM", "MIN", "MAX")
+            for expr, _alias in statement.columns
+        )
+
+
+# ---------------------------------------------------------------------------
+# predicate extraction
+# ---------------------------------------------------------------------------
+
+def _literal_value(expr, params: List[Any]):
+    if isinstance(expr, ast.Literal):
+        return expr.value
+    if isinstance(expr, ast.Param) and expr.index < len(params):
+        return params[expr.index]
+    return None
+
+
+def _key_values_from_where(where, key_column: str,
+                           params: List[Any]) -> Optional[List[Any]]:
+    """Values the WHERE clause pins ``key_column`` to, or None.
+
+    Recognizes ``key = literal``, ``key IN (literals)`` and conjunctions
+    containing either; disjunctions merge both sides' pins.
+    """
+    if where is None:
+        return None
+    if isinstance(where, ast.BinaryOp):
+        if where.op == "AND":
+            left = _key_values_from_where(where.left, key_column, params)
+            right = _key_values_from_where(where.right, key_column, params)
+            if left is not None and right is not None:
+                both = [v for v in left if v in right]
+                return both or left
+            return left if left is not None else right
+        if where.op == "OR":
+            left = _key_values_from_where(where.left, key_column, params)
+            right = _key_values_from_where(where.right, key_column, params)
+            if left is None or right is None:
+                return None
+            return left + right
+        if where.op == "=":
+            column, literal = None, None
+            if isinstance(where.left, ast.ColumnRef):
+                column, literal = where.left, where.right
+            elif isinstance(where.right, ast.ColumnRef):
+                column, literal = where.right, where.left
+            if column is not None and column.name.lower() == key_column:
+                value = _literal_value(literal, params)
+                if value is not None:
+                    return [value]
+        return None
+    if isinstance(where, ast.InList) and not where.negated \
+            and isinstance(where.expr, ast.ColumnRef) \
+            and where.expr.name.lower() == key_column and where.items:
+        values = [_literal_value(item, params) for item in where.items]
+        if all(v is not None for v in values):
+            return values
+    return None

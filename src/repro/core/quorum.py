@@ -1,0 +1,181 @@
+"""Network partitions, quorums and reconciliation (section 4.3.4.3).
+
+The CAP position of a replicated database is C+A over P: "if the remaining
+quorum does not constitute a majority, the system must shut down and make
+the customer unhappy".  :class:`QuorumGuard` enforces exactly that.  When
+the guard is *disabled* (or two middleware instances each believe they own
+the cluster), both partition sides keep committing — split brain — and
+:class:`Reconciler` is the ETL-style tool [7] that diffs the divergent
+replicas afterwards; "the process remains largely manual" so the tool
+produces a report and applies only the policy the operator picked.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from ..sqlengine import Engine
+from ..sqlengine.mvcc import visible_rows
+from .errors import QuorumLost
+from .middleware import ReplicationMiddleware
+
+
+class QuorumGuard:
+    """Write gate: refuses updates when fewer than a majority of the full
+    membership is reachable."""
+
+    def __init__(self, middleware: ReplicationMiddleware,
+                 total_members: Optional[int] = None):
+        self.middleware = middleware
+        self.total_members = total_members or len(middleware.replicas)
+        self.reachable: Set[str] = {r.name for r in middleware.replicas}
+        self.enabled = True
+        self.refused_writes = 0
+
+    def set_reachable(self, names: Sequence[str]) -> None:
+        """Called by the failure detector / partition observer."""
+        self.reachable = set(names)
+
+    @property
+    def has_quorum(self) -> bool:
+        live = [
+            r for r in self.middleware.replicas
+            if r.name in self.reachable and r.is_online
+        ]
+        return len(live) * 2 > self.total_members
+
+    def check_write_allowed(self) -> None:
+        if self.enabled and not self.has_quorum:
+            self.refused_writes += 1
+            raise QuorumLost(
+                f"only {len(self.reachable)}/{self.total_members} members "
+                "reachable — refusing writes to preserve consistency "
+                "(the 'unhappy customer' shutdown of section 4.3.4.3)")
+
+
+class RowDifference:
+    __slots__ = ("database", "table", "primary_key", "kind", "left", "right")
+
+    def __init__(self, database: str, table: str, primary_key,
+                 kind: str, left: Optional[Dict], right: Optional[Dict]):
+        self.database = database
+        self.table = table
+        self.primary_key = primary_key
+        self.kind = kind        # "only_left" | "only_right" | "conflict"
+        self.left = left
+        self.right = right
+
+    def __repr__(self) -> str:
+        return (f"RowDifference({self.kind} {self.database}.{self.table} "
+                f"pk={self.primary_key})")
+
+
+class ReconciliationReport:
+    def __init__(self):
+        self.differences: List[RowDifference] = []
+
+    @property
+    def divergent(self) -> bool:
+        return bool(self.differences)
+
+    def count(self, kind: str) -> int:
+        return sum(1 for d in self.differences if d.kind == kind)
+
+    def __repr__(self) -> str:
+        return (f"ReconciliationReport(only_left={self.count('only_left')}, "
+                f"only_right={self.count('only_right')}, "
+                f"conflicts={self.count('conflict')})")
+
+
+class Reconciler:
+    """Compares two engines row-by-row and applies a merge policy."""
+
+    def compare(self, left: Engine, right: Engine) -> ReconciliationReport:
+        report = ReconciliationReport()
+        databases = set(left.database_names()) | set(right.database_names())
+        for db_name in sorted(databases):
+            left_db = left.databases.get(db_name)
+            right_db = right.databases.get(db_name)
+            tables = set()
+            if left_db:
+                tables |= set(left_db.tables)
+            if right_db:
+                tables |= set(right_db.tables)
+            for table_name in sorted(tables):
+                self._compare_table(report, db_name, table_name,
+                                    left, right)
+        return report
+
+    def _rows_by_key(self, engine: Engine, db_name: str,
+                     table_name: str) -> Dict[Any, Dict]:
+        database = engine.databases.get(db_name)
+        if database is None or table_name not in database.tables:
+            return {}
+        table = database.tables[table_name]
+        pk_columns = [c.name.lower() for c in table.primary_key_columns]
+        snapshot = engine.clock.snapshot()
+        rows: Dict[Any, Dict] = {}
+        for version in visible_rows(table, snapshot, None):
+            if pk_columns:
+                key = tuple(version.values.get(c) for c in pk_columns)
+            else:
+                key = tuple(sorted(
+                    (k, repr(v)) for k, v in version.values.items()))
+            rows[key] = dict(version.values)
+        return rows
+
+    def _compare_table(self, report: ReconciliationReport, db_name: str,
+                       table_name: str, left: Engine, right: Engine) -> None:
+        left_rows = self._rows_by_key(left, db_name, table_name)
+        right_rows = self._rows_by_key(right, db_name, table_name)
+        for key in left_rows.keys() | right_rows.keys():
+            in_left = key in left_rows
+            in_right = key in right_rows
+            if in_left and not in_right:
+                report.differences.append(RowDifference(
+                    db_name, table_name, key, "only_left",
+                    left_rows[key], None))
+            elif in_right and not in_left:
+                report.differences.append(RowDifference(
+                    db_name, table_name, key, "only_right",
+                    None, right_rows[key]))
+            elif left_rows[key] != right_rows[key]:
+                report.differences.append(RowDifference(
+                    db_name, table_name, key, "conflict",
+                    left_rows[key], right_rows[key]))
+
+    def merge(self, left: Engine, right: Engine,
+              policy: str = "prefer_left") -> ReconciliationReport:
+        """Resolve divergence by copying rows between the engines.
+
+        ``prefer_left`` / ``prefer_right`` pick one side for conflicts and
+        union the only-on-one-side rows (application-specific policies are
+        exactly what the paper says cannot be automated in general).
+        """
+        if policy not in ("prefer_left", "prefer_right"):
+            raise ValueError(f"unknown merge policy {policy!r}")
+        report = self.compare(left, right)
+        from .writesets import apply_writeset
+        for diff in report.differences:
+            winner_row = diff.left if policy == "prefer_left" else diff.right
+            loser_engine = right if policy == "prefer_left" else left
+            if winner_row is None:
+                # winner side does not have the row -> delete on loser
+                loser_row = diff.right if policy == "prefer_left" else diff.left
+                apply_writeset(loser_engine, [{
+                    "database": diff.database, "table": diff.table,
+                    "op": "DELETE", "primary_key": diff.primary_key,
+                    "old_values": loser_row, "new_values": None,
+                }])
+            else:
+                op = "UPDATE" if (
+                    (policy == "prefer_left" and diff.right is not None)
+                    or (policy == "prefer_right" and diff.left is not None)
+                ) else "INSERT"
+                loser_row = diff.right if policy == "prefer_left" else diff.left
+                apply_writeset(loser_engine, [{
+                    "database": diff.database, "table": diff.table,
+                    "op": op, "primary_key": diff.primary_key,
+                    "old_values": loser_row, "new_values": winner_row,
+                }])
+        return report

@@ -1,0 +1,161 @@
+"""Replica wrapper: one backend engine under middleware control.
+
+Tracks the replication state machine (ONLINE / RECOVERING / FAILED /
+OFFLINE / DONOR), the apply queue that asynchronous update propagation
+feeds, and the applied-sequence watermark used by freshness-aware
+consistency protocols and by slave-lag measurements (section 2.2).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..sqlengine import Connection, Engine
+from ..cluster.nodes import Node
+
+
+class ReplicaState(enum.Enum):
+    ONLINE = "online"
+    OFFLINE = "offline"          # administratively removed
+    RECOVERING = "recovering"    # resynchronizing, not yet serving
+    FAILED = "failed"            # crashed / declared dead
+    DONOR = "donor"              # serving a state transfer (m/cluster style)
+
+
+class ApplyItem:
+    """One unit of pending replication work for this replica."""
+
+    __slots__ = ("seq", "kind", "payload", "tables", "enqueued_at")
+
+    def __init__(self, seq: int, kind: str, payload: Any,
+                 tables: Tuple[str, ...] = (), enqueued_at: float = 0.0):
+        self.seq = seq
+        self.kind = kind          # "statements" | "writeset"
+        self.payload = payload
+        self.tables = tables
+        self.enqueued_at = enqueued_at
+
+
+class Replica:
+    """One backend database replica."""
+
+    def __init__(self, name: str, engine: Engine,
+                 node: Optional[Node] = None, weight: float = 1.0):
+        self.name = name
+        self.engine = engine
+        self.node = node
+        self.weight = weight
+        self.state = ReplicaState.ONLINE
+        # Highest global update sequence number applied here.
+        self.applied_seq = 0
+        # Pending asynchronous apply work.
+        self.apply_queue: List[ApplyItem] = []
+        # Admin connection used for applying replicated updates.
+        self._apply_connection: Optional[Connection] = None
+        # Counters for reports.
+        self.stats: Dict[str, float] = {
+            "applied_items": 0, "apply_time": 0.0, "served_reads": 0,
+            "served_writes": 0, "aborts": 0,
+        }
+        self._state_listeners: List[Callable[["Replica", ReplicaState], None]] = []
+        if node is not None:
+            node.on_crash(lambda _n: self.mark_failed())
+        # Memory-aware balancing state (Tashkent+-like): tables assumed
+        # resident in this replica's buffer pool.
+        self.hot_tables: "OrderedSetLike" = OrderedSetLike()
+
+    # -- state machine --------------------------------------------------------
+
+    @property
+    def is_online(self) -> bool:
+        return self.state is ReplicaState.ONLINE and not self.engine.crashed \
+            and (self.node is None or self.node.up)
+
+    @property
+    def can_serve(self) -> bool:
+        return self.is_online or self.state is ReplicaState.DONOR
+
+    def set_state(self, state: ReplicaState) -> None:
+        if state is self.state:
+            return
+        self.state = state
+        for listener in list(self._state_listeners):
+            listener(self, state)
+
+    def on_state_change(self, listener) -> None:
+        self._state_listeners.append(listener)
+
+    def mark_failed(self) -> None:
+        self.set_state(ReplicaState.FAILED)
+        self._apply_connection = None
+
+    # -- apply pipeline -------------------------------------------------------
+
+    def apply_connection(self) -> Connection:
+        if self._apply_connection is None or self._apply_connection.closed:
+            database = None
+            names = self.engine.database_names()
+            if names:
+                database = names[0]
+            self._apply_connection = self.engine.connect(
+                "admin", "", database=database)
+        return self._apply_connection
+
+    def enqueue(self, item: ApplyItem) -> None:
+        self.apply_queue.append(item)
+
+    @property
+    def lag_items(self) -> int:
+        return len(self.apply_queue)
+
+    def lag_behind(self, global_seq: int) -> int:
+        return max(0, global_seq - self.applied_seq)
+
+    # -- load proxy -------------------------------------------------------------
+
+    @property
+    def load(self) -> float:
+        if self.node is not None:
+            return self.node.load
+        return float(len(self.apply_queue))
+
+    def note_hot_tables(self, tables, capacity: int = 8) -> None:
+        """Record recently-touched tables (an LRU 'working set' stand-in
+        for Tashkent+'s in-memory-execution awareness)."""
+        for table in tables:
+            self.hot_tables.touch(table, capacity)
+
+    def hotness(self, tables) -> float:
+        if not tables:
+            return 0.0
+        hits = sum(1 for t in tables if t in self.hot_tables)
+        return hits / len(tables)
+
+    def __repr__(self) -> str:
+        return (f"Replica({self.name!r}, {self.state.value}, "
+                f"applied={self.applied_seq}, queue={len(self.apply_queue)})")
+
+
+class OrderedSetLike:
+    """A tiny LRU set (insertion-ordered dict keys)."""
+
+    def __init__(self):
+        self._items: Dict[str, None] = {}
+
+    def touch(self, item: str, capacity: int) -> None:
+        if item in self._items:
+            del self._items[item]
+        self._items[item] = None
+        while len(self._items) > capacity:
+            oldest = next(iter(self._items))
+            del self._items[oldest]
+
+    def __contains__(self, item: str) -> bool:
+        return item in self._items
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __iter__(self):
+        return iter(self._items)

@@ -1,0 +1,13 @@
+"""``repro.metrics`` — performance and availability metrics (section 5.1)."""
+
+from .availability import (
+    FIVE_NINES_BUDGET_SECONDS, SECONDS_PER_YEAR, AvailabilityTracker,
+    availability_from_mtbf, downtime_budget, nines,
+)
+from .perf import LatencyRecorder, ThroughputMeter, TimeSeries
+
+__all__ = [
+    "AvailabilityTracker", "FIVE_NINES_BUDGET_SECONDS", "LatencyRecorder",
+    "SECONDS_PER_YEAR", "ThroughputMeter", "TimeSeries",
+    "availability_from_mtbf", "downtime_budget", "nines",
+]

@@ -1,0 +1,144 @@
+"""Availability metrics: MTTF, MTTR, nines, downtime budgets.
+
+Directly from the paper (section 2.2):
+
+    Availability = MTTF / (MTTF + MTTR)
+
+and section 5.1: "A system with 5 nines of availability can be unavailable
+for no more than 5.26 minutes per year — this number marks the sole
+acceptable upper bound when evaluating new availability techniques.
+Similarly, metrics such as MTTF and MTTR should be considered when
+evaluating a design and/or prototype."
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+SECONDS_PER_YEAR = 365.25 * 24 * 3600.0
+FIVE_NINES_BUDGET_SECONDS = (1 - 0.99999) * SECONDS_PER_YEAR  # ~315.6 s/yr
+
+
+def availability_from_mtbf(mttf: float, mttr: float) -> float:
+    """The paper's formula: A = MTTF / (MTTF + MTTR)."""
+    if mttf <= 0:
+        return 0.0
+    return mttf / (mttf + mttr)
+
+
+def nines(availability: float) -> float:
+    """How many nines: 0.999 -> 3.0; capped at 12 to avoid log(0)."""
+    unavailability = 1.0 - availability
+    if unavailability <= 0:
+        return 12.0
+    return min(12.0, -math.log10(unavailability))
+
+
+def downtime_budget(nines_count: int,
+                    period_seconds: float = SECONDS_PER_YEAR) -> float:
+    """Allowed downtime for N nines over a period (seconds)."""
+    return period_seconds * (10.0 ** (-nines_count))
+
+
+class AvailabilityTracker:
+    """Builds an up/down timeline from service events and computes the
+    paper's metrics over it."""
+
+    def __init__(self, start_time: float = 0.0, initially_up: bool = True):
+        self.start_time = start_time
+        self._up = initially_up
+        self._last_change = start_time
+        self._uptime = 0.0
+        self._downtime = 0.0
+        self.outages: List[Tuple[float, float]] = []  # (down_at, up_at)
+        self._down_at: Optional[float] = None
+        if not initially_up:
+            self._down_at = start_time
+
+    def service_down(self, now: float) -> None:
+        if not self._up:
+            return
+        self._uptime += now - self._last_change
+        self._up = False
+        self._last_change = now
+        self._down_at = now
+
+    def service_up(self, now: float) -> None:
+        if self._up:
+            return
+        self._downtime += now - self._last_change
+        self._up = True
+        self._last_change = now
+        if self._down_at is not None:
+            self.outages.append((self._down_at, now))
+            self._down_at = None
+
+    def finish(self, now: float) -> None:
+        """Close the timeline at ``now``."""
+        if self._up:
+            self._uptime += now - self._last_change
+        else:
+            self._downtime += now - self._last_change
+            if self._down_at is not None:
+                self.outages.append((self._down_at, now))
+                self._down_at = None
+        self._last_change = now
+
+    # -- metrics -------------------------------------------------------------
+
+    @property
+    def uptime(self) -> float:
+        return self._uptime
+
+    @property
+    def downtime(self) -> float:
+        return self._downtime
+
+    def availability(self) -> float:
+        total = self._uptime + self._downtime
+        if total <= 0:
+            return 1.0
+        return self._uptime / total
+
+    def mttr(self) -> float:
+        """Mean time to repair: average outage duration."""
+        if not self.outages:
+            return 0.0
+        return sum(up - down for down, up in self.outages) / len(self.outages)
+
+    def mttf(self) -> float:
+        """Mean time to failure: average up-interval before an outage."""
+        if not self.outages:
+            return self._uptime
+        intervals = []
+        previous_up = self.start_time
+        for down_at, up_at in self.outages:
+            intervals.append(down_at - previous_up)
+            previous_up = up_at
+        return sum(intervals) / len(intervals)
+
+    def nines(self) -> float:
+        return nines(self.availability())
+
+    def meets_budget(self, nines_count: int,
+                     period_seconds: Optional[float] = None) -> bool:
+        """Would this downtime rate fit an N-nines yearly budget?"""
+        total = self._uptime + self._downtime
+        if total <= 0:
+            return True
+        period = period_seconds or total
+        budget = downtime_budget(nines_count, period)
+        scaled_downtime = self._downtime * (period / total)
+        return scaled_downtime <= budget
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "uptime": self._uptime,
+            "downtime": self._downtime,
+            "availability": self.availability(),
+            "nines": self.nines(),
+            "mttf": self.mttf(),
+            "mttr": self.mttr(),
+            "outages": float(len(self.outages)),
+        }

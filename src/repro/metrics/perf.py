@@ -1,0 +1,112 @@
+"""Throughput and latency collectors."""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional
+
+
+class LatencyRecorder:
+    """Collects latency samples (seconds) and reports percentiles."""
+
+    def __init__(self, name: str = "latency"):
+        self.name = name
+        self.samples: List[float] = []
+
+    def add(self, value: float) -> None:
+        self.samples.append(value)
+
+    def count(self) -> int:
+        return len(self.samples)
+
+    def mean(self) -> float:
+        if not self.samples:
+            return 0.0
+        return sum(self.samples) / len(self.samples)
+
+    def percentile(self, p: float) -> float:
+        """Nearest-rank percentile, p in [0, 100]."""
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples)
+        if p <= 0:
+            return ordered[0]
+        if p >= 100:
+            return ordered[-1]
+        rank = max(1, math.ceil(len(ordered) * p / 100.0))
+        return ordered[rank - 1]
+
+    def max(self) -> float:
+        return max(self.samples) if self.samples else 0.0
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "count": float(self.count()),
+            "mean": self.mean(),
+            "p50": self.percentile(50),
+            "p95": self.percentile(95),
+            "p99": self.percentile(99),
+            "max": self.max(),
+        }
+
+
+class ThroughputMeter:
+    """Counts completions against a (simulated) clock."""
+
+    def __init__(self, name: str = "throughput"):
+        self.name = name
+        self.completed = 0
+        self.failed = 0
+        self.started_at: Optional[float] = None
+        self.last_at: Optional[float] = None
+
+    def start(self, now: float) -> None:
+        self.started_at = now
+
+    def note_completion(self, now: float) -> None:
+        if self.started_at is None:
+            self.started_at = now
+        self.completed += 1
+        self.last_at = now
+
+    def note_failure(self, now: float) -> None:
+        if self.started_at is None:
+            self.started_at = now
+        self.failed += 1
+        self.last_at = now
+
+    def rate(self, until: Optional[float] = None) -> float:
+        if self.started_at is None:
+            return 0.0
+        end = until if until is not None else self.last_at
+        if end is None or end <= self.started_at:
+            return 0.0
+        return self.completed / (end - self.started_at)
+
+    def abort_rate(self) -> float:
+        total = self.completed + self.failed
+        return self.failed / total if total else 0.0
+
+
+class TimeSeries:
+    """(time, value) pairs for plotting lag or load over time."""
+
+    def __init__(self, name: str = "series"):
+        self.name = name
+        self.points: List[tuple] = []
+
+    def add(self, time: float, value: float) -> None:
+        self.points.append((time, value))
+
+    def values(self) -> List[float]:
+        return [v for _t, v in self.points]
+
+    def max(self) -> float:
+        return max(self.values()) if self.points else 0.0
+
+    def last(self) -> float:
+        return self.points[-1][1] if self.points else 0.0
+
+    def mean(self) -> float:
+        values = self.values()
+        return sum(values) / len(values) if values else 0.0

@@ -1,0 +1,116 @@
+"""Users, authentication and per-object privileges.
+
+Paper section 4.1.5: middleware that intercepts connections "necessarily
+tamper[s] with the database authentication mechanisms"; it must capture the
+client identity so statements are replayed *as the right user* — each user
+may have their own triggers, so the same SQL can do different things for
+different users.  Access-control data is also "often considered orthogonal
+to database content", so backup tools skip it, which breaks replica
+cloning.  The engine therefore keeps users in a separate store that backup
+captures only when explicitly asked (see backup.py).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List, Optional, Set
+
+from .errors import AccessDeniedError, DuplicateObjectError, NameError_
+
+ALL_PRIVILEGES = frozenset({"SELECT", "INSERT", "UPDATE", "DELETE", "EXECUTE"})
+
+
+def _hash_password(password: str) -> str:
+    return hashlib.sha256(password.encode("utf-8")).hexdigest()
+
+
+class User:
+    """One database user account."""
+
+    __slots__ = ("name", "password_hash", "superuser", "grants")
+
+    def __init__(self, name: str, password: str = "", superuser: bool = False):
+        self.name = name
+        self.password_hash = _hash_password(password)
+        self.superuser = superuser
+        # object name (lowercased "db.table" or "db.*") -> set of privileges
+        self.grants: Dict[str, Set[str]] = {}
+
+    def check_password(self, password: str) -> bool:
+        return self.password_hash == _hash_password(password)
+
+    def grant(self, privileges: List[str], object_name: str) -> None:
+        target = self.grants.setdefault(object_name.lower(), set())
+        if "ALL" in privileges:
+            target.update(ALL_PRIVILEGES)
+        else:
+            target.update(privileges)
+
+    def revoke(self, privileges: List[str], object_name: str) -> None:
+        target = self.grants.get(object_name.lower())
+        if target is None:
+            return
+        if "ALL" in privileges:
+            target.clear()
+        else:
+            target.difference_update(privileges)
+
+    def has_privilege(self, privilege: str, database: str, table: str) -> bool:
+        if self.superuser:
+            return True
+        for key in (f"{database}.{table}".lower(), f"{database}.*".lower(), "*.*"):
+            if privilege in self.grants.get(key, ()):
+                return True
+        return False
+
+    def clone(self) -> "User":
+        user = User(self.name, superuser=self.superuser)
+        user.password_hash = self.password_hash
+        user.grants = {k: set(v) for k, v in self.grants.items()}
+        return user
+
+
+class UserStore:
+    """All accounts of one engine.  A default superuser ``admin`` (empty
+    password) always exists so tests and middleware can bootstrap."""
+
+    def __init__(self):
+        self._users: Dict[str, User] = {}
+        self.add_user("admin", "", superuser=True)
+
+    def add_user(self, name: str, password: str = "",
+                 superuser: bool = False) -> User:
+        key = name.lower()
+        if key in self._users:
+            raise DuplicateObjectError(f"user {name!r} already exists")
+        user = User(name, password, superuser=superuser)
+        self._users[key] = user
+        return user
+
+    def drop_user(self, name: str) -> None:
+        if name.lower() not in self._users:
+            raise NameError_(f"no user {name!r}")
+        del self._users[name.lower()]
+
+    def get(self, name: str) -> User:
+        user = self._users.get(name.lower())
+        if user is None:
+            raise NameError_(f"no user {name!r}")
+        return user
+
+    def exists(self, name: str) -> bool:
+        return name.lower() in self._users
+
+    def authenticate(self, name: str, password: str) -> User:
+        user = self._users.get(name.lower())
+        if user is None or not user.check_password(password):
+            raise AccessDeniedError(f"authentication failed for user {name!r}")
+        return user
+
+    def all_users(self) -> List[User]:
+        return list(self._users.values())
+
+    def restore_user(self, user: User) -> None:
+        """Overwrite/insert an account during a restore that includes
+        user-related information."""
+        self._users[user.name.lower()] = user

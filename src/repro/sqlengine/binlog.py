@@ -1,0 +1,97 @@
+"""The engine's transaction log (binlog).
+
+Committed transactions are appended in commit order, carrying both the
+*statements* the transaction executed and the *writeset* it produced.
+Master/slave log shipping (Figure 1 of the paper), the Sequoia-style
+recovery log and the hot-standby apply stream are all built on this.
+
+The log intentionally does **not** capture sequence counters or
+auto-increment state (section 4.2.3: sequences "are not persisted in the
+transactional log") — replaying a binlog onto a fresh engine can therefore
+produce duplicate sequence numbers unless the restore path compensates.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+
+class BinlogRecord:
+    """One committed transaction."""
+
+    __slots__ = ("sequence", "commit_ts", "txn_id", "user", "database",
+                 "statements", "writeset", "tables_written")
+
+    def __init__(self, sequence: int, commit_ts: int, txn_id: int, user: str,
+                 database: Optional[str],
+                 statements: List[Tuple[str, list]],
+                 writeset: List[Dict[str, Any]],
+                 tables_written: List[Tuple[str, str]]):
+        self.sequence = sequence
+        self.commit_ts = commit_ts
+        self.txn_id = txn_id
+        self.user = user
+        self.database = database
+        self.statements = statements
+        self.writeset = writeset
+        self.tables_written = tables_written
+
+    def __repr__(self) -> str:
+        return (f"BinlogRecord(seq={self.sequence}, commit_ts={self.commit_ts}, "
+                f"statements={len(self.statements)}, writeset={len(self.writeset)})")
+
+
+class Binlog:
+    """Append-only commit log with tail subscriptions."""
+
+    def __init__(self, capacity: Optional[int] = None):
+        self.records: List[BinlogRecord] = []
+        self._sequence = 0
+        self._subscribers: List[Callable[[BinlogRecord], None]] = []
+        # A bounded log models the section 4.4.2 failure mode "a replica
+        # might stop working because its log is full".
+        self.capacity = capacity
+        self.full = False
+
+    def append(self, commit_ts: int, txn_id: int, user: str,
+               database: Optional[str],
+               statements: List[Tuple[str, list]],
+               writeset: List[Dict[str, Any]],
+               tables_written: List[Tuple[str, str]]) -> BinlogRecord:
+        if self.capacity is not None and len(self.records) >= self.capacity:
+            self.full = True
+            from .errors import DiskFullError
+            raise DiskFullError("binlog full")
+        self._sequence += 1
+        record = BinlogRecord(self._sequence, commit_ts, txn_id, user,
+                              database, statements, writeset, tables_written)
+        self.records.append(record)
+        for subscriber in list(self._subscribers):
+            subscriber(record)
+        return record
+
+    def subscribe(self, callback: Callable[[BinlogRecord], None]) -> Callable[[], None]:
+        """Register a tailing callback; returns an unsubscribe function."""
+        self._subscribers.append(callback)
+
+        def unsubscribe() -> None:
+            if callback in self._subscribers:
+                self._subscribers.remove(callback)
+        return unsubscribe
+
+    def since(self, sequence: int) -> List[BinlogRecord]:
+        """Records with sequence strictly greater than ``sequence``."""
+        return [r for r in self.records if r.sequence > sequence]
+
+    @property
+    def head_sequence(self) -> int:
+        return self._sequence
+
+    def truncate_before(self, sequence: int) -> int:
+        """Purge records up to and including ``sequence`` (routine log
+        maintenance, section 4.4.4).  Returns how many were purged."""
+        kept = [r for r in self.records if r.sequence > sequence]
+        purged = len(self.records) - len(kept)
+        self.records = kept
+        self.full = self.capacity is not None and len(self.records) >= self.capacity
+        return purged

@@ -1,0 +1,157 @@
+"""Catalog objects: databases, schemas and the objects they contain.
+
+One :class:`~repro.sqlengine.engine.Engine` (an RDBMS) hosts many
+:class:`Database` instances — the distinction section 4.1.1 of the paper
+builds on: research replicates *database instances*, while real queries and
+triggers span databases inside one RDBMS.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from .errors import DuplicateObjectError, NameError_, UnsupportedFeatureError
+from .procedures import Procedure
+from .sequences import Sequence
+from .storage import Table
+from .triggers import Trigger
+
+
+class Database:
+    """One database instance: tables, sequences, triggers, procedures."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.tables: Dict[str, Table] = {}
+        self.sequences: Dict[str, Sequence] = {}
+        self.triggers: Dict[str, Trigger] = {}
+        self.procedures: Dict[str, Procedure] = {}
+        self.schemas: Dict[str, None] = {}
+
+    # -- tables -------------------------------------------------------------
+
+    def create_table(self, table: Table, if_not_exists: bool = False) -> bool:
+        key = table.name.lower()
+        if key in self.tables:
+            if if_not_exists:
+                return False
+            raise DuplicateObjectError(
+                f"table {table.name!r} already exists in database {self.name!r}")
+        self.tables[key] = table
+        return True
+
+    def table(self, name: str) -> Table:
+        table = self.tables.get(name.lower())
+        if table is None:
+            raise NameError_(f"no table {name!r} in database {self.name!r}")
+        return table
+
+    def has_table(self, name: str) -> bool:
+        return name.lower() in self.tables
+
+    def drop_table(self, name: str, if_exists: bool = False) -> bool:
+        key = name.lower()
+        if key not in self.tables:
+            if if_exists:
+                return False
+            raise NameError_(f"no table {name!r} in database {self.name!r}")
+        del self.tables[key]
+        # Dependent triggers go with the table.
+        self.triggers = {
+            trigger_name: trigger
+            for trigger_name, trigger in self.triggers.items()
+            if trigger.table != key
+        }
+        return True
+
+    # -- schemas -----------------------------------------------------------
+
+    def create_schema(self, name: str, if_not_exists: bool = False) -> bool:
+        key = name.lower()
+        if key in self.schemas:
+            if if_not_exists:
+                return False
+            raise DuplicateObjectError(f"schema {name!r} already exists")
+        self.schemas[key] = None
+        return True
+
+    def drop_schema(self, name: str, if_exists: bool = False) -> bool:
+        if name.lower() not in self.schemas:
+            if if_exists:
+                return False
+            raise NameError_(f"no schema {name!r}")
+        del self.schemas[name.lower()]
+        return True
+
+    # -- sequences ----------------------------------------------------------
+
+    def create_sequence(self, sequence: Sequence) -> None:
+        key = sequence.name.lower()
+        if key in self.sequences:
+            raise DuplicateObjectError(f"sequence {sequence.name!r} already exists")
+        self.sequences[key] = sequence
+
+    def sequence(self, name: str) -> Sequence:
+        sequence = self.sequences.get(name.lower())
+        if sequence is None:
+            raise NameError_(f"no sequence {name!r} in database {self.name!r}")
+        return sequence
+
+    def drop_sequence(self, name: str, if_exists: bool = False) -> bool:
+        if name.lower() not in self.sequences:
+            if if_exists:
+                return False
+            raise NameError_(f"no sequence {name!r}")
+        del self.sequences[name.lower()]
+        return True
+
+    # -- triggers ----------------------------------------------------------
+
+    def create_trigger(self, trigger: Trigger) -> None:
+        key = trigger.name.lower()
+        if key in self.triggers:
+            raise DuplicateObjectError(f"trigger {trigger.name!r} already exists")
+        if trigger.table not in self.tables:
+            raise NameError_(
+                f"trigger {trigger.name!r} references missing table {trigger.table!r}")
+        self.triggers[key] = trigger
+
+    def drop_trigger(self, name: str, if_exists: bool = False) -> bool:
+        if name.lower() not in self.triggers:
+            if if_exists:
+                return False
+            raise NameError_(f"no trigger {name!r}")
+        del self.triggers[name.lower()]
+        return True
+
+    def triggers_for(self, table: str, timing: str, event: str,
+                     user: str) -> List[Trigger]:
+        return [
+            trigger for trigger in self.triggers.values()
+            if trigger.table == table.lower()
+            and trigger.timing == timing.upper()
+            and trigger.fires_for(event, user)
+        ]
+
+    # -- procedures ----------------------------------------------------------
+
+    def create_procedure(self, procedure: Procedure) -> None:
+        key = procedure.name.lower()
+        if key in self.procedures:
+            raise DuplicateObjectError(
+                f"procedure {procedure.name!r} already exists")
+        self.procedures[key] = procedure
+
+    def procedure(self, name: str) -> Procedure:
+        procedure = self.procedures.get(name.lower())
+        if procedure is None:
+            raise NameError_(f"no procedure {name!r} in database {self.name!r}")
+        return procedure
+
+    def drop_procedure(self, name: str, if_exists: bool = False) -> bool:
+        if name.lower() not in self.procedures:
+            if if_exists:
+                return False
+            raise NameError_(f"no procedure {name!r}")
+        del self.procedures[name.lower()]
+        return True

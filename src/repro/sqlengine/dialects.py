@@ -1,0 +1,165 @@
+"""Per-engine behavioural quirks ("dialects").
+
+Section 4 of the paper is largely a catalogue of the ways real engines
+disagree: error handling (4.1.2), snapshot isolation availability (4.1.2),
+schema support (4.1.1), temporary-table scoping and transactional rules
+(4.1.4).  A :class:`Dialect` bundles those switches so one engine codebase
+can faithfully impersonate a PostgreSQL-like, MySQL-like, Sybase-like or
+Oracle-like backend — which is exactly the heterogeneity a middleware
+replication layer has to absorb (4.1.3).
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Optional
+
+
+class Dialect:
+    """Behaviour switches for one engine personality.
+
+    Attributes:
+        name: dialect family name ("postgresql", "mysql", ...).
+        version: dotted version string; middleware uses it to detect
+            mixed-version clusters during rolling upgrades (section 4.4.3).
+        error_aborts_transaction: PostgreSQL aborts the transaction on the
+            first failed statement; MySQL keeps it usable (section 4.1.2).
+        supports_snapshot_isolation: Oracle/PostgreSQL/SQL Server 2005 yes;
+            Sybase/MySQL no (section 4.1.2).
+        supports_serializable: whether SERIALIZABLE (2PL) can be requested.
+        supports_schemas: MySQL "does not support the notion of schema at
+            all" (section 4.1.1).
+        supports_sequences: CREATE SEQUENCE availability; MySQL-likes rely
+            on AUTO_INCREMENT instead.
+        temp_table_scope: "connection" (visible until the connection drops)
+            or "transaction" (freed at commit) — section 4.1.4 notes both
+            exist in the wild.
+        temp_tables_in_transaction: Sybase "does not authorize the use of
+            temporary tables within transactions" (section 4.1.4).
+        default_isolation: "the default setting in all DBMS is the weaker
+            read-committed form" (section 4.1.2) — kept configurable anyway.
+        features: free-form feature tags; queries can be marked as needing a
+            feature so routing can avoid replicas that lack it (4.1.3).
+    """
+
+    __slots__ = (
+        "name", "version", "error_aborts_transaction",
+        "supports_snapshot_isolation", "supports_serializable",
+        "supports_schemas", "supports_sequences", "temp_table_scope",
+        "temp_tables_in_transaction", "default_isolation", "features",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        version: str = "1.0",
+        error_aborts_transaction: bool = True,
+        supports_snapshot_isolation: bool = True,
+        supports_serializable: bool = True,
+        supports_schemas: bool = True,
+        supports_sequences: bool = True,
+        temp_table_scope: str = "connection",
+        temp_tables_in_transaction: bool = True,
+        default_isolation: str = "READ COMMITTED",
+        features: Optional[FrozenSet[str]] = None,
+    ):
+        self.name = name
+        self.version = version
+        self.error_aborts_transaction = error_aborts_transaction
+        self.supports_snapshot_isolation = supports_snapshot_isolation
+        self.supports_serializable = supports_serializable
+        self.supports_schemas = supports_schemas
+        self.supports_sequences = supports_sequences
+        self.temp_table_scope = temp_table_scope
+        self.temp_tables_in_transaction = temp_tables_in_transaction
+        self.default_isolation = default_isolation
+        self.features = features or frozenset()
+
+    def with_version(self, version: str,
+                     extra_features: Optional[FrozenSet[str]] = None) -> "Dialect":
+        """A copy at a different version (rolling-upgrade scenarios)."""
+        return Dialect(
+            self.name,
+            version=version,
+            error_aborts_transaction=self.error_aborts_transaction,
+            supports_snapshot_isolation=self.supports_snapshot_isolation,
+            supports_serializable=self.supports_serializable,
+            supports_schemas=self.supports_schemas,
+            supports_sequences=self.supports_sequences,
+            temp_table_scope=self.temp_table_scope,
+            temp_tables_in_transaction=self.temp_tables_in_transaction,
+            default_isolation=self.default_isolation,
+            features=self.features | (extra_features or frozenset()),
+        )
+
+    def __repr__(self) -> str:
+        return f"Dialect({self.name!r}, version={self.version!r})"
+
+
+def postgresql(version: str = "8.2") -> Dialect:
+    """PostgreSQL-like: SI available, errors poison the transaction."""
+    return Dialect(
+        "postgresql", version=version,
+        error_aborts_transaction=True,
+        supports_snapshot_isolation=True,
+        supports_schemas=True,
+        supports_sequences=True,
+        temp_table_scope="connection",
+    )
+
+
+def mysql(version: str = "5.0") -> Dialect:
+    """MySQL-like: no SI, no schemas, errors leave the transaction open."""
+    return Dialect(
+        "mysql", version=version,
+        error_aborts_transaction=False,
+        supports_snapshot_isolation=False,
+        supports_schemas=False,
+        supports_sequences=False,
+        temp_table_scope="connection",
+    )
+
+
+def sybase(version: str = "15.0") -> Dialect:
+    """Sybase-like: no SI; temp tables forbidden inside transactions."""
+    return Dialect(
+        "sybase", version=version,
+        error_aborts_transaction=False,
+        supports_snapshot_isolation=False,
+        supports_schemas=True,
+        supports_sequences=False,
+        temp_tables_in_transaction=False,
+        temp_table_scope="connection",
+    )
+
+
+def oracle(version: str = "10g") -> Dialect:
+    """Oracle-like: strongest isolation support, transaction-scoped temps."""
+    return Dialect(
+        "oracle", version=version,
+        error_aborts_transaction=False,
+        supports_snapshot_isolation=True,
+        supports_schemas=True,
+        supports_sequences=True,
+        temp_table_scope="transaction",
+    )
+
+
+def generic(version: str = "1.0") -> Dialect:
+    """A permissive dialect for tests that don't exercise quirks."""
+    return Dialect("generic", version=version)
+
+
+DIALECTS = {
+    "postgresql": postgresql,
+    "mysql": mysql,
+    "sybase": sybase,
+    "oracle": oracle,
+    "generic": generic,
+}
+
+
+def by_name(name: str, version: Optional[str] = None) -> Dialect:
+    factory = DIALECTS.get(name.lower())
+    if factory is None:
+        raise ValueError(f"unknown dialect {name!r}")
+    return factory(version) if version else factory()

@@ -1,0 +1,111 @@
+"""Error hierarchy for the SQL engine.
+
+The paper (section 4.1.2) stresses that *how* a database reacts to request
+failures varies between engines: PostgreSQL aborts the whole transaction as
+soon as a statement errors, MySQL leaves the transaction open.  The engine
+therefore distinguishes error categories precisely so that the dialect layer
+can apply the right reaction, and so that the replication middleware can
+tell "this statement failed everywhere consistently" apart from "replicas
+disagree".
+"""
+
+from __future__ import annotations
+
+
+class SQLError(Exception):
+    """Base class for every error raised by the engine.
+
+    Attributes:
+        sqlstate: a five-character code loosely modelled on SQLSTATE.
+    """
+
+    sqlstate = "HY000"
+
+    def __init__(self, message: str):
+        super().__init__(message)
+        self.message = message
+
+
+class ParseError(SQLError):
+    """Malformed SQL text."""
+
+    sqlstate = "42601"
+
+
+class NameError_(SQLError):
+    """Unknown database, table, column, sequence, procedure or user."""
+
+    sqlstate = "42P01"
+
+
+class DuplicateObjectError(SQLError):
+    """CREATE of an object that already exists."""
+
+    sqlstate = "42710"
+
+
+class TypeError_(SQLError):
+    """Value incompatible with a column type or an operator."""
+
+    sqlstate = "42804"
+
+
+class IntegrityError(SQLError):
+    """Constraint violation (primary key / unique / not null)."""
+
+    sqlstate = "23505"
+
+
+class SerializationError(SQLError):
+    """First-committer-wins conflict under snapshot isolation, or a
+    serialization failure under one-copy serializability.  Clients are
+    expected to retry the transaction."""
+
+    sqlstate = "40001"
+
+
+class DeadlockError(SQLError):
+    """Lock-manager deadlock; the victim transaction is aborted."""
+
+    sqlstate = "40P01"
+
+
+class TransactionAbortedError(SQLError):
+    """Raised by PostgreSQL-style dialects when a statement is issued in a
+    transaction that already failed (section 4.1.2 of the paper)."""
+
+    sqlstate = "25P02"
+
+
+class AccessDeniedError(SQLError):
+    """Authentication failure or missing privilege."""
+
+    sqlstate = "42501"
+
+
+class UnsupportedFeatureError(SQLError):
+    """Statement is valid SQL but the dialect does not support the feature
+    (e.g. snapshot isolation on a MySQL-like engine, temp tables inside a
+    transaction on a Sybase-like engine)."""
+
+    sqlstate = "0A000"
+
+
+class DiskFullError(SQLError):
+    """The simulated node ran out of log or data space (section 4.4.2:
+    'a replica might stop working because its log is full')."""
+
+    sqlstate = "53100"
+
+
+class ConnectionError_(SQLError):
+    """The (simulated) connection to the engine is broken."""
+
+    sqlstate = "08006"
+
+
+class LobError(SQLError):
+    """Invalid large-object handle or a stream that was left open/closed
+    incorrectly (section 4.2.2)."""
+
+    sqlstate = "0F001"

@@ -1,0 +1,323 @@
+"""Expression evaluation.
+
+Evaluates parsed expressions against a row context.  SQL three-valued
+logic is approximated: comparisons with NULL yield NULL, AND/OR propagate
+NULL, and WHERE treats NULL as false.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Dict, List, Optional
+
+from . import ast_nodes as ast
+from .errors import NameError_, TypeError_
+from .functions import call_scalar
+
+# SELECT-level aggregate handling lives in the executor; the evaluator
+# refuses aggregates so misuse is caught early.
+_AGGREGATES = frozenset({"COUNT", "SUM", "AVG", "MIN", "MAX"})
+
+
+class EvalContext:
+    """Everything an expression might need.
+
+    ``bindings`` maps a table binding name (alias or table name, lowercase)
+    to the current row dict (column name lowercase -> value).  ``parent``
+    chains to an outer query's context for correlated subqueries.
+    ``variables`` holds stored-procedure parameters.
+    """
+
+    __slots__ = ("executor", "session", "bindings", "params", "variables",
+                 "parent")
+
+    def __init__(self, executor, session, bindings: Optional[Dict[str, Dict]] = None,
+                 params: Optional[List[Any]] = None,
+                 variables: Optional[Dict[str, Any]] = None,
+                 parent: Optional["EvalContext"] = None):
+        self.executor = executor
+        self.session = session
+        self.bindings = bindings or {}
+        self.params = params or []
+        self.variables = variables or {}
+        self.parent = parent
+
+    def child(self, bindings: Dict[str, Dict]) -> "EvalContext":
+        return EvalContext(self.executor, self.session, bindings,
+                           self.params, self.variables, parent=self)
+
+    def with_bindings(self, bindings: Dict[str, Dict]) -> "EvalContext":
+        return EvalContext(self.executor, self.session, bindings,
+                           self.params, self.variables, parent=self.parent)
+
+
+def evaluate(expr: ast.Expression, ctx: EvalContext) -> Any:
+    """Evaluate ``expr`` in ``ctx`` and return a plain Python value."""
+    if isinstance(expr, ast.Literal):
+        return expr.value
+    if isinstance(expr, ast.Param):
+        if expr.index >= len(ctx.params):
+            raise TypeError_(
+                f"statement has parameter ${expr.index + 1} but only "
+                f"{len(ctx.params)} value(s) were bound")
+        return ctx.params[expr.index]
+    if isinstance(expr, ast.ColumnRef):
+        return _resolve_column(expr, ctx)
+    if isinstance(expr, ast.BinaryOp):
+        return _eval_binary(expr, ctx)
+    if isinstance(expr, ast.UnaryOp):
+        return _eval_unary(expr, ctx)
+    if isinstance(expr, ast.FunctionCall):
+        return _eval_function(expr, ctx)
+    if isinstance(expr, ast.InList):
+        return _eval_in(expr, ctx)
+    if isinstance(expr, ast.Between):
+        return _eval_between(expr, ctx)
+    if isinstance(expr, ast.Like):
+        return _eval_like(expr, ctx)
+    if isinstance(expr, ast.IsNull):
+        value = evaluate(expr.expr, ctx)
+        return (value is not None) if expr.negated else (value is None)
+    if isinstance(expr, ast.Case):
+        for condition, result in expr.whens:
+            if is_true(evaluate(condition, ctx)):
+                return evaluate(result, ctx)
+        return evaluate(expr.default, ctx) if expr.default is not None else None
+    if isinstance(expr, ast.ScalarSubquery):
+        return ctx.executor.scalar_subquery(expr.select, ctx)
+    if isinstance(expr, ast.ExistsSubquery):
+        exists = ctx.executor.exists_subquery(expr.select, ctx)
+        return not exists if expr.negated else exists
+    if isinstance(expr, ast.Star):
+        raise TypeError_("'*' is only valid in a select list or COUNT(*)")
+    raise TypeError_(f"cannot evaluate expression {expr!r}")
+
+
+def is_true(value: Any) -> bool:
+    """WHERE-clause truth: NULL and false are both rejected."""
+    return value is not None and bool(value)
+
+
+def _resolve_column(expr: ast.ColumnRef, ctx: EvalContext) -> Any:
+    name = expr.name.lower()
+    context: Optional[EvalContext] = ctx
+    while context is not None:
+        if expr.table is not None:
+            row = context.bindings.get(expr.table.lower())
+            if row is not None and name in row:
+                return row[name]
+        else:
+            matches = [row for row in context.bindings.values() if name in row]
+            if len(matches) > 1:
+                raise NameError_(f"ambiguous column reference {expr.name!r}")
+            if matches:
+                return matches[0][name]
+            if name in context.variables:
+                return context.variables[name]
+        context = context.parent
+    # Unqualified names also serve as procedure variables at top level.
+    if expr.table is None and expr.name.lower() in ctx.variables:
+        return ctx.variables[expr.name.lower()]
+    qualifier = f"{expr.table}." if expr.table else ""
+    raise NameError_(f"unknown column {qualifier}{expr.name}")
+
+
+def _eval_binary(expr: ast.BinaryOp, ctx: EvalContext) -> Any:
+    op = expr.op
+    if op == "AND":
+        left = evaluate(expr.left, ctx)
+        if left is not None and not left:
+            return False
+        right = evaluate(expr.right, ctx)
+        if right is not None and not right:
+            return False
+        if left is None or right is None:
+            return None
+        return True
+    if op == "OR":
+        left = evaluate(expr.left, ctx)
+        if left is not None and left:
+            return True
+        right = evaluate(expr.right, ctx)
+        if right is not None and right:
+            return True
+        if left is None or right is None:
+            return None
+        return False
+
+    left = evaluate(expr.left, ctx)
+    right = evaluate(expr.right, ctx)
+    if op == "||":
+        if left is None or right is None:
+            return None
+        return str(left) + str(right)
+    if left is None or right is None:
+        return None
+    try:
+        if op == "=":
+            return _sql_equal(left, right)
+        if op == "<>":
+            return not _sql_equal(left, right)
+        if op == "<":
+            return _coerce_pair(left, right, "<")
+        if op == "<=":
+            return _coerce_pair(left, right, "<=")
+        if op == ">":
+            return _coerce_pair(left, right, ">")
+        if op == ">=":
+            return _coerce_pair(left, right, ">=")
+        if op == "+":
+            return left + right
+        if op == "-":
+            return left - right
+        if op == "*":
+            return left * right
+        if op == "/":
+            if right == 0:
+                return None
+            if isinstance(left, int) and isinstance(right, int) and left % right == 0:
+                return left // right
+            return left / right
+        if op == "%":
+            if right == 0:
+                return None
+            return left % right
+    except TypeError as exc:
+        raise TypeError_(f"operator {op} not supported between "
+                         f"{type(left).__name__} and {type(right).__name__}") from exc
+    raise TypeError_(f"unknown operator {op}")
+
+
+def _sql_equal(left: Any, right: Any) -> bool:
+    if isinstance(left, bool) or isinstance(right, bool):
+        return bool(left) == bool(right)
+    if isinstance(left, (int, float)) and isinstance(right, (int, float)):
+        return float(left) == float(right)
+    if type(left) is not type(right):
+        # Permissive string/number comparison mirrors the loose typing of
+        # MySQL-family engines.
+        if isinstance(left, str) and isinstance(right, (int, float)):
+            try:
+                return float(left) == float(right)
+            except ValueError:
+                return False
+        if isinstance(right, str) and isinstance(left, (int, float)):
+            try:
+                return float(right) == float(left)
+            except ValueError:
+                return False
+    return left == right
+
+
+def _coerce_pair(left: Any, right: Any, op: str) -> bool:
+    if isinstance(left, str) and isinstance(right, (int, float)) and not isinstance(right, bool):
+        try:
+            left = float(left)
+        except ValueError:
+            raise TypeError_(f"cannot compare {left!r} with a number")
+    if isinstance(right, str) and isinstance(left, (int, float)) and not isinstance(left, bool):
+        try:
+            right = float(right)
+        except ValueError:
+            raise TypeError_(f"cannot compare {right!r} with a number")
+    if op == "<":
+        return left < right
+    if op == "<=":
+        return left <= right
+    if op == ">":
+        return left > right
+    return left >= right
+
+
+def _eval_unary(expr: ast.UnaryOp, ctx: EvalContext) -> Any:
+    value = evaluate(expr.operand, ctx)
+    if expr.op == "NOT":
+        if value is None:
+            return None
+        return not value
+    if expr.op == "-":
+        if value is None:
+            return None
+        return -value
+    raise TypeError_(f"unknown unary operator {expr.op}")
+
+
+def _eval_function(expr: ast.FunctionCall, ctx: EvalContext) -> Any:
+    if expr.name in _AGGREGATES:
+        raise TypeError_(
+            f"aggregate {expr.name}() is not allowed in this context")
+    if expr.name in ("NEXTVAL", "CURRVAL", "SETVAL"):
+        return ctx.executor.sequence_function(expr, ctx)
+    args = [evaluate(arg, ctx) for arg in expr.args]
+    return call_scalar(ctx.session.engine.functions, expr.name, args,
+                       session_user=ctx.session.user_name)
+
+
+def _eval_in(expr: ast.InList, ctx: EvalContext) -> Any:
+    value = evaluate(expr.expr, ctx)
+    if value is None:
+        return None
+    if expr.subquery is not None:
+        candidates = ctx.executor.column_subquery(expr.subquery, ctx)
+    else:
+        candidates = [evaluate(item, ctx) for item in expr.items]
+    found = any(candidate is not None and _sql_equal(value, candidate)
+                for candidate in candidates)
+    if not found and any(candidate is None for candidate in candidates):
+        return None
+    return not found if expr.negated else found
+
+
+def _eval_between(expr: ast.Between, ctx: EvalContext) -> Any:
+    value = evaluate(expr.expr, ctx)
+    low = evaluate(expr.low, ctx)
+    high = evaluate(expr.high, ctx)
+    if value is None or low is None or high is None:
+        return None
+    result = _coerce_pair(low, value, "<=") and _coerce_pair(value, high, "<=")
+    return not result if expr.negated else result
+
+
+def _eval_like(expr: ast.Like, ctx: EvalContext) -> Any:
+    value = evaluate(expr.expr, ctx)
+    pattern = evaluate(expr.pattern, ctx)
+    if value is None or pattern is None:
+        return None
+    regex = _like_to_regex(str(pattern))
+    result = regex.match(str(value)) is not None
+    return not result if expr.negated else result
+
+
+_LIKE_CACHE: Dict[str, "re.Pattern"] = {}
+
+
+def _like_to_regex(pattern: str) -> "re.Pattern":
+    compiled = _LIKE_CACHE.get(pattern)
+    if compiled is None:
+        parts = []
+        for char in pattern:
+            if char == "%":
+                parts.append(".*")
+            elif char == "_":
+                parts.append(".")
+            else:
+                parts.append(re.escape(char))
+        compiled = re.compile("^" + "".join(parts) + "$", re.DOTALL)
+        if len(_LIKE_CACHE) < 1024:
+            _LIKE_CACHE[pattern] = compiled
+    return compiled
+
+
+def sort_key(value: Any) -> tuple:
+    """A total-order sort key over heterogeneous SQL values (NULLs first)."""
+    if value is None:
+        return (0, 0, 0)
+    if isinstance(value, bool):
+        return (1, 0, int(value))
+    if isinstance(value, (int, float)):
+        return (1, 0, float(value))
+    if isinstance(value, str):
+        return (1, 1, value)
+    if isinstance(value, bytes):
+        return (1, 2, value)
+    return (1, 3, str(value))

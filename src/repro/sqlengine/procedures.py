@@ -1,0 +1,146 @@
+"""Stored procedures.
+
+Paper section 4.2.1: statement replication "can only broadcast calls to
+stored procedures, so stored procedure execution must be deterministic, to
+prevent cluster divergence", there is "no schema describing the behavior of
+a stored procedure, so it is usually impossible to know which tables it
+accesses", and broadcasting a call makes every replica execute the embedded
+reads too.
+
+The engine stores the parsed body, and — because this reproduction *can*
+inspect the AST — also offers :func:`analyze_procedure`, the kind of
+static analysis the paper says middleware would need the DBMS to expose.
+The default middleware behaviour treats procedures as the opaque black box
+real systems face; the analysis is available for the "agenda" experiments.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set, Tuple
+
+from . import ast_nodes as ast
+from .functions import NONDETERMINISTIC_FUNCTIONS
+
+
+class Procedure:
+    """One stored procedure definition."""
+
+    __slots__ = ("name", "params", "body", "owner")
+
+    def __init__(self, name: str, params: List[str],
+                 body: List[ast.Statement], owner: str = "admin"):
+        self.name = name
+        self.params = params
+        self.body = body
+        self.owner = owner
+
+    def __repr__(self) -> str:
+        return f"Procedure({self.name!r}({', '.join(self.params)}))"
+
+
+class ProcedureAnalysis:
+    """What a middleware would need to know and normally cannot (4.2.1)."""
+
+    __slots__ = ("reads_tables", "writes_tables", "deterministic", "has_reads")
+
+    def __init__(self, reads_tables: Set[str], writes_tables: Set[str],
+                 deterministic: bool):
+        self.reads_tables = reads_tables
+        self.writes_tables = writes_tables
+        self.deterministic = deterministic
+        self.has_reads = bool(reads_tables)
+
+
+def analyze_procedure(procedure: Procedure) -> ProcedureAnalysis:
+    """Static analysis of a procedure body: accessed tables and whether any
+    expression calls a non-deterministic function."""
+    reads: Set[str] = set()
+    writes: Set[str] = set()
+    nondeterministic = [False]
+
+    def walk_expression(expr) -> None:
+        if expr is None:
+            return
+        if isinstance(expr, ast.FunctionCall):
+            if expr.name in NONDETERMINISTIC_FUNCTIONS:
+                nondeterministic[0] = True
+            for arg in expr.args:
+                walk_expression(arg)
+        elif isinstance(expr, ast.BinaryOp):
+            walk_expression(expr.left)
+            walk_expression(expr.right)
+        elif isinstance(expr, ast.UnaryOp):
+            walk_expression(expr.operand)
+        elif isinstance(expr, ast.InList):
+            walk_expression(expr.expr)
+            for item in expr.items or []:
+                walk_expression(item)
+            if expr.subquery is not None:
+                walk_select(expr.subquery)
+        elif isinstance(expr, ast.Between):
+            walk_expression(expr.expr)
+            walk_expression(expr.low)
+            walk_expression(expr.high)
+        elif isinstance(expr, ast.Like):
+            walk_expression(expr.expr)
+            walk_expression(expr.pattern)
+        elif isinstance(expr, ast.IsNull):
+            walk_expression(expr.expr)
+        elif isinstance(expr, ast.Case):
+            for condition, result in expr.whens:
+                walk_expression(condition)
+                walk_expression(result)
+            walk_expression(expr.default)
+        elif isinstance(expr, (ast.ScalarSubquery, ast.ExistsSubquery)):
+            walk_select(expr.select)
+
+    def walk_source(source) -> None:
+        if source is None:
+            return
+        if isinstance(source, ast.TableRef):
+            reads.add(str(source.name).lower())
+        elif isinstance(source, ast.Join):
+            walk_source(source.left)
+            walk_source(source.right)
+            walk_expression(source.condition)
+        elif isinstance(source, ast.SubquerySource):
+            walk_select(source.select)
+
+    def walk_select(select: ast.SelectStatement) -> None:
+        for expr, _alias in select.columns:
+            walk_expression(expr)
+        walk_source(select.source)
+        walk_expression(select.where)
+        for expr in select.group_by:
+            walk_expression(expr)
+        walk_expression(select.having)
+        for expr, _asc in select.order_by:
+            walk_expression(expr)
+
+    def walk_statement(statement: ast.Statement) -> None:
+        if isinstance(statement, ast.SelectStatement):
+            walk_select(statement)
+        elif isinstance(statement, ast.InsertStatement):
+            writes.add(str(statement.table).lower())
+            for row in statement.rows or []:
+                for expr in row:
+                    walk_expression(expr)
+            if statement.select is not None:
+                walk_select(statement.select)
+        elif isinstance(statement, ast.UpdateStatement):
+            writes.add(str(statement.table).lower())
+            for _column, expr in statement.assignments:
+                walk_expression(expr)
+            walk_expression(statement.where)
+        elif isinstance(statement, ast.DeleteStatement):
+            writes.add(str(statement.table).lower())
+            walk_expression(statement.where)
+        elif isinstance(statement, ast.CallStatement):
+            # Nested call: conservatively non-deterministic and unknown
+            # footprint — exactly the opacity the paper describes.
+            nondeterministic[0] = True
+
+    for statement in procedure.body:
+        walk_statement(statement)
+
+    return ProcedureAnalysis(reads, writes, deterministic=not nondeterministic[0])

@@ -1,0 +1,246 @@
+"""Versioned row storage.
+
+Each table keeps, per logical row, an append-only chain of
+:class:`RowVersion` objects stamped with the creating / deleting
+transaction and, once those transactions commit, with monotonically
+increasing commit timestamps.  Snapshot visibility (``mvcc.py``) is
+evaluated against these stamps, which gives the engine MVCC semantics for
+snapshot isolation and read-committed, and lets rollback simply unlink the
+versions a transaction created.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, Iterable, List, Optional, Sequence
+
+from .errors import IntegrityError, NameError_
+from .types import Column, ColumnType, coerce
+
+
+class RowVersion:
+    """One version of one logical row.
+
+    ``created_ts``/``deleted_ts`` are ``None`` while the creating/deleting
+    transaction is still in flight and get stamped at commit time.
+    """
+
+    __slots__ = ("row_id", "values", "creator_txn", "created_ts",
+                 "deleter_txn", "deleted_ts")
+
+    def __init__(self, row_id: int, values: Dict[str, Any], creator_txn: int):
+        self.row_id = row_id
+        self.values = values
+        self.creator_txn = creator_txn
+        self.created_ts: Optional[int] = None
+        self.deleter_txn: Optional[int] = None
+        self.deleted_ts: Optional[int] = None
+
+    def __repr__(self) -> str:
+        return (
+            f"RowVersion(row={self.row_id}, created_ts={self.created_ts}, "
+            f"deleted_ts={self.deleted_ts}, values={self.values})"
+        )
+
+
+class Table:
+    """A versioned table: schema + row version chains + indexes."""
+
+    def __init__(self, name: str, columns: Sequence[Column], temporary: bool = False):
+        self.name = name
+        self.columns: List[Column] = list(columns)
+        self.temporary = temporary
+        self._column_map = {c.name.lower(): c for c in self.columns}
+        self._rows: Dict[int, List[RowVersion]] = {}
+        self._row_counter = itertools.count(1)
+        # Auto-increment counters are deliberately *non-transactional*:
+        # a rollback does not give numbers back (paper section 4.2.3 /
+        # 4.3.2 — "an auto-incremented key ... is not decremented at
+        # rollback time").
+        self._auto_counters: Dict[str, int] = {
+            c.name.lower(): 0 for c in self.columns if c.auto_increment
+        }
+        # Interleaved key generation (MySQL's auto_increment_increment /
+        # auto_increment_offset) — the standard multi-master mitigation for
+        # duplicate auto keys: replica k of n hands out k, k+n, k+2n, ...
+        self.auto_step = 1
+        self.auto_offset = 1
+        self.indexes: Dict[str, "IndexDef"] = {}
+        self.last_inserted_id: Optional[int] = None
+        # Unique key maps: column tuple -> key tuple -> versions having that
+        # key.  Uniqueness checks are then O(1) per candidate instead of a
+        # table scan.
+        self._unique_maps: Dict[tuple, Dict[tuple, set]] = {}
+        pk_columns = tuple(
+            c.name.lower() for c in self.columns if c.primary_key)
+        if pk_columns:
+            self._unique_maps[pk_columns] = {}
+        for c in self.columns:
+            if c.unique and not c.primary_key:
+                self._unique_maps[(c.name.lower(),)] = {}
+
+    # -- schema ------------------------------------------------------------
+
+    def column(self, name: str) -> Column:
+        column = self._column_map.get(name.lower())
+        if column is None:
+            raise NameError_(f"no column {name!r} in table {self.name!r}")
+        return column
+
+    def has_column(self, name: str) -> bool:
+        return name.lower() in self._column_map
+
+    @property
+    def column_names(self) -> List[str]:
+        return [c.name for c in self.columns]
+
+    @property
+    def primary_key_columns(self) -> List[Column]:
+        return [c for c in self.columns if c.primary_key]
+
+    def add_column(self, column: Column) -> None:
+        if self.has_column(column.name):
+            raise IntegrityError(
+                f"column {column.name!r} already exists in {self.name!r}")
+        self.columns.append(column)
+        self._column_map[column.name.lower()] = column
+        default = None
+        for versions in self._rows.values():
+            for version in versions:
+                version.values.setdefault(column.name.lower(), default)
+
+    # -- auto increment ------------------------------------------------------
+
+    def next_auto_value(self, column_name: str) -> int:
+        key = column_name.lower()
+        current = self._auto_counters.get(key, 0)
+        candidate = current + 1
+        # advance to the next value in this replica's congruence class
+        remainder = (self.auto_offset - candidate) % self.auto_step
+        candidate += remainder
+        self._auto_counters[key] = candidate
+        return candidate
+
+    def set_auto_interleave(self, step: int, offset: int) -> None:
+        """Configure interleaved auto-increment generation (offset must be
+        in 1..step)."""
+        if step < 1 or not (1 <= offset <= step):
+            raise ValueError("need step >= 1 and 1 <= offset <= step")
+        self.auto_step = step
+        self.auto_offset = offset
+
+    def bump_auto_value(self, column_name: str, value: int) -> None:
+        """Move the counter past an explicitly supplied value."""
+        key = column_name.lower()
+        if value > self._auto_counters.get(key, 0):
+            self._auto_counters[key] = value
+
+    def auto_counter_state(self) -> Dict[str, int]:
+        return dict(self._auto_counters)
+
+    # -- rows -----------------------------------------------------------------
+
+    def new_row_id(self) -> int:
+        return next(self._row_counter)
+
+    def insert_version(self, values: Dict[str, Any], creator_txn: int,
+                       row_id: Optional[int] = None) -> RowVersion:
+        if row_id is None:
+            row_id = self.new_row_id()
+        version = RowVersion(row_id, values, creator_txn)
+        self._rows.setdefault(row_id, []).append(version)
+        for columns, key_map in self._unique_maps.items():
+            key = tuple(values.get(c) for c in columns)
+            key_map.setdefault(key, set()).add(version)
+        return version
+
+    def versions(self) -> Iterable[RowVersion]:
+        for chain in self._rows.values():
+            yield from chain
+
+    def version_chain(self, row_id: int) -> List[RowVersion]:
+        return self._rows.get(row_id, [])
+
+    def remove_version(self, version: RowVersion) -> None:
+        chain = self._rows.get(version.row_id)
+        if chain is None:
+            return
+        try:
+            chain.remove(version)
+        except ValueError:
+            pass
+        if not chain:
+            del self._rows[version.row_id]
+        for columns, key_map in self._unique_maps.items():
+            key = tuple(version.values.get(c) for c in columns)
+            versions = key_map.get(key)
+            if versions is not None:
+                versions.discard(version)
+                if not versions:
+                    del key_map[key]
+
+    # -- unique constraints ---------------------------------------------------
+
+    def register_unique(self, columns: Sequence[str]) -> None:
+        """Start enforcing uniqueness on a column tuple (CREATE UNIQUE
+        INDEX).  Existing versions are indexed immediately."""
+        key_columns = tuple(c.lower() for c in columns)
+        if key_columns in self._unique_maps:
+            return
+        key_map: Dict[tuple, set] = {}
+        for version in self.versions():
+            key = tuple(version.values.get(c) for c in key_columns)
+            key_map.setdefault(key, set()).add(version)
+        self._unique_maps[key_columns] = key_map
+
+    def unique_column_sets(self) -> List[tuple]:
+        return list(self._unique_maps.keys())
+
+    def unique_candidates(self, columns: tuple, key: tuple) -> set:
+        """Versions sharing ``key`` on the unique column tuple ``columns``
+        (uniqueness/visibility filtering is the executor's job)."""
+        return self._unique_maps.get(columns, {}).get(key, set())
+
+    def coerce_row(self, values: Dict[str, Any]) -> Dict[str, Any]:
+        """Validate and coerce a column->value mapping into a full row dict
+        keyed by lowercase column name."""
+        row: Dict[str, Any] = {}
+        for column in self.columns:
+            key = column.name.lower()
+            row[key] = coerce(values.get(key), column.type)
+        return row
+
+    def check_not_null(self, row: Dict[str, Any]) -> None:
+        for column in self.columns:
+            if not column.nullable and row.get(column.name.lower()) is None:
+                raise IntegrityError(
+                    f"null value in column {column.name!r} of table "
+                    f"{self.name!r} violates not-null constraint")
+
+    # -- stats ------------------------------------------------------------------
+
+    def version_count(self) -> int:
+        return sum(len(chain) for chain in self._rows.values())
+
+    def clone_schema(self) -> "Table":
+        table = Table(self.name, [c.clone() for c in self.columns], self.temporary)
+        for index in self.indexes.values():
+            table.indexes[index.name.lower()] = IndexDef(
+                index.name, index.columns, index.unique)
+        return table
+
+
+class IndexDef:
+    """Index metadata.  Uniqueness is the semantically relevant part; the
+    engine enforces unique indexes and treats non-unique indexes as advisory
+    (scans are in-memory and small in this reproduction)."""
+
+    __slots__ = ("name", "columns", "unique")
+
+    def __init__(self, name: str, columns: Sequence[str], unique: bool = False):
+        self.name = name
+        self.columns = [c.lower() for c in columns]
+        self.unique = unique
+
+    def key_for(self, row: Dict[str, Any]) -> tuple:
+        return tuple(row.get(c) for c in self.columns)

@@ -1,0 +1,75 @@
+"""Row-level triggers.
+
+Triggers matter to the paper in two ways:
+
+* trigger-based **writeset extraction** is how middleware avoids modifying
+  the engine (section 4.3.2) — ``repro.core.writesets`` installs Python
+  callback triggers through the same mechanism;
+* per-user triggers are why intercepted statements must be replayed as the
+  original user (section 4.1.5).
+
+A trigger body is either a list of parsed SQL statements (from
+``CREATE TRIGGER``) or a Python callable registered by the middleware.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from . import ast_nodes as ast
+
+
+class Trigger:
+    """One trigger definition attached to a table."""
+
+    __slots__ = ("name", "timing", "event", "table", "body", "callback",
+                 "owner", "only_for_user", "enabled")
+
+    def __init__(
+        self,
+        name: str,
+        timing: str,
+        event: str,
+        table: str,
+        body: Optional[List[ast.Statement]] = None,
+        callback: Optional[Callable] = None,
+        owner: str = "admin",
+        only_for_user: Optional[str] = None,
+    ):
+        self.name = name
+        self.timing = timing.upper()        # BEFORE | AFTER
+        self.event = event.upper()          # INSERT | UPDATE | DELETE
+        self.table = table.lower()
+        self.body = body or []
+        self.callback = callback
+        self.owner = owner
+        # When set, the trigger only fires for statements executed by this
+        # user — the section 4.1.5 hazard for middleware that replays
+        # statements under the wrong identity.
+        self.only_for_user = only_for_user.lower() if only_for_user else None
+        self.enabled = True
+
+    def fires_for(self, event: str, user: str) -> bool:
+        if not self.enabled or self.event != event.upper():
+            return False
+        if self.only_for_user is not None and user.lower() != self.only_for_user:
+            return False
+        return True
+
+    def __repr__(self) -> str:
+        return f"Trigger({self.name!r}, {self.timing} {self.event} ON {self.table})"
+
+
+class TriggerEvent:
+    """The row context passed to a firing trigger: OLD and NEW images."""
+
+    __slots__ = ("event", "table", "old", "new", "user")
+
+    def __init__(self, event: str, table: str,
+                 old: Optional[Dict[str, Any]], new: Optional[Dict[str, Any]],
+                 user: str):
+        self.event = event
+        self.table = table
+        self.old = old
+        self.new = new
+        self.user = user

@@ -1,0 +1,194 @@
+"""Column types and value coercion.
+
+Values at runtime are plain Python objects (``None``, ``bool``, ``int``,
+``float``, ``str``, ``bytes`` and :class:`~repro.sqlengine.lobs.LobHandle`).
+Column types describe what a table column stores and how inserted values
+are coerced on the way in.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, Optional
+
+from .errors import TypeError_
+
+
+class ColumnType(enum.Enum):
+    """The SQL column types understood by the engine."""
+
+    INT = "INT"
+    BIGINT = "BIGINT"
+    FLOAT = "FLOAT"
+    DECIMAL = "DECIMAL"
+    VARCHAR = "VARCHAR"
+    TEXT = "TEXT"
+    BOOLEAN = "BOOLEAN"
+    TIMESTAMP = "TIMESTAMP"
+    CLOB = "CLOB"
+    BLOB = "BLOB"
+
+    @classmethod
+    def from_name(cls, name: str) -> "ColumnType":
+        normalized = _TYPE_ALIASES.get(name.upper())
+        if normalized is None:
+            raise TypeError_(f"unknown column type: {name}")
+        return cls(normalized)
+
+
+_TYPE_ALIASES = {
+    "INT": "INT",
+    "INTEGER": "INT",
+    "SMALLINT": "INT",
+    "SERIAL": "INT",
+    "BIGINT": "BIGINT",
+    "FLOAT": "FLOAT",
+    "REAL": "FLOAT",
+    "DOUBLE": "FLOAT",
+    "NUMERIC": "DECIMAL",
+    "DECIMAL": "DECIMAL",
+    "VARCHAR": "VARCHAR",
+    "CHAR": "VARCHAR",
+    "STRING": "VARCHAR",
+    "TEXT": "TEXT",
+    "BOOLEAN": "BOOLEAN",
+    "BOOL": "BOOLEAN",
+    "TIMESTAMP": "TIMESTAMP",
+    "DATETIME": "TIMESTAMP",
+    "CLOB": "CLOB",
+    "BLOB": "BLOB",
+}
+
+_NUMERIC_TYPES = {
+    ColumnType.INT,
+    ColumnType.BIGINT,
+    ColumnType.FLOAT,
+    ColumnType.DECIMAL,
+    ColumnType.TIMESTAMP,
+}
+
+
+def coerce(value: Any, column_type: ColumnType) -> Any:
+    """Coerce ``value`` to ``column_type``, raising :class:`TypeError_` when
+    the value cannot represent the type.  ``None`` always passes through
+    (NULL is valid for any type until NOT NULL is checked)."""
+    if value is None:
+        return None
+    if column_type in (ColumnType.INT, ColumnType.BIGINT):
+        return _coerce_int(value, column_type)
+    if column_type in (ColumnType.FLOAT, ColumnType.DECIMAL, ColumnType.TIMESTAMP):
+        return _coerce_float(value, column_type)
+    if column_type in (ColumnType.VARCHAR, ColumnType.TEXT, ColumnType.CLOB):
+        return _coerce_str(value, column_type)
+    if column_type is ColumnType.BOOLEAN:
+        return _coerce_bool(value)
+    if column_type is ColumnType.BLOB:
+        return _coerce_bytes(value)
+    raise TypeError_(f"unhandled column type {column_type}")
+
+
+def _coerce_int(value: Any, column_type: ColumnType) -> int:
+    if isinstance(value, bool):
+        return int(value)
+    if isinstance(value, int):
+        return value
+    if isinstance(value, float) and value.is_integer():
+        return int(value)
+    if isinstance(value, str):
+        try:
+            return int(value)
+        except ValueError:
+            pass
+    raise TypeError_(f"cannot store {value!r} in {column_type.value} column")
+
+
+def _coerce_float(value: Any, column_type: ColumnType) -> float:
+    if isinstance(value, bool):
+        return float(value)
+    if isinstance(value, (int, float)):
+        return float(value)
+    if isinstance(value, str):
+        try:
+            return float(value)
+        except ValueError:
+            pass
+    raise TypeError_(f"cannot store {value!r} in {column_type.value} column")
+
+
+def _coerce_str(value: Any, column_type: ColumnType) -> Any:
+    # Lob handles flow through CLOB columns untouched; see lobs.py.
+    from .lobs import LobHandle
+
+    if isinstance(value, LobHandle):
+        return value
+    if isinstance(value, str):
+        return value
+    if isinstance(value, (int, float, bool)):
+        return str(value)
+    raise TypeError_(f"cannot store {value!r} in {column_type.value} column")
+
+
+def _coerce_bool(value: Any) -> bool:
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, int):
+        return bool(value)
+    if isinstance(value, str) and value.lower() in ("true", "false", "t", "f", "0", "1"):
+        return value.lower() in ("true", "t", "1")
+    raise TypeError_(f"cannot store {value!r} in BOOLEAN column")
+
+
+def _coerce_bytes(value: Any) -> Any:
+    from .lobs import LobHandle
+
+    if isinstance(value, LobHandle):
+        return value
+    if isinstance(value, (bytes, bytearray)):
+        return bytes(value)
+    if isinstance(value, str):
+        return value.encode("utf-8")
+    raise TypeError_(f"cannot store {value!r} in BLOB column")
+
+
+def is_numeric(column_type: ColumnType) -> bool:
+    """True for types that order and compare numerically."""
+    return column_type in _NUMERIC_TYPES
+
+
+class Column:
+    """A column definition inside a table schema."""
+
+    __slots__ = ("name", "type", "nullable", "primary_key", "unique",
+                 "auto_increment", "default")
+
+    def __init__(
+        self,
+        name: str,
+        column_type: ColumnType,
+        nullable: bool = True,
+        primary_key: bool = False,
+        unique: bool = False,
+        auto_increment: bool = False,
+        default: Optional[Any] = None,
+    ):
+        self.name = name
+        self.type = column_type
+        self.nullable = nullable and not primary_key
+        self.primary_key = primary_key
+        self.unique = unique or primary_key
+        self.auto_increment = auto_increment
+        self.default = default
+
+    def __repr__(self) -> str:
+        return f"Column({self.name!r}, {self.type.value})"
+
+    def clone(self) -> "Column":
+        return Column(
+            self.name,
+            self.type,
+            nullable=self.nullable,
+            primary_key=self.primary_key,
+            unique=self.unique,
+            auto_increment=self.auto_increment,
+            default=self.default,
+        )

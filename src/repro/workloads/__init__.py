@@ -1,0 +1,21 @@
+"""``repro.workloads`` — OLTP workload generators and trace tooling."""
+
+from .generator import (
+    ClosedLoopRun, TxnSpec, Workload, scaled_load_plan, zipf_choice,
+)
+from .microbench import MicroWorkload, MultiTableWorkload, SequentialBatchWorkload
+from .rubis import RubisWorkload
+from .ticketbroker import TicketBrokerWorkload
+from .tpcw import MIXES, TpcWWorkload
+from .trace import (
+    StatisticalReplayer, TraceEntry, TraceRecorder, equivalent,
+    exact_replay_is_possible,
+)
+
+__all__ = [
+    "ClosedLoopRun", "MIXES", "MicroWorkload", "MultiTableWorkload",
+    "RubisWorkload", "SequentialBatchWorkload", "StatisticalReplayer",
+    "TicketBrokerWorkload", "TpcWWorkload", "TraceEntry", "TraceRecorder",
+    "TxnSpec", "Workload", "equivalent", "exact_replay_is_possible",
+    "scaled_load_plan", "zipf_choice",
+]

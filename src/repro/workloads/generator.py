@@ -1,0 +1,129 @@
+"""Workload generation: transaction templates, closed- and open-loop load.
+
+The paper's evaluation critique (sections 3.4 / 5.1): academic prototypes
+use closed-loop load generators at scaled load, which "hides the system
+overhead at low or constant load"; researchers "need new benchmarks that
+are not necessarily closed-loop systems".  This module provides both
+shapes so benchmark E16 can show the difference, and every workload is a
+stream of :class:`TxnSpec` objects a driver can execute synchronously or
+inside the discrete-event simulation.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Iterator, List, Optional, Sequence, Tuple
+
+
+class TxnSpec:
+    """One transaction: ordered SQL statements plus routing metadata."""
+
+    __slots__ = ("statements", "is_read_only", "tables", "kind")
+
+    def __init__(self, statements: Sequence[Tuple[str, list]],
+                 is_read_only: bool, tables: Sequence[str] = (),
+                 kind: str = "txn"):
+        self.statements = list(statements)
+        self.is_read_only = is_read_only
+        self.tables = list(tables)
+        self.kind = kind
+
+    def __repr__(self) -> str:
+        mode = "RO" if self.is_read_only else "RW"
+        return f"TxnSpec({self.kind}, {mode}, {len(self.statements)} stmts)"
+
+
+class Workload:
+    """Base workload: subclasses implement setup + transaction sampling."""
+
+    name = "base"
+
+    def setup_sql(self) -> List[str]:
+        """DDL + initial data, executed once through the middleware."""
+        return []
+
+    def next_transaction(self, rng: random.Random) -> TxnSpec:
+        raise NotImplementedError
+
+    def transactions(self, count: int,
+                     seed: int = 42) -> Iterator[TxnSpec]:
+        rng = random.Random(seed)
+        for _ in range(count):
+            yield self.next_transaction(rng)
+
+    def read_fraction_estimate(self) -> float:
+        return 0.5
+
+
+def zipf_choice(rng: random.Random, population: int, skew: float = 1.1) -> int:
+    """A cheap Zipf-ish sampler in [0, population): rank r with weight
+    1/(r+1)^skew.  Hot rows are what make conflicts (Gray [18])."""
+    # inverse-CDF on a truncated harmonic series would be exact; rejection
+    # sampling is simpler and fast enough for our sizes
+    while True:
+        rank = int(rng.paretovariate(skew)) - 1
+        if 0 <= rank < population:
+            return rank
+        if rank >= population:
+            rank = rng.randrange(population)
+            return rank
+
+
+class ClosedLoopRun:
+    """Synchronous closed-loop driver: N logical clients take turns, each
+    running transactions back to back (think time is only meaningful in
+    the simulated driver; see ``repro.bench.simdriver``)."""
+
+    def __init__(self, workload: Workload, clients: int = 4, seed: int = 7):
+        self.workload = workload
+        self.clients = clients
+        self.seed = seed
+
+    def run(self, session_factory: Callable[[], object],
+            transactions_per_client: int = 50) -> dict:
+        """Run the workload; returns counters.  ``session_factory`` yields
+        an object with ``execute(sql, params)``."""
+        completed = 0
+        aborted = 0
+        rng = random.Random(self.seed)
+        sessions = [session_factory() for _ in range(self.clients)]
+        try:
+            for _round in range(transactions_per_client):
+                for session in sessions:
+                    spec = self.workload.next_transaction(rng)
+                    try:
+                        _run_spec(session, spec)
+                        completed += 1
+                    except Exception:  # noqa: BLE001 — abort accounting
+                        aborted += 1
+                        _safe_rollback(session)
+        finally:
+            for session in sessions:
+                close = getattr(session, "close", None)
+                if close:
+                    close()
+        return {"completed": completed, "aborted": aborted}
+
+
+def _run_spec(session, spec: TxnSpec) -> None:
+    if len(spec.statements) == 1:
+        sql, params = spec.statements[0]
+        session.execute(sql, params)
+        return
+    session.execute("BEGIN")
+    for sql, params in spec.statements:
+        session.execute(sql, params)
+    session.execute("COMMIT")
+
+
+def _safe_rollback(session) -> None:
+    try:
+        session.execute("ROLLBACK")
+    except Exception:  # noqa: BLE001
+        pass
+
+
+def scaled_load_plan(base_clients: int, replicas: int) -> int:
+    """The section 3.4 'scaled load' convention: 5x the clients for a
+    5-replica system — used by E16 to show what it hides."""
+    return base_clients * replicas

@@ -1,0 +1,139 @@
+"""Micro-benchmark workloads (paper section 3.4: "Micro-benchmarks are
+also widely used to measure replicated system performance").
+
+* :class:`MicroWorkload` — single-table CRUD with a configurable
+  read/write mix and key skew.
+* :class:`SequentialBatchWorkload` — the section 4.4.5 pathology: a
+  single-client sequential batch update script, the workload replicated
+  databases serve *worst* because per-statement latency dominates.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from .generator import TxnSpec, Workload, zipf_choice
+
+
+class MicroWorkload(Workload):
+    name = "micro"
+
+    def __init__(self, rows: int = 1000, read_fraction: float = 0.5,
+                 skew: float = 1.05, table: str = "kv",
+                 write_statements: int = 1):
+        self.rows = rows
+        self.read_fraction = read_fraction
+        self.skew = skew
+        self.table = table
+        # >1 makes write transactions span multiple statements, opening a
+        # real conflict window between concurrent transactions
+        self.write_statements = max(1, write_statements)
+
+    def setup_sql(self) -> List[str]:
+        statements = [
+            f"""CREATE TABLE {self.table} (
+                k INT PRIMARY KEY, v INT, pad VARCHAR(40))"""
+        ]
+        for key in range(self.rows):
+            statements.append(
+                f"INSERT INTO {self.table} (k, v, pad) "
+                f"VALUES ({key}, 0, 'pad{key}')")
+        return statements
+
+    def read_fraction_estimate(self) -> float:
+        return self.read_fraction
+
+    def next_transaction(self, rng: random.Random) -> TxnSpec:
+        key = zipf_choice(rng, self.rows, self.skew)
+        if rng.random() < self.read_fraction:
+            sql = f"SELECT v FROM {self.table} WHERE k = {key}"
+            return TxnSpec([(sql, [])], True, [self.table], kind="point_read")
+        if self.write_statements == 1:
+            sql = f"UPDATE {self.table} SET v = v + 1 WHERE k = {key}"
+            return TxnSpec([(sql, [])], False, [self.table],
+                           kind="point_write")
+        keys = {key}
+        while len(keys) < self.write_statements:
+            keys.add(zipf_choice(rng, self.rows, self.skew))
+        statements = [
+            (f"UPDATE {self.table} SET v = v + 1 WHERE k = {k}", [])
+            for k in sorted(keys)
+        ]
+        return TxnSpec(statements, False, [self.table], kind="multi_write")
+
+
+class SequentialBatchWorkload(Workload):
+    """One client, back-to-back single-row updates — no parallelism at all.
+    'A sequential batch update script will usually run much slower on a
+    replicated database than on a single-instance database' (4.4.5)."""
+
+    name = "sequential_batch"
+
+    def __init__(self, rows: int = 500, table: str = "batch"):
+        self.rows = rows
+        self.table = table
+        self._cursor = 0
+
+    def setup_sql(self) -> List[str]:
+        statements = [
+            f"CREATE TABLE {self.table} (k INT PRIMARY KEY, v INT)"
+        ]
+        for key in range(self.rows):
+            statements.append(
+                f"INSERT INTO {self.table} (k, v) VALUES ({key}, 0)")
+        return statements
+
+    def read_fraction_estimate(self) -> float:
+        return 0.0
+
+    def next_transaction(self, rng: random.Random) -> TxnSpec:
+        key = self._cursor % self.rows
+        self._cursor += 1
+        sql = f"UPDATE {self.table} SET v = v + 1 WHERE k = {key}"
+        return TxnSpec([(sql, [])], False, [self.table], kind="batch_update")
+
+
+class MultiTableWorkload(Workload):
+    """Transactions with disjoint table working sets — the workload where
+    memory-aware (Tashkent+) balancing shines (E08): each 'tenant' touches
+    its own table, so steering a tenant to a consistent replica keeps that
+    replica's working set hot."""
+
+    name = "multi_table"
+
+    def __init__(self, tables: int = 8, rows_per_table: int = 200,
+                 read_fraction: float = 0.8):
+        self.tables = tables
+        self.rows_per_table = rows_per_table
+        self.read_fraction = read_fraction
+
+    def table_name(self, index: int) -> str:
+        return f"tenant_{index}"
+
+    def setup_sql(self) -> List[str]:
+        statements = []
+        for index in range(self.tables):
+            name = self.table_name(index)
+            statements.append(
+                f"CREATE TABLE {name} (k INT PRIMARY KEY, v INT)")
+            for key in range(self.rows_per_table):
+                statements.append(
+                    f"INSERT INTO {name} (k, v) VALUES ({key}, 0)")
+        return statements
+
+    def read_fraction_estimate(self) -> float:
+        return self.read_fraction
+
+    def next_transaction(self, rng: random.Random) -> TxnSpec:
+        tenant = rng.randrange(self.tables)
+        name = self.table_name(tenant)
+        key = rng.randrange(self.rows_per_table)
+        if rng.random() < self.read_fraction:
+            sql = (f"SELECT COUNT(*), SUM(v) FROM {name} "
+                   f"WHERE k BETWEEN {key} AND {key + 50}")
+            return TxnSpec([(sql, [])], True, [f"shop.{name}"],
+                           kind=f"scan_{tenant}")
+        sql = f"UPDATE {name} SET v = v + 1 WHERE k = {key}"
+        return TxnSpec([(sql, [])], False, [f"shop.{name}"],
+                       kind=f"write_{tenant}")

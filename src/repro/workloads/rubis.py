@@ -1,0 +1,102 @@
+"""A RUBiS-shaped auction workload [2] (paper section 3.4).
+
+Shape-level: users, auction items and bids; the *browsing mix* is pure
+reads, the *bidding mix* is ~85% reads with bid/comment writes on hot
+items — contention concentrates on popular auctions, which is what makes
+multi-master certification abort rates interesting (E06).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from .generator import TxnSpec, Workload, zipf_choice
+
+
+class RubisWorkload(Workload):
+    name = "rubis"
+
+    def __init__(self, items: int = 300, users: int = 150,
+                 mix: str = "bidding"):
+        if mix not in ("browsing", "bidding"):
+            raise ValueError(f"unknown RUBiS mix {mix!r}")
+        self.items = items
+        self.users = users
+        self.mix = mix
+        self.read_fraction = 1.0 if mix == "browsing" else 0.85
+        self._bid_id = 0
+
+    def setup_sql(self) -> List[str]:
+        statements = [
+            """CREATE TABLE users (
+                u_id INT PRIMARY KEY, u_nickname VARCHAR(20),
+                u_rating INT)""",
+            """CREATE TABLE auction_items (
+                ai_id INT PRIMARY KEY, ai_name VARCHAR(40),
+                ai_seller INT, ai_max_bid FLOAT, ai_nb_bids INT,
+                ai_category VARCHAR(16))""",
+            """CREATE TABLE bids (
+                b_id INT PRIMARY KEY, b_item INT, b_user INT,
+                b_amount FLOAT)""",
+        ]
+        rng = random.Random(23)
+        categories = ("ART", "BOOKS", "CARS", "MUSIC", "TOYS")
+        for user in range(self.users):
+            statements.append(
+                f"INSERT INTO users (u_id, u_nickname, u_rating) "
+                f"VALUES ({user}, 'nick{user}', {rng.randrange(0, 100)})")
+        for item in range(self.items):
+            category = categories[item % len(categories)]
+            seller = rng.randrange(self.users)
+            start = round(rng.uniform(1, 50), 2)
+            statements.append(
+                f"INSERT INTO auction_items "
+                f"(ai_id, ai_name, ai_seller, ai_max_bid, ai_nb_bids, ai_category) "
+                f"VALUES ({item}, 'item{item}', {seller}, {start}, 0, '{category}')")
+        return statements
+
+    def read_fraction_estimate(self) -> float:
+        return self.read_fraction
+
+    def next_transaction(self, rng: random.Random) -> TxnSpec:
+        if rng.random() < self.read_fraction:
+            return self._browse(rng)
+        return self._place_bid(rng)
+
+    def _browse(self, rng: random.Random) -> TxnSpec:
+        roll = rng.random()
+        if roll < 0.4:
+            item = zipf_choice(rng, self.items, 1.3)
+            sql = (f"SELECT ai_name, ai_max_bid, ai_nb_bids "
+                   f"FROM auction_items WHERE ai_id = {item}")
+            return TxnSpec([(sql, [])], True, ["auction_items"],
+                           kind="view_item")
+        if roll < 0.7:
+            category = ("ART", "BOOKS", "CARS")[rng.randrange(3)]
+            sql = (f"SELECT ai_id, ai_name, ai_max_bid FROM auction_items "
+                   f"WHERE ai_category = '{category}' "
+                   f"ORDER BY ai_max_bid DESC LIMIT 15")
+            return TxnSpec([(sql, [])], True, ["auction_items"],
+                           kind="browse_category")
+        item = zipf_choice(rng, self.items, 1.3)
+        sql = (f"SELECT b_user, b_amount FROM bids WHERE b_item = {item} "
+               f"ORDER BY b_amount DESC LIMIT 10")
+        return TxnSpec([(sql, [])], True, ["bids"], kind="bid_history")
+
+    def _place_bid(self, rng: random.Random) -> TxnSpec:
+        # bids concentrate on hot auctions -> write-write conflicts
+        item = zipf_choice(rng, self.items, 1.5)
+        user = rng.randrange(self.users)
+        amount = round(rng.uniform(10, 500), 2)
+        self._bid_id += 1
+        bid_id = self._bid_id * 1000 + rng.randrange(1000)
+        statements = [
+            (f"INSERT INTO bids (b_id, b_item, b_user, b_amount) "
+             f"VALUES ({bid_id}, {item}, {user}, {amount})", []),
+            (f"UPDATE auction_items SET ai_nb_bids = ai_nb_bids + 1, "
+             f"ai_max_bid = GREATEST(ai_max_bid, {amount}) "
+             f"WHERE ai_id = {item}", []),
+        ]
+        return TxnSpec(statements, False, ["bids", "auction_items"],
+                       kind="place_bid")

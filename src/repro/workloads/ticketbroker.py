@@ -1,0 +1,102 @@
+"""The Fortune-500 travel ticket broker workload (paper section 1).
+
+"a workload where 95% of transactions were read-only.  Still, the 5%
+write workload resulted in thousands of update requests per second" —
+synchronous replication could not keep up, and sub-minute failover was a
+business requirement ("the competition is one click away").
+
+Schema: travel inventory (flights/hotels/cars as ``offers``), bookings,
+and agencies.  Reads are availability searches and booking lookups;
+writes are new bookings and inventory adjustments.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from .generator import TxnSpec, Workload, zipf_choice
+
+
+class TicketBrokerWorkload(Workload):
+    name = "ticket_broker"
+
+    def __init__(self, offers: int = 200, agencies: int = 50,
+                 read_fraction: float = 0.95, hot_skew: float = 1.2):
+        self.offers = offers
+        self.agencies = agencies
+        self.read_fraction = read_fraction
+        self.hot_skew = hot_skew
+        self._booking_id = 0
+
+    def setup_sql(self) -> List[str]:
+        statements = [
+            """CREATE TABLE offers (
+                id INT PRIMARY KEY, kind VARCHAR(10), destination VARCHAR(20),
+                seats INT, price FLOAT)""",
+            """CREATE TABLE bookings (
+                id INT PRIMARY KEY, offer_id INT, agency_id INT,
+                seats INT, status VARCHAR(12))""",
+            """CREATE TABLE agencies (
+                id INT PRIMARY KEY, name VARCHAR(40), country VARCHAR(8))""",
+        ]
+        rng = random.Random(99)
+        kinds = ("flight", "hotel", "car")
+        destinations = ("PAR", "NYC", "TYO", "SFO", "LON", "SIN", "BER", "ROM")
+        for offer in range(self.offers):
+            kind = kinds[offer % len(kinds)]
+            destination = destinations[offer % len(destinations)]
+            seats = rng.randrange(50, 300)
+            price = round(rng.uniform(40, 900), 2)
+            statements.append(
+                f"INSERT INTO offers (id, kind, destination, seats, price) "
+                f"VALUES ({offer}, '{kind}', '{destination}', {seats}, {price})")
+        for agency in range(self.agencies):
+            country = destinations[agency % len(destinations)][:2]
+            statements.append(
+                f"INSERT INTO agencies (id, name, country) "
+                f"VALUES ({agency}, 'agency{agency}', '{country}')")
+        return statements
+
+    def read_fraction_estimate(self) -> float:
+        return self.read_fraction
+
+    def next_transaction(self, rng: random.Random) -> TxnSpec:
+        if rng.random() < self.read_fraction:
+            return self._read_transaction(rng)
+        return self._write_transaction(rng)
+
+    def _read_transaction(self, rng: random.Random) -> TxnSpec:
+        roll = rng.random()
+        if roll < 0.5:
+            # availability search on a (skewed) popular offer
+            offer = zipf_choice(rng, self.offers, self.hot_skew)
+            sql = (f"SELECT id, seats, price FROM offers "
+                   f"WHERE id = {offer} AND seats > 0")
+            return TxnSpec([(sql, [])], True, ["offers"], kind="search")
+        if roll < 0.8:
+            destination = ("PAR", "NYC", "TYO", "SFO")[rng.randrange(4)]
+            sql = (f"SELECT id, kind, price FROM offers "
+                   f"WHERE destination = '{destination}' "
+                   f"ORDER BY price LIMIT 10")
+            return TxnSpec([(sql, [])], True, ["offers"], kind="browse")
+        agency = rng.randrange(self.agencies)
+        sql = (f"SELECT COUNT(*), SUM(seats) FROM bookings "
+               f"WHERE agency_id = {agency}")
+        return TxnSpec([(sql, [])], True, ["bookings"], kind="report")
+
+    def _write_transaction(self, rng: random.Random) -> TxnSpec:
+        offer = zipf_choice(rng, self.offers, self.hot_skew)
+        agency = rng.randrange(self.agencies)
+        seats = rng.randrange(1, 4)
+        self._booking_id += 1
+        booking_id = self._booking_id * 1000 + rng.randrange(1000)
+        statements = [
+            (f"UPDATE offers SET seats = seats - {seats} "
+             f"WHERE id = {offer} AND seats >= {seats}", []),
+            (f"INSERT INTO bookings (id, offer_id, agency_id, seats, status) "
+             f"VALUES ({booking_id}, {offer}, {agency}, {seats}, 'confirmed')",
+             []),
+        ]
+        return TxnSpec(statements, False, ["offers", "bookings"],
+                       kind="booking")

@@ -1,0 +1,120 @@
+"""A TPC-W-shaped web commerce workload (paper section 3.4).
+
+Shape-level reproduction of the browsing/shopping mixes used to evaluate
+Tashkent, Ganymed and C-JDBC: a product catalog, customers, carts and
+orders; the *browsing mix* is ~95% reads, the *shopping mix* ~80%, the
+*ordering mix* ~50% — the three standard TPC-W mixes.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List
+
+from .generator import TxnSpec, Workload, zipf_choice
+
+MIXES = {
+    "browsing": 0.95,
+    "shopping": 0.80,
+    "ordering": 0.50,
+}
+
+
+class TpcWWorkload(Workload):
+    name = "tpcw"
+
+    def __init__(self, items: int = 500, customers: int = 200,
+                 mix: str = "shopping"):
+        if mix not in MIXES:
+            raise ValueError(f"unknown TPC-W mix {mix!r}")
+        self.items = items
+        self.customers = customers
+        self.mix = mix
+        self.read_fraction = MIXES[mix]
+        self._order_id = 0
+
+    def setup_sql(self) -> List[str]:
+        statements = [
+            """CREATE TABLE item (
+                i_id INT PRIMARY KEY, i_title VARCHAR(60),
+                i_stock INT, i_cost FLOAT, i_subject VARCHAR(16))""",
+            """CREATE TABLE customer (
+                c_id INT PRIMARY KEY, c_uname VARCHAR(20),
+                c_discount FLOAT)""",
+            """CREATE TABLE orders (
+                o_id INT PRIMARY KEY, o_c_id INT, o_total FLOAT,
+                o_status VARCHAR(12))""",
+            """CREATE TABLE order_line (
+                ol_id INT PRIMARY KEY, ol_o_id INT, ol_i_id INT,
+                ol_qty INT)""",
+        ]
+        rng = random.Random(17)
+        subjects = ("ARTS", "BIOGRAPHIES", "COMPUTERS", "COOKING",
+                    "HISTORY", "TRAVEL")
+        for item in range(self.items):
+            subject = subjects[item % len(subjects)]
+            stock = rng.randrange(10, 100)
+            cost = round(rng.uniform(5, 120), 2)
+            statements.append(
+                f"INSERT INTO item (i_id, i_title, i_stock, i_cost, i_subject) "
+                f"VALUES ({item}, 'title{item}', {stock}, {cost}, '{subject}')")
+        for customer in range(self.customers):
+            discount = round(rng.uniform(0, 0.3), 2)
+            statements.append(
+                f"INSERT INTO customer (c_id, c_uname, c_discount) "
+                f"VALUES ({customer}, 'user{customer}', {discount})")
+        return statements
+
+    def read_fraction_estimate(self) -> float:
+        return self.read_fraction
+
+    def next_transaction(self, rng: random.Random) -> TxnSpec:
+        if rng.random() < self.read_fraction:
+            return self._web_interaction(rng)
+        return self._buy_request(rng)
+
+    def _web_interaction(self, rng: random.Random) -> TxnSpec:
+        roll = rng.random()
+        if roll < 0.4:
+            item = zipf_choice(rng, self.items, 1.1)
+            sql = f"SELECT i_title, i_cost, i_stock FROM item WHERE i_id = {item}"
+            return TxnSpec([(sql, [])], True, ["item"], kind="product_detail")
+        if roll < 0.7:
+            subject = ("ARTS", "COMPUTERS", "TRAVEL")[rng.randrange(3)]
+            sql = (f"SELECT i_id, i_title, i_cost FROM item "
+                   f"WHERE i_subject = '{subject}' ORDER BY i_cost LIMIT 20")
+            return TxnSpec([(sql, [])], True, ["item"], kind="search")
+        if roll < 0.9:
+            sql = ("SELECT i_id, i_title FROM item "
+                   "ORDER BY i_stock DESC LIMIT 10")
+            return TxnSpec([(sql, [])], True, ["item"], kind="best_sellers")
+        customer = rng.randrange(self.customers)
+        sql = (f"SELECT o_id, o_total, o_status FROM orders "
+               f"WHERE o_c_id = {customer} ORDER BY o_id DESC LIMIT 5")
+        return TxnSpec([(sql, [])], True, ["orders"], kind="order_display")
+
+    def _buy_request(self, rng: random.Random) -> TxnSpec:
+        customer = rng.randrange(self.customers)
+        self._order_id += 1
+        order_id = self._order_id * 1000 + rng.randrange(1000)
+        lines = rng.randrange(1, 4)
+        statements = [(
+            f"INSERT INTO orders (o_id, o_c_id, o_total, o_status) "
+            f"VALUES ({order_id}, {customer}, 0.0, 'pending')", [])]
+        total = 0.0
+        for line in range(lines):
+            item = zipf_choice(rng, self.items, 1.1)
+            qty = rng.randrange(1, 3)
+            statements.append((
+                f"INSERT INTO order_line (ol_id, ol_o_id, ol_i_id, ol_qty) "
+                f"VALUES ({order_id * 10 + line}, {order_id}, {item}, {qty})",
+                []))
+            statements.append((
+                f"UPDATE item SET i_stock = i_stock - {qty} "
+                f"WHERE i_id = {item} AND i_stock >= {qty}", []))
+            total += qty * 20.0
+        statements.append((
+            f"UPDATE orders SET o_total = {total}, o_status = 'committed' "
+            f"WHERE o_id = {order_id}", []))
+        return TxnSpec(statements, False,
+                       ["orders", "order_line", "item"], kind="buy")

@@ -1,0 +1,312 @@
+"""Nodes, group communication, heartbeats, fault injection."""
+
+import pytest
+
+from repro.cluster import (
+    Environment, FaultInjector, HeartbeatDetector, Network, Node, NodeDown,
+    TcpKeepaliveDetector, TotalOrderChannel,
+)
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+# ---------------------------------------------------------------------------
+# nodes
+# ---------------------------------------------------------------------------
+
+class TestNodes:
+    def test_execute_charges_time(self, env):
+        node = Node(env, "n1")
+
+        def proc():
+            yield from node.execute(0.5)
+            return env.now
+
+        p = env.process(proc())
+        env.run()
+        assert p.value == pytest.approx(0.5)
+
+    def test_speed_factor(self, env):
+        node = Node(env, "n1", speed_factor=2.0)
+
+        def proc():
+            yield from node.execute(1.0)
+            return env.now
+
+        p = env.process(proc())
+        env.run()
+        assert p.value == pytest.approx(0.5)
+
+    def test_silent_disk_degradation(self, env):
+        """RAID battery dies: IO is 2x slower, nobody is told (4.1.3)."""
+        node = Node(env, "n1")
+        node.degrade_disk(2.0)
+
+        def proc():
+            yield from node.execute(1.0, io_fraction=1.0)
+            return env.now
+
+        p = env.process(proc())
+        env.run()
+        assert p.value == pytest.approx(2.0)
+
+    def test_cpu_queueing(self, env):
+        node = Node(env, "n1", cores=1)
+        completions = []
+
+        def proc(name):
+            yield from node.execute(1.0)
+            completions.append((name, env.now))
+
+        env.process(proc("a"))
+        env.process(proc("b"))
+        env.run()
+        assert [t for _n, t in completions] == [1.0, 2.0]
+
+    def test_crashed_node_rejects_work(self, env):
+        node = Node(env, "n1")
+        node.crash()
+
+        def proc():
+            yield from node.execute(1.0)
+
+        env.process(proc())
+        with pytest.raises(NodeDown):
+            env.run()
+
+    def test_downtime_accounting(self, env):
+        node = Node(env, "n1")
+
+        def scenario():
+            yield env.timeout(5)
+            node.crash()
+            yield env.timeout(3)
+            node.recover()
+
+        env.process(scenario())
+        env.run()
+        assert node.total_downtime == pytest.approx(3.0)
+        assert node.crash_count == 1
+
+
+# ---------------------------------------------------------------------------
+# total order multicast
+# ---------------------------------------------------------------------------
+
+class TestGroupComm:
+    def _deliveries(self, env, protocol, members=3, messages=6):
+        net = Network(env)
+        channel = TotalOrderChannel(env, net, "g", protocol=protocol)
+        log = {f"m{i}": [] for i in range(members)}
+        for name in log:
+            channel.join(name, lambda d, name=name: log[name].append(
+                (d.seq, d.payload)))
+
+        def sender():
+            for index in range(messages):
+                channel.multicast(f"m{index % members}", f"msg{index}")
+                yield env.timeout(0.002)
+
+        env.process(sender())
+        env.run(until=5.0)
+        channel.stop()
+        return channel, log
+
+    def test_sequencer_total_order(self, env):
+        channel, log = self._deliveries(env, "sequencer")
+        sequences = list(log.values())
+        assert all(s == sequences[0] for s in sequences)
+        assert [seq for seq, _p in sequences[0]] == [1, 2, 3, 4, 5, 6]
+
+    def test_token_total_order(self, env):
+        channel, log = self._deliveries(env, "token")
+        sequences = list(log.values())
+        assert all(s == sequences[0] for s in sequences)
+        assert len(sequences[0]) == 6
+
+    def test_multicast_completion_event(self, env):
+        net = Network(env)
+        channel = TotalOrderChannel(env, net, "g")
+        channel.join("a", lambda d: None)
+        channel.join("b", lambda d: None)
+        done = channel.multicast("a", "x")
+        env.run(until=1.0)
+        assert done.triggered
+
+    def test_leaving_member_stops_receiving(self, env):
+        net = Network(env)
+        channel = TotalOrderChannel(env, net, "g")
+        got = {"a": [], "b": []}
+        channel.join("a", lambda d: got["a"].append(d.payload))
+        channel.join("b", lambda d: got["b"].append(d.payload))
+        channel.multicast("a", "first")
+        env.run(until=0.5)
+        channel.leave("b")
+        channel.multicast("a", "second")
+        env.run(until=1.0)
+        assert got["a"] == ["first", "second"]
+        assert got["b"] == ["first"]
+
+    def test_view_change_notifications(self, env):
+        net = Network(env)
+        channel = TotalOrderChannel(env, net, "g")
+        views = []
+        channel.on_view_change(lambda vid, view: views.append(list(view)))
+        channel.join("a", lambda d: None)
+        channel.join("b", lambda d: None)
+        channel.leave("a")
+        assert views == [["a"], ["a", "b"], ["b"]]
+        assert channel.sequencer == "b"
+
+    def test_latency_grows_with_group_size(self, env):
+        """Section 4.3.4.1: GC is an intrinsic scalability limit."""
+        def mean_latency(members):
+            local_env = Environment()
+            net = Network(local_env)
+            channel = TotalOrderChannel(local_env, net, "g")
+            for index in range(members):
+                channel.join(f"m{index}", lambda d: None)
+
+            def sender():
+                for _ in range(20):
+                    channel.multicast("m0", "x")
+                    yield local_env.timeout(0.01)
+
+            local_env.process(sender())
+            local_env.run(until=2.0)
+            return channel.mean_delivery_latency()
+
+        assert mean_latency(8) > 0
+
+    def test_state_transfer_cost_scales(self, env):
+        net = Network(env)
+        channel = TotalOrderChannel(env, net, "g")
+        small = channel.state_transfer("donor", "joiner", state_size=10)
+        env.run()
+        t_small = env.now
+        big = channel.state_transfer("donor", "joiner", state_size=10000)
+        env.run()
+        assert (env.now - t_small) > t_small
+
+
+# ---------------------------------------------------------------------------
+# failure detectors
+# ---------------------------------------------------------------------------
+
+class TestDetectors:
+    def test_heartbeat_detects_crash(self, env):
+        net = Network(env)
+        node = Node(env, "db1")
+        detector = HeartbeatDetector(env, net, "mon", interval=0.5,
+                                     timeout=0.5, miss_threshold=3)
+        detector.watch(node)
+        detector.start()
+        injector = FaultInjector(env, network=net)
+        injector.crash_at(node, time=5.0)
+        env.run(until=20.0)
+        detector.stop()
+        real = [d for d in detector.detections if not d.false_positive]
+        assert len(real) == 1
+        assert 0 < real[0].detection_latency < 5.0
+
+    def test_heartbeat_false_positive_under_load(self, env):
+        """Aggressive timeout + busy node = false positive (4.3.4.2)."""
+        net = Network(env)
+        node = Node(env, "db1", cores=1)
+        detector = HeartbeatDetector(env, net, "mon", interval=0.05,
+                                     timeout=0.05, miss_threshold=2,
+                                     ping_service_time=0.001)
+        detector.watch(node)
+        detector.start()
+
+        def hog():
+            while env.now < 5.0:
+                yield from node.execute(0.5)
+
+        env.process(hog())
+        env.run(until=5.0)
+        detector.stop()
+        assert any(d.false_positive for d in detector.detections)
+
+    def test_tcp_keepalive_slow_detection(self, env):
+        node = Node(env, "db1")
+        detector = TcpKeepaliveDetector(env, keepalive_timeout=120.0)
+        detector.watch(node)
+
+        def fault():
+            yield env.timeout(10.0)
+            node.crash()
+
+        env.process(fault())
+        env.run(until=300.0)
+        assert detector.detections
+        assert detector.detections[0].detection_latency >= 100.0
+
+    def test_heartbeat_recovery_callback(self, env):
+        net = Network(env)
+        node = Node(env, "db1")
+        detector = HeartbeatDetector(env, net, "mon", interval=0.5,
+                                     timeout=0.5, miss_threshold=2)
+        detector.watch(node)
+        detector.start()
+        events = []
+        detector.on_failure(lambda t: events.append(("down", env.now)))
+        detector.on_recovery(lambda t: events.append(("up", env.now)))
+        injector = FaultInjector(env, network=net)
+        injector.crash_at(node, time=2.0, repair_after=5.0)
+
+        def unping_fix():
+            # bring the ping endpoint back when the node recovers
+            yield env.timeout(7.5)
+            net.set_endpoint_down("ping:db1", False)
+
+        env.process(unping_fix())
+        env.run(until=20.0)
+        detector.stop()
+        kinds = [k for k, _t in events]
+        assert "down" in kinds and "up" in kinds
+
+
+# ---------------------------------------------------------------------------
+# fault injection
+# ---------------------------------------------------------------------------
+
+class TestFaultInjector:
+    def test_poisson_failure_rate_roughly_matches_paper(self, env):
+        """1 failure/day/200 CPUs: with 200 nodes over 10 simulated days we
+        expect on the order of 10 crashes."""
+        nodes = [Node(env, f"n{i}") for i in range(200)]
+        injector = FaultInjector(env, seed=9)
+        injector.poisson_crashes(nodes, mean_repair_time=600.0)
+        env.run(until=10 * 86400.0)
+        injector.stop()
+        crashes = injector.count("crash")
+        assert 3 <= crashes <= 30  # Poisson around 10
+
+    def test_rack_outage_simultaneous(self, env):
+        nodes = [Node(env, f"n{i}") for i in range(4)]
+        injector = FaultInjector(env)
+        injector.rack_outage_at(nodes[:2], time=1.0, repair_after=2.0)
+        env.run(until=2.0)
+        assert not nodes[0].up and not nodes[1].up and nodes[2].up
+        env.run(until=5.0)
+        assert nodes[0].up and nodes[1].up
+
+    def test_partition_injection(self, env):
+        net = Network(env)
+        injector = FaultInjector(env, network=net)
+        injector.partition_at([{"a"}, {"b"}], time=1.0, heal_after=2.0)
+        env.run(until=1.5)
+        assert not net.connected("a", "b")
+        env.run(until=4.0)
+        assert net.connected("a", "b")
+
+    def test_disk_degradation_injection(self, env):
+        node = Node(env, "n1")
+        injector = FaultInjector(env)
+        injector.degrade_disk_at(node, time=1.0, factor=2.0)
+        env.run(until=2.0)
+        assert node.disk_factor == pytest.approx(0.5)

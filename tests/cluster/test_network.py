@@ -1,0 +1,171 @@
+"""Network fabric tests: latency, partitions, RPC timeout semantics."""
+
+import pytest
+
+from repro.cluster import (
+    Environment, LatencyModel, Network, NetworkTimeout, Node, rpc_endpoint,
+)
+
+
+@pytest.fixture
+def env():
+    return Environment()
+
+
+def test_send_delivers_after_latency(env):
+    net = Network(env, LatencyModel(base=0.01, jitter=0.0))
+    got = []
+    net.register("dst", lambda m: got.append((env.now, m.payload)))
+    net.send("src", "dst", "hello")
+    env.run()
+    assert got and got[0][1] == "hello"
+    assert got[0][0] >= 0.01
+
+
+def test_rpc_round_trip(env):
+    net = Network(env, LatencyModel(base=0.01, jitter=0.0))
+    rpc_endpoint(net, "server", lambda payload, sender: payload + 1)
+
+    def client():
+        value = yield from net.rpc("client", "server", 41)
+        return (value, env.now)
+
+    p = env.process(client())
+    env.run()
+    value, elapsed = p.value
+    assert value == 42
+    assert elapsed >= 0.02  # two hops
+
+
+def test_rpc_handler_exception_travels_back(env):
+    net = Network(env)
+
+    def handler(payload, sender):
+        raise RuntimeError("server-side boom")
+
+    rpc_endpoint(net, "server", handler)
+
+    def client():
+        try:
+            yield from net.rpc("client", "server", 1)
+        except RuntimeError as exc:
+            return str(exc)
+
+    p = env.process(client())
+    env.run()
+    assert p.value == "server-side boom"
+
+
+def test_rpc_generator_handler(env):
+    net = Network(env)
+    node = Node(env, "srv")
+
+    def handler(payload, sender):
+        yield from node.execute(0.05)
+        return payload * 2
+
+    rpc_endpoint(net, "server", handler)
+
+    def client():
+        value = yield from net.rpc("client", "server", 21)
+        return (value, env.now)
+
+    p = env.process(client())
+    env.run()
+    assert p.value[0] == 42
+    assert p.value[1] >= 0.05
+
+
+def test_partition_drops_traffic_silently(env):
+    net = Network(env)
+    got = []
+    net.register("dst", lambda m: got.append(m))
+    net.partition({"src"}, {"dst"})
+    net.send("src", "dst", "lost")
+    env.run()
+    assert not got
+    assert net.messages_dropped == 1
+
+
+def test_partition_heals(env):
+    net = Network(env)
+    got = []
+    net.register("dst", lambda m: got.append(m))
+    net.partition({"src"}, {"dst"})
+    net.heal_partition()
+    net.send("src", "dst", "ok")
+    env.run()
+    assert len(got) == 1
+
+
+def test_rpc_hangs_until_timeout_on_partition(env):
+    """Section 4.3.4.2: no connection reset — the caller waits the full
+    timeout, like TCP with default keep-alive."""
+    net = Network(env)
+    rpc_endpoint(net, "server", lambda p, s: p)
+    net.partition({"client"}, {"server"})
+
+    def client():
+        try:
+            yield from net.rpc("client", "server", 1, timeout=7.0)
+        except NetworkTimeout:
+            return env.now
+
+    p = env.process(client())
+    env.run()
+    assert p.value == pytest.approx(7.0)
+
+
+def test_down_endpoint_swallows_messages(env):
+    net = Network(env)
+    got = []
+    net.register("dst", lambda m: got.append(m))
+    net.set_endpoint_down("dst")
+    net.send("src", "dst", "x")
+    env.run()
+    assert not got
+    net.set_endpoint_down("dst", False)
+    net.send("src", "dst", "y")
+    env.run()
+    assert len(got) == 1
+
+
+def test_drop_rate(env):
+    net = Network(env, drop_rate=1.0)
+    got = []
+    net.register("dst", lambda m: got.append(m))
+    for _ in range(10):
+        net.send("src", "dst", "x")
+    env.run()
+    assert not got and net.messages_dropped == 10
+
+
+def test_latency_pair_override(env):
+    model = LatencyModel(base=0.001, jitter=0.0)
+    model.set_pair("eu", "us", 0.08)  # transatlantic
+    assert model.sample("eu", "us") == pytest.approx(0.08)
+    assert model.sample("a", "b") == pytest.approx(0.001)
+
+
+def test_link_degradation(env):
+    """Crimped cable: 10x latency factor (section 4.1.3)."""
+    model = LatencyModel(base=0.001, jitter=0.0)
+    model.degrade("a", "b", 10.0)
+    assert model.sample("a", "b") == pytest.approx(0.01)
+    model.heal_link("a", "b")
+    assert model.sample("a", "b") == pytest.approx(0.001)
+
+
+def test_size_scales_latency(env):
+    model = LatencyModel(base=0.001, jitter=0.0)
+    assert model.sample("a", "b", size=100) == pytest.approx(0.1)
+
+
+def test_statistics_counted(env):
+    net = Network(env)
+    net.register("dst", lambda m: None)
+    net.send("src", "dst", "x", size=5)
+    env.run()
+    assert net.messages_sent == 1
+    assert net.messages_delivered == 1
+    assert net.bytes_sent == 5

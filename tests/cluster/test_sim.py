@@ -1,0 +1,255 @@
+"""Discrete-event simulation kernel tests."""
+
+import pytest
+
+from repro.cluster.sim import (
+    Environment, Interrupt, Resource, SimulationError, Store,
+)
+
+
+def test_timeout_advances_clock():
+    env = Environment()
+    done = []
+
+    def proc():
+        yield env.timeout(2.5)
+        done.append(env.now)
+
+    env.process(proc())
+    env.run()
+    assert done == [2.5]
+
+
+def test_processes_interleave_in_time_order():
+    env = Environment()
+    order = []
+
+    def proc(name, delay):
+        yield env.timeout(delay)
+        order.append(name)
+
+    env.process(proc("slow", 3))
+    env.process(proc("fast", 1))
+    env.process(proc("mid", 2))
+    env.run()
+    assert order == ["fast", "mid", "slow"]
+
+
+def test_run_until_limit():
+    env = Environment()
+
+    def proc():
+        while True:
+            yield env.timeout(1)
+
+    env.process(proc())
+    env.run(until=5.5)
+    assert env.now == 5.5
+
+
+def test_process_return_value():
+    env = Environment()
+
+    def child():
+        yield env.timeout(1)
+        return 42
+
+    def parent():
+        value = yield env.process(child())
+        return value * 2
+
+    p = env.process(parent())
+    env.run()
+    assert p.value == 84
+
+
+def test_all_of_waits_for_all():
+    env = Environment()
+
+    def child(delay):
+        yield env.timeout(delay)
+        return delay
+
+    def parent():
+        values = yield env.all_of([
+            env.process(child(1)), env.process(child(3)),
+            env.process(child(2)),
+        ])
+        return (env.now, values)
+
+    p = env.process(parent())
+    env.run()
+    assert p.value == (3, [1, 3, 2])
+
+
+def test_any_of_returns_first():
+    env = Environment()
+
+    def parent():
+        value = yield env.any_of([env.timeout(5, "slow"),
+                                  env.timeout(1, "fast")])
+        return (env.now, value)
+
+    p = env.process(parent())
+    env.run()
+    assert p.value == (1, "fast")
+
+
+def test_process_exception_surfaces():
+    env = Environment()
+
+    def bad():
+        yield env.timeout(1)
+        raise ValueError("boom")
+
+    env.process(bad())
+    with pytest.raises(ValueError):
+        env.run()
+
+
+def test_exception_propagates_to_waiter():
+    env = Environment()
+
+    def bad():
+        yield env.timeout(1)
+        raise ValueError("boom")
+
+    def parent():
+        try:
+            yield env.process(bad())
+        except ValueError:
+            return "caught"
+
+    p = env.process(parent())
+    env.run()
+    assert p.value == "caught"
+
+
+def test_yield_non_event_fails():
+    env = Environment()
+
+    def bad():
+        yield 42
+
+    env.process(bad())
+    with pytest.raises(SimulationError):
+        env.run()
+
+
+def test_negative_delay_rejected():
+    env = Environment()
+    with pytest.raises(SimulationError):
+        env.timeout(-1)
+
+
+def test_interrupt():
+    env = Environment()
+
+    def sleeper():
+        try:
+            yield env.timeout(100)
+        except Interrupt as interrupt:
+            return ("interrupted", interrupt.cause, env.now)
+
+    p = env.process(sleeper())
+
+    def interrupter():
+        yield env.timeout(2)
+        p.interrupt("wake up")
+
+    env.process(interrupter())
+    env.run(until=10)
+    assert p.value == ("interrupted", "wake up", 2)
+
+
+def test_resource_queueing():
+    env = Environment()
+    resource = Resource(env, capacity=1)
+    finished = []
+
+    def worker(name):
+        request = resource.request()
+        yield request
+        yield env.timeout(2)
+        resource.release()
+        finished.append((name, env.now))
+
+    env.process(worker("a"))
+    env.process(worker("b"))
+    env.run()
+    assert finished == [("a", 2), ("b", 4)]
+
+
+def test_resource_capacity_two():
+    env = Environment()
+    resource = Resource(env, capacity=2)
+    finished = []
+
+    def worker(name):
+        yield resource.request()
+        yield env.timeout(2)
+        resource.release()
+        finished.append((name, env.now))
+
+    for name in "abc":
+        env.process(worker(name))
+    env.run()
+    assert [t for _n, t in finished] == [2, 2, 4]
+
+
+def test_resource_release_without_request():
+    env = Environment()
+    resource = Resource(env, capacity=1)
+    with pytest.raises(SimulationError):
+        resource.release()
+
+
+def test_store_fifo():
+    env = Environment()
+    store = Store(env)
+    got = []
+
+    def consumer():
+        for _ in range(3):
+            item = yield store.get()
+            got.append(item)
+
+    def producer():
+        for item in "xyz":
+            yield env.timeout(1)
+            store.put(item)
+
+    env.process(consumer())
+    env.process(producer())
+    env.run()
+    assert got == ["x", "y", "z"]
+
+
+def test_run_until_event():
+    env = Environment()
+    target = env.event()
+
+    def proc():
+        yield env.timeout(3)
+        target.succeed("ready")
+
+    env.process(proc())
+    value = env.run_until(target)
+    assert value == "ready" and env.now == 3
+
+
+def test_deterministic_given_same_seed_structure():
+    def build():
+        env = Environment()
+        trace = []
+
+        def proc(name, delay):
+            yield env.timeout(delay)
+            trace.append((env.now, name))
+
+        for index in range(5):
+            env.process(proc(f"p{index}", (index * 7) % 3 + 0.5))
+        env.run()
+        return trace
+
+    assert build() == build()

@@ -1,0 +1,99 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.core import (
+    MiddlewareConfig, Replica, ReplicationMiddleware, protocol_by_name,
+)
+from repro.sqlengine import Engine, generic, mysql, oracle, postgresql, sybase
+
+
+@pytest.fixture
+def engine():
+    """A generic-dialect engine with a ``shop`` database."""
+    e = Engine("test", dialect=generic(), seed=42)
+    e.create_database("shop")
+    return e
+
+
+@pytest.fixture
+def conn(engine):
+    connection = engine.connect(database="shop")
+    yield connection
+    connection.close()
+
+
+@pytest.fixture
+def pg_engine():
+    e = Engine("pg", dialect=postgresql(), seed=42)
+    e.create_database("shop")
+    return e
+
+
+@pytest.fixture
+def mysql_engine():
+    e = Engine("my", dialect=mysql(), seed=42)
+    e.create_database("shop")
+    return e
+
+
+@pytest.fixture
+def sybase_engine():
+    e = Engine("syb", dialect=sybase(), seed=42)
+    e.create_database("shop")
+    return e
+
+
+@pytest.fixture
+def oracle_engine():
+    e = Engine("ora", dialect=oracle(), seed=42)
+    e.create_database("shop")
+    return e
+
+
+def make_replicas(count, dialect_factory=postgresql, database="shop",
+                  schema=None, prefix="r"):
+    """Build replicas sharing an identical schema."""
+    replicas = []
+    for index in range(count):
+        engine = Engine(f"{prefix}{index}", dialect=dialect_factory(),
+                        seed=500 + index)
+        engine.create_database(database)
+        if schema:
+            connection = engine.connect(database=database)
+            for sql in schema:
+                connection.execute(sql)
+            connection.close()
+        replicas.append(Replica(f"{prefix}{index}", engine))
+    return replicas
+
+
+KV_SCHEMA = ["CREATE TABLE kv (k INT PRIMARY KEY, v INT)"]
+
+
+def seed_kv(middleware, rows=10):
+    session = middleware.connect(database="shop")
+    for key in range(rows):
+        session.execute(f"INSERT INTO kv (k, v) VALUES ({key}, 0)")
+    session.close()
+
+
+@pytest.fixture
+def statement_cluster():
+    replicas = make_replicas(3, schema=KV_SCHEMA)
+    middleware = ReplicationMiddleware(
+        replicas, MiddlewareConfig(replication="statement"))
+    seed_kv(middleware)
+    return middleware
+
+
+@pytest.fixture
+def writeset_cluster():
+    replicas = make_replicas(3, schema=KV_SCHEMA)
+    middleware = ReplicationMiddleware(
+        replicas,
+        MiddlewareConfig(replication="writeset", propagation="sync",
+                         consistency=protocol_by_name("gsi")))
+    middleware.interleave_auto_increment()
+    seed_kv(middleware)
+    return middleware

@@ -1,0 +1,129 @@
+"""Statement analysis and non-determinism rewriting tests."""
+
+from repro.core import analyze, rewrite_nondeterministic
+from repro.sqlengine.parser import parse
+
+
+def info_of(sql):
+    return analyze(parse(sql))
+
+
+def test_select_is_read_only():
+    info = info_of("SELECT * FROM t WHERE x = 1")
+    assert info.is_read_only and not info.is_write
+    assert "t" in info.tables_read
+
+
+def test_select_for_update_is_write():
+    assert info_of("SELECT * FROM t FOR UPDATE").is_write
+
+
+def test_dml_classification():
+    assert info_of("INSERT INTO t (a) VALUES (1)").is_write
+    assert info_of("UPDATE t SET a = 1").is_write
+    assert info_of("DELETE FROM t").is_write
+    assert "t" in info_of("UPDATE t SET a = 1").tables_written
+
+
+def test_ddl_classification():
+    info = info_of("CREATE TABLE t (a INT)")
+    assert info.is_ddl and not info.is_read_only
+
+
+def test_join_reads_both_tables():
+    info = info_of("SELECT * FROM a JOIN b ON a.id = b.id")
+    assert info.tables_read == {"a", "b"}
+
+
+def test_insert_select_reads_source():
+    info = info_of("INSERT INTO t (a) SELECT b FROM u")
+    assert "t" in info.tables_written and "u" in info.tables_read
+
+
+def test_subquery_tables_found():
+    info = info_of("SELECT 1 FROM t WHERE x IN (SELECT y FROM u)")
+    assert info.tables_read == {"t", "u"}
+
+
+def test_now_is_rewritable():
+    info = info_of("INSERT INTO t (ts) VALUES (NOW())")
+    assert not info.is_deterministic
+    assert info.rewritable_calls == ["NOW"]
+    assert info.safe_for_statement_replication
+
+
+def test_rand_in_write_is_unsafe():
+    info = info_of("UPDATE t SET x = RAND()")
+    assert "RAND" in info.unsafe_calls
+    assert not info.safe_for_statement_replication
+
+
+def test_rand_in_pure_read_not_unsafe():
+    info = info_of("SELECT RAND()")
+    assert not info.unsafe_calls
+    assert not info.is_deterministic
+
+
+def test_limit_without_order_in_update_subquery_flagged():
+    """The exact hazard statement from section 4.3.2."""
+    info = info_of(
+        "UPDATE foo SET keyvalue = 'x' WHERE id IN "
+        "(SELECT id FROM foo WHERE keyvalue IS NULL LIMIT 10)")
+    assert info.limit_without_order_in_write
+    assert not info.safe_for_statement_replication
+
+
+def test_limit_with_order_is_fine():
+    info = info_of(
+        "UPDATE foo SET x = 1 WHERE id IN "
+        "(SELECT id FROM foo ORDER BY id LIMIT 10)")
+    assert not info.limit_without_order_in_write
+
+
+def test_limit_in_plain_select_is_fine():
+    info = info_of("SELECT * FROM t LIMIT 10")
+    assert not info.limit_without_order_in_write
+
+
+def test_procedure_call_is_opaque_write():
+    info = info_of("CALL do_things(1)")
+    assert info.is_write and info.is_procedure_call
+    assert not info.safe_for_statement_replication
+
+
+def test_temp_table_creation_tracked():
+    info = info_of("CREATE TEMP TABLE scratch (x INT)")
+    assert info.creates_temp_table
+    assert "scratch" in info.touches_temp_names
+
+
+def test_multi_database_detection():
+    info = info_of("SELECT * FROM db1.t JOIN db2.u ON t.id = u.id")
+    assert info.spans_multiple_databases
+
+
+def test_nextval_in_write_unsafe():
+    info = info_of("INSERT INTO t (id) VALUES (NEXTVAL('s'))")
+    assert "NEXTVAL" in info.unsafe_calls
+
+
+def test_rewrite_now_to_constant():
+    statement = parse("INSERT INTO t (a, ts) VALUES (1, NOW())")
+    rewritten, count = rewrite_nondeterministic(statement, 1234.5)
+    assert count == 1
+    info = analyze(rewritten)
+    assert info.is_deterministic
+
+
+def test_rewrite_now_in_where():
+    statement = parse("UPDATE t SET a = 1 WHERE ts < CURRENT_TIMESTAMP")
+    rewritten, count = rewrite_nondeterministic(statement, 99.0)
+    assert count == 1
+    assert analyze(rewritten).is_deterministic
+
+
+def test_rewrite_leaves_rand_alone():
+    statement = parse("UPDATE t SET x = RAND()")
+    rewritten, count = rewrite_nondeterministic(statement, 1.0)
+    assert count == 0
+    assert not analyze(rewritten).is_deterministic

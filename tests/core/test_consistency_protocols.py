@@ -1,0 +1,124 @@
+"""Unit tests for the consistency protocol classes themselves."""
+
+import pytest
+
+from repro.core import Replica, protocol_by_name
+from repro.core.consistency import ClusterView, PROTOCOLS, SessionView
+from repro.sqlengine import Engine
+
+
+def replica_at(seq: int, name: str = "r") -> Replica:
+    replica = Replica(name, Engine(name))
+    replica.applied_seq = seq
+    return replica
+
+
+def session_view(commit=0, seen=0) -> SessionView:
+    view = SessionView()
+    view.last_commit_seq = commit
+    view.last_seen_seq = seen
+    return view
+
+
+def test_registry_has_all_paper_protocols():
+    assert set(PROTOCOLS) == {
+        "1sr", "strong-si", "gsi", "pcsi", "strong-session-si", "rsi-pc",
+        "read-committed", "eventual",
+    }
+
+
+def test_unknown_protocol_rejected():
+    with pytest.raises(ValueError):
+        protocol_by_name("quantum-consistency")
+
+
+def test_write_modes():
+    assert protocol_by_name("1sr").write_mode == "broadcast"
+    assert protocol_by_name("strong-si").write_mode == "certify"
+    assert protocol_by_name("rsi-pc").write_mode == "master"
+    assert protocol_by_name("eventual").write_mode == "async"
+
+
+def test_first_committer_wins_flags():
+    assert protocol_by_name("gsi").first_committer_wins
+    assert not protocol_by_name("read-committed").first_committer_wins
+    assert not protocol_by_name("eventual").first_committer_wins
+
+
+def test_strong_si_requires_full_freshness():
+    protocol = protocol_by_name("strong-si")
+    cluster = ClusterView(global_seq=10)
+    assert protocol.read_eligible(replica_at(10), session_view(), cluster)
+    assert not protocol.read_eligible(replica_at(9), session_view(), cluster)
+    assert protocol.min_read_seq(session_view(), cluster) == 10
+
+
+def test_gsi_reads_any_prefix():
+    protocol = protocol_by_name("gsi")
+    cluster = ClusterView(global_seq=10)
+    assert protocol.read_eligible(replica_at(0), session_view(), cluster)
+
+
+def test_pcsi_requires_own_commits():
+    protocol = protocol_by_name("pcsi")
+    cluster = ClusterView(global_seq=10)
+    session = session_view(commit=5)
+    assert not protocol.read_eligible(replica_at(4), session, cluster)
+    assert protocol.read_eligible(replica_at(5), session, cluster)
+    # other sessions' commits are irrelevant
+    assert protocol.read_eligible(replica_at(5), session_view(commit=0),
+                                  cluster)
+
+
+def test_session_si_monotonic_over_reads_too():
+    protocol = protocol_by_name("strong-session-si")
+    cluster = ClusterView(global_seq=10)
+    session = session_view()
+    protocol.note_read(session, replica_seq=7)
+    assert session.last_seen_seq == 7
+    assert not protocol.read_eligible(replica_at(6), session, cluster)
+    assert protocol.read_eligible(replica_at(7), session, cluster)
+
+
+def test_note_commit_advances_both_watermarks():
+    protocol = protocol_by_name("gsi")
+    session = session_view()
+    protocol.note_commit(session, 9)
+    assert session.last_commit_seq == 9
+    assert session.last_seen_seq == 9
+    protocol.note_commit(session, 4)   # never regress
+    assert session.last_commit_seq == 9
+
+
+def test_rsi_pc_session_monotonic_toggle():
+    from repro.core.consistency.rsi_pc import (
+        ReplicatedSnapshotIsolationPrimaryCopy,
+    )
+    cluster = ClusterView(global_seq=10, master_name="m")
+    strict = ReplicatedSnapshotIsolationPrimaryCopy(session_monotonic=True)
+    loose = ReplicatedSnapshotIsolationPrimaryCopy(session_monotonic=False)
+    session = session_view(commit=5)
+    assert not strict.read_eligible(replica_at(3), session, cluster)
+    assert loose.read_eligible(replica_at(3), session, cluster)
+
+
+def test_describe_strings():
+    for name in PROTOCOLS:
+        protocol = protocol_by_name(name)
+        text = protocol.describe()
+        assert protocol.name in text and protocol.write_mode in text
+
+
+def test_harness_report_rendering():
+    from repro.bench import Report
+    report = Report("Title", ["a", "bb"])
+    report.add_row(1, 2.5)
+    report.add_row("long-value", 0.001)
+    report.add_row(True, False)
+    report.note("a note")
+    text = report.render()
+    assert "Title" in text
+    assert "long-value" in text
+    assert "yes" in text and "no" in text
+    assert "0.00100" in text        # small floats keep precision
+    assert "a note" in text

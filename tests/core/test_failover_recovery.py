@@ -1,0 +1,215 @@
+"""Failover, failback, recovery log and virtual IP tests."""
+
+import pytest
+
+from repro.core import (
+    FailoverManager, MiddlewareConfig, RecoveryLog, ReplicationMiddleware,
+    VirtualIP, promote_and_switch, protocol_by_name,
+)
+from repro.sqlengine import Engine
+
+from tests.conftest import KV_SCHEMA, make_replicas, seed_kv
+
+
+def master_slave(n=2, propagation="async"):
+    replicas = make_replicas(n, schema=KV_SCHEMA)
+    mw = ReplicationMiddleware(replicas, MiddlewareConfig(
+        replication="writeset", propagation=propagation,
+        consistency=protocol_by_name("rsi-pc")))
+    seed_kv(mw, rows=5)
+    mw.pump()
+    return mw
+
+
+class TestVirtualIP:
+    def test_switch_history(self):
+        vip = VirtualIP("db", "r0")
+        vip.switch("r1")
+        vip.switch("r2")
+        assert vip.target == "r2"
+        assert vip.switch_count == 2
+        assert vip.history == ["r0", "r1", "r2"]
+
+
+class TestFailover:
+    def test_master_failure_promotes_freshest(self):
+        mw = master_slave(3)
+        session = mw.connect(database="shop")
+        for key in range(5):
+            session.execute(f"UPDATE kv SET v = 1 WHERE k = {key}")
+        session.close()
+        # drain r1 fully, leave r2 lagging
+        mw.drain_replica(mw.replicas[1].name)
+        mw.replicas[0].engine.crash()
+        manager = FailoverManager(mw)
+        report = manager.handle_replica_failure(mw.replicas[0].name)
+        assert report.promoted
+        assert report.new_master == mw.replicas[1].name
+        assert mw.master.name == mw.replicas[1].name
+
+    def test_promotion_drains_survivor_queue(self):
+        mw = master_slave(2)
+        session = mw.connect(database="shop")
+        for key in range(5):
+            session.execute(f"UPDATE kv SET v = 9 WHERE k = {key}")
+        session.close()
+        assert mw.replicas[1].lag_items == 5
+        mw.replicas[0].engine.crash()
+        manager = FailoverManager(mw)
+        report = manager.handle_replica_failure("r0")
+        assert report.drained_items == 5
+        assert report.lost_transactions == 0  # middleware-held queue kept
+
+    def test_discard_pending_models_1safe_loss(self):
+        mw = master_slave(2)
+        session = mw.connect(database="shop")
+        for key in range(5):
+            session.execute(f"UPDATE kv SET v = 9 WHERE k = {key}")
+        session.close()
+        mw.replicas[0].engine.crash()
+        manager = FailoverManager(mw)
+        report = manager.handle_replica_failure("r0", discard_pending=True)
+        assert report.lost_transactions == 5
+
+    def test_vip_switches_on_promotion(self):
+        mw = master_slave(2)
+        vip = VirtualIP("db", mw.master.name)
+        mw.master.engine.crash()
+        report = promote_and_switch(mw, vip)
+        assert vip.target == report.new_master
+
+    def test_writes_resume_after_promotion(self):
+        mw = master_slave(2)
+        mw.master.engine.crash()
+        manager = FailoverManager(mw)
+        manager.handle_replica_failure(mw.master.name)
+        session = mw.connect(database="shop")
+        session.execute("UPDATE kv SET v = 123 WHERE k = 0")
+        assert session.execute(
+            "SELECT v FROM kv WHERE k = 0").scalar() == 123
+        session.close()
+
+    def test_failback_incremental_replay(self):
+        mw = master_slave(2)
+        mw.replicas[1].mark_failed()
+        session = mw.connect(database="shop")
+        for key in range(4):
+            session.execute(f"UPDATE kv SET v = 2 WHERE k = {key}")
+        session.close()
+        manager = FailoverManager(mw)
+        replayed = manager.failback("r1")
+        assert replayed == 4
+        assert mw.check_convergence()
+
+    def test_failback_after_1safe_loss_full_reclone(self):
+        """Old master returns with phantom committed state: incremental
+        replay cannot help; a full re-clone happens (section 4.4.2)."""
+        mw = master_slave(2)
+        session = mw.connect(database="shop")
+        for key in range(5):
+            session.execute(f"UPDATE kv SET v = 9 WHERE k = {key}")
+        session.close()
+        mw.replicas[0].engine.crash()
+        manager = FailoverManager(mw)
+        manager.handle_replica_failure("r0", discard_pending=True)
+        replayed = manager.failback("r0")
+        assert mw.check_convergence()
+        assert mw.monitor.count("failback_full_resync") == 1
+
+    def test_monitor_timeline(self):
+        mw = master_slave(2)
+        mw.master.engine.crash()
+        manager = FailoverManager(mw)
+        manager.handle_replica_failure(mw.master.name)
+        kinds = [e.kind for e in mw.monitor.events]
+        assert "failover_started" in kinds
+        assert "failover_completed" in kinds
+        assert "master_changed" in kinds
+
+
+class TestRecoveryLog:
+    def test_checkpoint_and_replay(self):
+        log = RecoveryLog()
+        engine = Engine("t")
+        engine.create_database("shop")
+        c = engine.connect(database="shop")
+        c.execute("CREATE TABLE kv (k INT PRIMARY KEY, v INT)")
+        log.append(1, "statements",
+                   [("INSERT INTO kv VALUES (1, 1)", [])],
+                   tables=["kv"], database="shop")
+        checkpoint_seq = log.checkpoint("before-2")
+        log.append(2, "statements",
+                   [("INSERT INTO kv VALUES (2, 2)", [])],
+                   tables=["kv"], database="shop")
+        entries = log.entries_since_checkpoint("before-2")
+        assert [e.seq for e in entries] == [2]
+        applied = log.replay(engine, from_seq=0)
+        assert applied == 2
+        assert engine.row_count("shop", "kv") == 2
+
+    def test_replay_writeset_entries(self):
+        log = RecoveryLog()
+        engine = Engine("t")
+        engine.create_database("shop")
+        c = engine.connect(database="shop")
+        c.execute("CREATE TABLE kv (k INT PRIMARY KEY, v INT)")
+        log.append(1, "writeset", [{
+            "database": "shop", "table": "kv", "op": "INSERT",
+            "primary_key": (1,), "old_values": None,
+            "new_values": {"k": 1, "v": 42},
+        }], tables=["kv"])
+        log.replay(engine, from_seq=0)
+        assert c.execute("SELECT v FROM kv WHERE k = 1").scalar() == 42
+
+    def test_parallel_replay_waves_disjoint(self):
+        log = RecoveryLog()
+        for seq in range(1, 9):
+            table = f"t{seq % 4}"
+            log.append(seq, "writeset", [], tables=[table])
+        waves = log.plan_parallel_replay(0, max_wave=8)
+        # 8 entries over 4 tables -> each table appears twice -> >= 2 waves
+        assert len(waves) >= 2
+        for wave in waves:
+            tables = [t for e in wave for t in e.tables]
+            assert len(tables) == len(set(tables))  # disjoint inside a wave
+
+    def test_parallel_replay_preserves_per_table_order(self):
+        log = RecoveryLog()
+        for seq in range(1, 7):
+            log.append(seq, "writeset", [], tables=["same"])
+        waves = log.plan_parallel_replay(0)
+        flat = [e.seq for wave in waves for e in wave]
+        assert flat == [1, 2, 3, 4, 5, 6]
+        assert all(len(w) == 1 for w in waves)  # no parallelism possible
+
+    def test_opaque_entry_blocks_parallelism(self):
+        """Section 4.2.1: an unknown-footprint entry (stored procedure)
+        runs alone."""
+        log = RecoveryLog()
+        log.append(1, "writeset", [], tables=["a"])
+        log.append(2, "writeset", [], tables=["b"])
+        log.append(3, "statements", [("CALL mystery()", [])], tables=[])
+        log.append(4, "writeset", [], tables=["c"])
+        waves = log.plan_parallel_replay(0)
+        opaque_wave = [w for w in waves if any(not e.tables for e in w)]
+        assert len(opaque_wave) == 1 and len(opaque_wave[0]) == 1
+
+    def test_parallel_speedup_reported(self):
+        log = RecoveryLog()
+        for seq in range(1, 17):
+            log.append(seq, "writeset", [], tables=[f"t{seq % 8}"])
+        assert log.parallel_speedup(0) > 2.0
+
+    def test_purge(self):
+        log = RecoveryLog()
+        for seq in range(1, 11):
+            log.append(seq, "writeset", [], tables=["t"])
+        assert log.purge_before(5) == 5
+        assert [e.seq for e in log.entries] == [6, 7, 8, 9, 10]
+
+    def test_truncate_after(self):
+        log = RecoveryLog()
+        for seq in range(1, 6):
+            log.append(seq, "writeset", [], tables=["t"])
+        assert log.truncate_after(2) == 3
+        assert [e.seq for e in log.entries] == [1, 2]

@@ -1,0 +1,261 @@
+"""Quorum/split-brain, connection pools, transaction contexts, and the
+three interception designs."""
+
+import pytest
+
+from repro.core import (
+    ConnectionPool, DriverInterception, EngineInterception, MiddlewareConfig,
+    MiddlewareDown, MultiPool, ProtocolProxyInterception, QuorumGuard,
+    QuorumLost, Reconciler, ReplicationMiddleware, TransactionContext,
+    design_by_name, protocol_by_name,
+)
+from repro.sqlengine import Engine, UnsupportedFeatureError, mysql, postgresql
+
+from tests.conftest import KV_SCHEMA, make_replicas, seed_kv
+
+
+@pytest.fixture
+def cluster():
+    replicas = make_replicas(3, schema=KV_SCHEMA)
+    mw = ReplicationMiddleware(replicas,
+                               MiddlewareConfig(replication="statement"))
+    seed_kv(mw, rows=5)
+    return mw
+
+
+class TestQuorum:
+    def test_majority_allows_writes(self, cluster):
+        guard = QuorumGuard(cluster)
+        guard.set_reachable(["r0", "r1"])
+        guard.check_write_allowed()  # 2 of 3: fine
+
+    def test_minority_refuses(self, cluster):
+        guard = QuorumGuard(cluster)
+        guard.set_reachable(["r0"])
+        with pytest.raises(QuorumLost):
+            guard.check_write_allowed()
+        assert guard.refused_writes == 1
+
+    def test_failed_replicas_dont_count(self, cluster):
+        guard = QuorumGuard(cluster)
+        cluster.replica_by_name("r1").mark_failed()
+        guard.set_reachable(["r0", "r1"])  # r1 reachable but dead
+        with pytest.raises(QuorumLost):
+            guard.check_write_allowed()
+
+    def test_disabled_guard_allows_split_brain(self, cluster):
+        guard = QuorumGuard(cluster)
+        guard.enabled = False
+        guard.set_reachable(["r0"])
+        guard.check_write_allowed()  # no protection -> divergence risk
+
+
+class TestReconciler:
+    def make_pair(self):
+        replicas = make_replicas(2, schema=KV_SCHEMA)
+        a, b = replicas[0].engine, replicas[1].engine
+        return a, b
+
+    def test_identical_engines_no_diff(self):
+        a, b = self.make_pair()
+        report = Reconciler().compare(a, b)
+        assert not report.divergent
+
+    def test_detects_one_sided_rows_and_conflicts(self):
+        a, b = self.make_pair()
+        ca = a.connect(database="shop")
+        cb = b.connect(database="shop")
+        ca.execute("INSERT INTO kv VALUES (1, 10)")
+        cb.execute("INSERT INTO kv VALUES (1, 20)")   # conflict
+        ca.execute("INSERT INTO kv VALUES (2, 2)")     # only left
+        cb.execute("INSERT INTO kv VALUES (3, 3)")     # only right
+        report = Reconciler().compare(a, b)
+        assert report.count("conflict") == 1
+        assert report.count("only_left") == 1
+        assert report.count("only_right") == 1
+
+    def test_merge_prefer_left(self):
+        a, b = self.make_pair()
+        ca = a.connect(database="shop")
+        cb = b.connect(database="shop")
+        ca.execute("INSERT INTO kv VALUES (1, 10)")
+        cb.execute("INSERT INTO kv VALUES (1, 20)")
+        cb.execute("INSERT INTO kv VALUES (5, 5)")
+        reconciler = Reconciler()
+        reconciler.merge(a, b, policy="prefer_left")
+        after = reconciler.compare(a, b)
+        assert not after.divergent
+        assert cb.execute("SELECT v FROM kv WHERE k = 1").scalar() == 10
+        # only-right row was removed (left's view wins entirely)
+        assert cb.execute("SELECT COUNT(*) FROM kv WHERE k = 5").scalar() == 0
+
+    def test_merge_prefer_right(self):
+        a, b = self.make_pair()
+        ca = a.connect(database="shop")
+        cb = b.connect(database="shop")
+        ca.execute("INSERT INTO kv VALUES (1, 10)")
+        cb.execute("INSERT INTO kv VALUES (1, 20)")
+        reconciler = Reconciler()
+        reconciler.merge(a, b, policy="prefer_right")
+        assert ca.execute("SELECT v FROM kv WHERE k = 1").scalar() == 20
+
+
+class TestConnectionPool:
+    def test_reuse(self, cluster):
+        pool = ConnectionPool(cluster, size=2)
+        session = pool.acquire()
+        pool.release(session)
+        again = pool.acquire()
+        assert again is session
+        assert pool.stats["reused"] == 1
+
+    def test_exhaustion(self, cluster):
+        from repro.core import MiddlewareError
+        pool = ConnectionPool(cluster, size=1)
+        pool.acquire()
+        with pytest.raises(MiddlewareError):
+            pool.acquire()
+
+    def test_dead_sessions_evicted(self, cluster):
+        pool = ConnectionPool(cluster, size=2)
+        session = pool.acquire()
+        pool.release(session)
+        session.close()
+        fresh = pool.acquire()
+        assert fresh is not session
+        assert pool.stats["evicted_dead"] == 1
+
+    def test_aggressive_recycling(self, cluster):
+        pool = ConnectionPool(cluster, size=2, recycle_aggressively=True)
+        session = pool.acquire()
+        pool.release(session)
+        assert session.closed  # recycled, pooling benefit forfeited
+        assert pool.idle_count == 0
+
+    def test_multipool_failover(self):
+        replicas_a = make_replicas(2, schema=KV_SCHEMA, prefix="a")
+        replicas_b = make_replicas(2, schema=KV_SCHEMA, prefix="b")
+        mw_a = ReplicationMiddleware(
+            replicas_a, MiddlewareConfig(replication="statement"), name="A")
+        mw_b = ReplicationMiddleware(
+            replicas_b, MiddlewareConfig(replication="statement"), name="B")
+        multipool = MultiPool([ConnectionPool(mw_a), ConnectionPool(mw_b)])
+        _session, pool = multipool.acquire()
+        assert pool.middleware.name == "A"
+        mw_a.fail()
+        _session, pool = multipool.acquire()
+        assert pool.middleware.name == "B"
+        assert multipool.stats["failovers"] == 1
+        mw_b.fail()
+        with pytest.raises(MiddlewareDown):
+            multipool.acquire()
+
+
+class TestTransactionContext:
+    def test_pause_and_resume_on_other_session(self, cluster):
+        a = cluster.connect(database="shop")
+        a.begin()
+        a.execute("UPDATE kv SET v = 1 WHERE k = 1")
+        a.execute("UPDATE kv SET v = 2 WHERE k = 2")
+        context = TransactionContext.pause(a)
+        assert not a.in_transaction
+        # original effects rolled back
+        probe = cluster.connect(database="shop")
+        assert probe.execute("SELECT v FROM kv WHERE k = 1").scalar() == 0
+        b = cluster.connect(database="shop")
+        context.resume(b)
+        b.execute("UPDATE kv SET v = 3 WHERE k = 3")
+        b.commit()
+        assert probe.execute("SELECT v FROM kv WHERE k = 1").scalar() == 1
+        assert probe.execute("SELECT v FROM kv WHERE k = 3").scalar() == 3
+        assert cluster.check_convergence()
+
+    def test_serialization_round_trip(self, cluster):
+        a = cluster.connect(database="shop")
+        a.begin()
+        a.execute("UPDATE kv SET v = 9 WHERE k = 4")
+        context = TransactionContext.pause(a)
+        data = context.to_dict()
+        restored = TransactionContext.from_dict(data)
+        b = cluster.connect(database="shop")
+        restored.resume(b)
+        b.commit()
+        assert cluster.check_convergence()
+
+    def test_writeset_transaction_not_externalizable(self):
+        """Section 4.3.3: writeset-mode transactions live at one replica."""
+        from repro.core import MiddlewareError
+        replicas = make_replicas(2, schema=KV_SCHEMA)
+        mw = ReplicationMiddleware(replicas, MiddlewareConfig(
+            replication="writeset"))
+        seed_kv(mw, rows=2)
+        session = mw.connect(database="shop")
+        session.begin()
+        session.execute("UPDATE kv SET v = 1 WHERE k = 1")
+        with pytest.raises(MiddlewareError):
+            TransactionContext.pause(session)
+        session.rollback()
+
+
+class TestInterception:
+    def homogeneous(self):
+        replicas = make_replicas(2, schema=KV_SCHEMA)
+        return ReplicationMiddleware(
+            replicas, MiddlewareConfig(replication="statement"))
+
+    def heterogeneous(self):
+        pg = make_replicas(1, dialect_factory=postgresql,
+                           schema=KV_SCHEMA, prefix="pg")
+        my = make_replicas(1, dialect_factory=mysql,
+                           schema=KV_SCHEMA, prefix="my")
+        return ReplicationMiddleware(
+            pg + my, MiddlewareConfig(replication="statement"))
+
+    def mixed_versions(self):
+        import repro.sqlengine.dialects as dialects
+        a = make_replicas(1, schema=KV_SCHEMA, prefix="a")
+        b = make_replicas(1, schema=KV_SCHEMA, prefix="b")
+        b[0].engine.dialect = dialects.postgresql("9.1")
+        return ReplicationMiddleware(
+            a + b, MiddlewareConfig(replication="statement"))
+
+    def test_driver_design_accepts_anything(self):
+        design = DriverInterception(self.heterogeneous())
+        props = design.properties()
+        assert props["requires_client_change"]
+        assert props["supports_heterogeneous_engines"]
+
+    def test_engine_design_rejects_heterogeneous(self):
+        with pytest.raises(UnsupportedFeatureError):
+            EngineInterception(self.heterogeneous())
+
+    def test_engine_design_rejects_mixed_versions(self):
+        with pytest.raises(UnsupportedFeatureError):
+            EngineInterception(self.mixed_versions())
+
+    def test_protocol_proxy_allows_mixed_versions(self):
+        design = ProtocolProxyInterception(self.mixed_versions())
+        assert design.supports_mixed_versions
+
+    def test_protocol_proxy_rejects_heterogeneous(self):
+        with pytest.raises(UnsupportedFeatureError):
+            ProtocolProxyInterception(self.heterogeneous())
+
+    def test_overhead_ordering(self):
+        """Engine-level cheapest, protocol proxy dearest (E05 shape)."""
+        mw = self.homogeneous()
+        engine_level = EngineInterception(mw)
+        proxy = ProtocolProxyInterception(mw)
+        driver = DriverInterception(mw)
+        assert (engine_level.per_statement_overhead
+                < driver.per_statement_overhead
+                < proxy.per_statement_overhead)
+
+    def test_design_by_name(self):
+        mw = self.homogeneous()
+        assert design_by_name("driver-based", mw).name == "driver-based"
+        with pytest.raises(ValueError):
+            design_by_name("telepathy", mw)
+
+    def test_driver_deployment_cost(self):
+        assert DriverInterception.deployment_cost(500) == 7500

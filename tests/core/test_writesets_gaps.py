@@ -1,0 +1,312 @@
+"""Writeset extraction/application, plus end-to-end demonstrations of the
+paper's section 4 gaps that live at the middleware boundary."""
+
+import pytest
+
+from repro.core import (
+    MiddlewareConfig, ReplicationMiddleware, TriggerBasedExtractor,
+    apply_writeset, conflict_keys, extract_writeset_engine,
+    protocol_by_name,
+)
+from repro.sqlengine import Engine, postgresql
+
+from tests.conftest import KV_SCHEMA, make_replicas, seed_kv
+
+
+class TestWritesetExtraction:
+    def test_engine_extraction(self, conn):
+        conn.execute("CREATE TABLE kv (k INT PRIMARY KEY, v INT)")
+        conn.execute("INSERT INTO kv VALUES (1, 1)")
+        conn.execute("BEGIN")
+        conn.execute("UPDATE kv SET v = 2 WHERE k = 1")
+        entries = extract_writeset_engine(conn.txn)
+        conn.execute("COMMIT")
+        assert len(entries) == 1
+        assert entries[0]["op"] == "UPDATE"
+        assert entries[0]["new_values"]["v"] == 2
+
+    def test_trigger_extraction_matches_engine(self, engine, conn):
+        conn.execute("CREATE TABLE kv (k INT PRIMARY KEY, v INT)")
+        extractor = TriggerBasedExtractor(engine)
+        assert extractor.install("shop") == 1
+        conn.execute("INSERT INTO kv VALUES (1, 10)")
+        conn.execute("UPDATE kv SET v = 20 WHERE k = 1")
+        conn.execute("DELETE FROM kv WHERE k = 1")
+        entries = extractor.drain()
+        assert [e["op"] for e in entries] == ["INSERT", "UPDATE", "DELETE"]
+        assert entries[1]["old_values"]["v"] == 10
+
+    def test_trigger_extraction_misses_new_tables(self, engine, conn):
+        """The section 4.3.2 administrative gap: tables created after
+        trigger installation are silently unreplicated."""
+        conn.execute("CREATE TABLE kv (k INT PRIMARY KEY, v INT)")
+        extractor = TriggerBasedExtractor(engine)
+        extractor.install("shop")
+        conn.execute("CREATE TABLE late (x INT)")
+        conn.execute("INSERT INTO late VALUES (1)")
+        assert extractor.drain() == []          # write lost!
+        assert extractor.uninstrumented_tables("shop") == ["late"]
+        # re-install picks it up
+        assert extractor.install("shop") == 1
+        conn.execute("INSERT INTO late VALUES (2)")
+        assert len(extractor.drain()) == 1
+
+    def test_conflict_keys(self):
+        entries = [
+            {"database": "d", "table": "t", "op": "UPDATE",
+             "primary_key": (1,), "old_values": {}, "new_values": {}},
+            {"database": "d", "table": "u", "op": "DELETE",
+             "primary_key": None, "old_values": {}, "new_values": None},
+        ]
+        keys = conflict_keys(entries)
+        assert ("d", "t", (1,)) in keys
+        assert ("d", "u", None) in keys
+
+
+class TestWritesetApply:
+    def make_engine(self):
+        engine = Engine("apply", dialect=postgresql(), seed=1)
+        engine.create_database("shop")
+        c = engine.connect(database="shop")
+        c.execute("CREATE TABLE kv (k INT PRIMARY KEY, v INT)")
+        c.execute("INSERT INTO kv VALUES (1, 10)")
+        return engine
+
+    def test_apply_insert_update_delete(self):
+        engine = self.make_engine()
+        report = apply_writeset(engine, [
+            {"database": "shop", "table": "kv", "op": "INSERT",
+             "primary_key": (2,), "old_values": None,
+             "new_values": {"k": 2, "v": 20}},
+            {"database": "shop", "table": "kv", "op": "UPDATE",
+             "primary_key": (1,), "old_values": {"k": 1, "v": 10},
+             "new_values": {"k": 1, "v": 11}},
+            {"database": "shop", "table": "kv", "op": "DELETE",
+             "primary_key": (2,), "old_values": {"k": 2, "v": 20},
+             "new_values": None},
+        ])
+        assert report.clean and report.applied == 3
+        c = engine.connect(database="shop")
+        assert c.execute("SELECT v FROM kv WHERE k = 1").scalar() == 11
+        assert c.execute("SELECT COUNT(*) FROM kv").scalar() == 1
+
+    def test_apply_duplicate_insert_reported(self):
+        engine = self.make_engine()
+        report = apply_writeset(engine, [
+            {"database": "shop", "table": "kv", "op": "INSERT",
+             "primary_key": (1,), "old_values": None,
+             "new_values": {"k": 1, "v": 99}},
+        ])
+        assert not report.clean
+        assert "duplicate key" in report.conflicts[0]
+
+    def test_apply_missing_row_reported(self):
+        engine = self.make_engine()
+        report = apply_writeset(engine, [
+            {"database": "shop", "table": "kv", "op": "UPDATE",
+             "primary_key": (42,), "old_values": {"k": 42, "v": 0},
+             "new_values": {"k": 42, "v": 1}},
+        ])
+        assert report.missing_rows == 1
+
+    def test_apply_without_pk_matches_old_values(self):
+        engine = Engine("nopk", seed=1)
+        engine.create_database("shop")
+        c = engine.connect(database="shop")
+        c.execute("CREATE TABLE logt (msg VARCHAR(20), n INT)")
+        c.execute("INSERT INTO logt VALUES ('a', 1), ('b', 2)")
+        report = apply_writeset(engine, [
+            {"database": "shop", "table": "logt", "op": "UPDATE",
+             "primary_key": None, "old_values": {"msg": "a", "n": 1},
+             "new_values": {"msg": "a", "n": 99}},
+        ])
+        assert report.clean
+        assert c.execute(
+            "SELECT n FROM logt WHERE msg = 'a'").scalar() == 99
+
+
+class TestGapDemonstrations:
+    """End-to-end reproductions of the remaining section 4 gaps."""
+
+    def test_auto_increment_divergence_without_compensation(self):
+        """4.3.2: writesets do not carry counter state -> duplicate keys.
+
+        Under read-committed (no first-committer-wins certification — the
+        isolation level 'most production applications use', 4.1.2) the
+        duplicate generated keys sail through and the cluster diverges.
+        """
+        schema = ["CREATE TABLE t (id INT PRIMARY KEY AUTO_INCREMENT, "
+                  "x VARCHAR(10))"]
+        replicas = make_replicas(2, schema=schema)
+        mw = ReplicationMiddleware(replicas, MiddlewareConfig(
+            replication="writeset", propagation="async",
+            consistency=protocol_by_name("read-committed"),
+            compensate_counters=False))
+        session = mw.connect(database="shop")
+        # alternate local replicas (query-level balancing)
+        session.execute("INSERT INTO t (x) VALUES ('a')")   # r0: id 1
+        session.execute("INSERT INTO t (x) VALUES ('b')")   # r1: id 1 too!
+        mw.pump()
+        session.close()
+        assert not mw.check_convergence()
+        assert mw.monitor.count("apply_divergence") > 0
+
+    def test_certification_catches_generated_key_collision(self):
+        """With SI-class certification the same scenario aborts the second
+        transaction instead of diverging — consistency at the cost of an
+        abort (the trade-off of section 3.3)."""
+        from repro.sqlengine import SerializationError
+        schema = ["CREATE TABLE t (id INT PRIMARY KEY AUTO_INCREMENT, "
+                  "x VARCHAR(10))"]
+        replicas = make_replicas(2, schema=schema)
+        mw = ReplicationMiddleware(replicas, MiddlewareConfig(
+            replication="writeset", propagation="async",
+            compensate_counters=False))
+        session = mw.connect(database="shop")
+        session.execute("INSERT INTO t (x) VALUES ('a')")
+        with pytest.raises(SerializationError):
+            session.execute("INSERT INTO t (x) VALUES ('b')")
+        mw.pump()
+        session.close()
+        assert mw.check_convergence()
+
+    def test_compensation_fixes_auto_increment(self):
+        schema = ["CREATE TABLE t (id INT PRIMARY KEY AUTO_INCREMENT, "
+                  "x VARCHAR(10))"]
+        replicas = make_replicas(2, schema=schema)
+        mw = ReplicationMiddleware(replicas, MiddlewareConfig(
+            replication="writeset", propagation="sync",
+            compensate_counters=True))
+        session = mw.connect(database="shop")
+        for index in range(4):
+            session.execute(f"INSERT INTO t (x) VALUES ('v{index}')")
+        session.close()
+        assert mw.check_convergence()
+
+    def test_interleaved_keys_fix_async_case(self):
+        schema = ["CREATE TABLE t (id INT PRIMARY KEY AUTO_INCREMENT, "
+                  "x VARCHAR(10))"]
+        replicas = make_replicas(2, schema=schema)
+        mw = ReplicationMiddleware(replicas, MiddlewareConfig(
+            replication="writeset", propagation="async",
+            compensate_counters=False))
+        mw.interleave_auto_increment()
+        session = mw.connect(database="shop")
+        for index in range(6):
+            session.execute(f"INSERT INTO t (x) VALUES ('v{index}')")
+        mw.pump()
+        session.close()
+        assert mw.check_convergence()
+
+    def test_temp_table_pins_session(self):
+        """4.1.4: a session using temp tables sticks to one replica."""
+        replicas = make_replicas(3, schema=KV_SCHEMA)
+        mw = ReplicationMiddleware(replicas,
+                                   MiddlewareConfig(replication="statement"))
+        seed_kv(mw, rows=3)
+        session = mw.connect(database="shop")
+        session.execute("CREATE TEMP TABLE scratch (x INT)")
+        assert session.pinned_replica is not None
+        pinned = session.pinned_replica
+        session.execute("INSERT INTO scratch VALUES (1)")
+        assert session.execute(
+            "SELECT COUNT(*) FROM scratch").scalar() == 1
+        # pinned replica fails -> the temp table is unrecoverable
+        replica = mw.replica_by_name(pinned)
+        replica.engine.crash()
+        replica.mark_failed()
+        from repro.core import ReplicaUnavailable
+        with pytest.raises(ReplicaUnavailable):
+            session.execute("SELECT COUNT(*) FROM scratch")
+        session.close()
+
+    def test_temp_table_not_replicated(self):
+        replicas = make_replicas(2, schema=KV_SCHEMA)
+        mw = ReplicationMiddleware(replicas,
+                                   MiddlewareConfig(replication="statement"))
+        session = mw.connect(database="shop")
+        session.execute("CREATE TEMP TABLE scratch (x INT)")
+        pinned = session.pinned_replica
+        other = [r for r in mw.replicas if r.name != pinned][0]
+        # the temp table only exists at the pinned replica's session
+        c = other.engine.connect(database="shop")
+        from repro.sqlengine import NameError_
+        with pytest.raises(NameError_):
+            c.execute("SELECT * FROM scratch")
+        session.close()
+
+    def test_deterministic_procedure_broadcast_ok(self):
+        """4.2.1: with engine cooperation (analysis), a deterministic
+        procedure can be broadcast safely."""
+        schema = KV_SCHEMA + [
+            "CREATE PROCEDURE bump(which) BEGIN "
+            "UPDATE kv SET v = v + 1 WHERE k = which; END",
+        ]
+        replicas = make_replicas(2, schema=schema)
+        mw = ReplicationMiddleware(replicas,
+                                   MiddlewareConfig(replication="statement"))
+        seed_kv(mw, rows=3)
+        session = mw.connect(database="shop")
+        session.execute("CALL bump(1)")
+        session.close()
+        assert mw.check_convergence()
+
+    def test_nondeterministic_procedure_rejected(self):
+        from repro.core import UnsupportedStatementError
+        schema = KV_SCHEMA + [
+            "CREATE PROCEDURE chaos() BEGIN "
+            "UPDATE kv SET v = FLOOR(RAND() * 100) WHERE k = 0; END",
+        ]
+        replicas = make_replicas(2, schema=schema)
+        mw = ReplicationMiddleware(replicas,
+                                   MiddlewareConfig(replication="statement"))
+        seed_kv(mw, rows=3)
+        session = mw.connect(database="shop")
+        with pytest.raises(UnsupportedStatementError):
+            session.execute("CALL chaos()")
+        session.close()
+
+    def test_heterogeneous_cluster_isolation_fallback(self):
+        """4.1.2/4.1.3: a MySQL-like replica lacks SI; writeset mode falls
+        back to its default isolation there instead of failing."""
+        from repro.sqlengine import mysql
+        pg = make_replicas(1, dialect_factory=postgresql,
+                           schema=KV_SCHEMA, prefix="pg")
+        my = make_replicas(1, dialect_factory=mysql,
+                           schema=KV_SCHEMA, prefix="my")
+        mw = ReplicationMiddleware(pg + my, MiddlewareConfig(
+            replication="writeset", propagation="sync",
+            consistency=protocol_by_name("gsi")))
+        seed_kv(mw, rows=3)
+        session = mw.connect(database="shop")
+        for key in range(3):
+            session.execute(f"UPDATE kv SET v = 1 WHERE k = {key}")
+        session.close()
+        assert mw.check_convergence()
+
+    def test_user_identity_preserved_through_middleware(self):
+        """4.1.5: statements replay as the original user on every replica
+        (per-user triggers depend on it)."""
+        schema = KV_SCHEMA + [
+            "CREATE TABLE audit (who VARCHAR(20))",
+        ]
+        replicas = make_replicas(2, schema=schema)
+        for replica in replicas:
+            replica.engine.users.add_user("bob", "pw")
+            replica.engine.users.get("bob").grant(["ALL"], "shop.*")
+            from repro.sqlengine import Trigger
+            replica.engine.database("shop").create_trigger(Trigger(
+                "bob_audit", "AFTER", "INSERT", "kv",
+                body=None, callback=None, only_for_user="bob"))
+        mw = ReplicationMiddleware(replicas,
+                                   MiddlewareConfig(replication="statement"))
+        hits = {r.name: [] for r in replicas}
+        for replica in replicas:
+            trigger = replica.engine.database("shop").triggers["bob_audit"]
+            trigger.callback = (
+                lambda ev, s, name=replica.name: hits[name].append(ev.user))
+        session = mw.connect(user="bob", password="pw", database="shop")
+        session.execute("INSERT INTO kv VALUES (50, 1)")
+        session.close()
+        # the trigger fired as bob on EVERY replica
+        assert all(users == ["bob"] for users in hits.values())

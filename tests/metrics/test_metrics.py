@@ -1,0 +1,144 @@
+"""Availability and performance metric tests."""
+
+import pytest
+
+from repro.metrics import (
+    AvailabilityTracker, FIVE_NINES_BUDGET_SECONDS, LatencyRecorder,
+    SECONDS_PER_YEAR, ThroughputMeter, TimeSeries, availability_from_mtbf,
+    downtime_budget, nines,
+)
+
+
+class TestFormulas:
+    def test_paper_availability_formula(self):
+        # A = MTTF / (MTTF + MTTR)
+        assert availability_from_mtbf(99.0, 1.0) == pytest.approx(0.99)
+        assert availability_from_mtbf(0, 10) == 0.0
+
+    def test_nines(self):
+        assert nines(0.999) == pytest.approx(3.0)
+        assert nines(0.99999) == pytest.approx(5.0)
+        assert nines(1.0) == 12.0
+
+    def test_five_nines_budget_is_paper_number(self):
+        """Section 5.1: 'no more than 5.26 minutes per year'."""
+        assert FIVE_NINES_BUDGET_SECONDS == pytest.approx(5.26 * 60, rel=0.01)
+
+    def test_downtime_budget(self):
+        assert downtime_budget(3) == pytest.approx(SECONDS_PER_YEAR / 1000)
+
+
+class TestAvailabilityTracker:
+    def test_single_outage(self):
+        tracker = AvailabilityTracker()
+        tracker.service_down(100.0)
+        tracker.service_up(110.0)
+        tracker.finish(200.0)
+        assert tracker.downtime == pytest.approx(10.0)
+        assert tracker.uptime == pytest.approx(190.0)
+        assert tracker.availability() == pytest.approx(0.95)
+        assert tracker.mttr() == pytest.approx(10.0)
+        assert tracker.mttf() == pytest.approx(100.0)
+
+    def test_multiple_outages(self):
+        tracker = AvailabilityTracker()
+        tracker.service_down(10)
+        tracker.service_up(12)
+        tracker.service_down(50)
+        tracker.service_up(58)
+        tracker.finish(100)
+        assert len(tracker.outages) == 2
+        assert tracker.mttr() == pytest.approx(5.0)   # (2 + 8) / 2
+        assert tracker.mttf() == pytest.approx(24.0)  # (10 + 38) / 2
+
+    def test_open_outage_closed_at_finish(self):
+        tracker = AvailabilityTracker()
+        tracker.service_down(90)
+        tracker.finish(100)
+        assert tracker.downtime == pytest.approx(10.0)
+        assert len(tracker.outages) == 1
+
+    def test_double_down_ignored(self):
+        tracker = AvailabilityTracker()
+        tracker.service_down(10)
+        tracker.service_down(20)
+        tracker.service_up(30)
+        tracker.finish(100)
+        assert len(tracker.outages) == 1
+        assert tracker.downtime == pytest.approx(20.0)
+
+    def test_budget_check(self):
+        tracker = AvailabilityTracker()
+        tracker.service_down(100)
+        tracker.service_up(100.5)
+        tracker.finish(1000000)
+        assert tracker.meets_budget(5, period_seconds=SECONDS_PER_YEAR)
+        bad = AvailabilityTracker()
+        bad.service_down(10)
+        bad.service_up(5000)
+        bad.finish(10000)
+        assert not bad.meets_budget(5, period_seconds=SECONDS_PER_YEAR)
+
+    def test_no_outage_perfect(self):
+        tracker = AvailabilityTracker()
+        tracker.finish(100)
+        assert tracker.availability() == 1.0
+        assert tracker.nines() == 12.0
+
+
+class TestLatencyRecorder:
+    def test_percentiles(self):
+        recorder = LatencyRecorder()
+        for value in range(1, 101):
+            recorder.add(float(value))
+        assert recorder.percentile(50) == 50.0
+        assert recorder.percentile(95) == 95.0
+        assert recorder.percentile(99) == 99.0
+        assert recorder.percentile(0) == 1.0
+        assert recorder.percentile(100) == 100.0
+        assert recorder.mean() == pytest.approx(50.5)
+        assert recorder.max() == 100.0
+
+    def test_empty_recorder(self):
+        recorder = LatencyRecorder()
+        assert recorder.percentile(50) == 0.0
+        assert recorder.mean() == 0.0
+
+    def test_summary_keys(self):
+        recorder = LatencyRecorder()
+        recorder.add(1.0)
+        summary = recorder.summary()
+        assert set(summary) == {"count", "mean", "p50", "p95", "p99", "max"}
+
+
+class TestThroughputMeter:
+    def test_rate(self):
+        meter = ThroughputMeter()
+        meter.start(0.0)
+        for t in (1.0, 2.0, 3.0, 4.0):
+            meter.note_completion(t)
+        assert meter.rate(4.0) == pytest.approx(1.0)
+        assert meter.rate(8.0) == pytest.approx(0.5)
+
+    def test_abort_rate(self):
+        meter = ThroughputMeter()
+        meter.start(0.0)
+        meter.note_completion(1.0)
+        meter.note_failure(2.0)
+        assert meter.abort_rate() == pytest.approx(0.5)
+
+    def test_empty_meter(self):
+        meter = ThroughputMeter()
+        assert meter.rate() == 0.0
+        assert meter.abort_rate() == 0.0
+
+
+class TestTimeSeries:
+    def test_basic(self):
+        series = TimeSeries()
+        series.add(0.0, 1.0)
+        series.add(1.0, 3.0)
+        series.add(2.0, 2.0)
+        assert series.max() == 3.0
+        assert series.last() == 2.0
+        assert series.mean() == pytest.approx(2.0)

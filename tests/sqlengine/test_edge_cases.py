@@ -1,0 +1,185 @@
+"""Engine edge cases and regression guards."""
+
+import pytest
+
+from repro.sqlengine import Engine, NameError_, SQLError, generic
+
+
+@pytest.fixture
+def c():
+    engine = Engine("edge", dialect=generic(), seed=9)
+    engine.create_database("d")
+    connection = engine.connect(database="d")
+    yield connection
+    connection.close()
+
+
+def test_group_by_multiple_columns(c):
+    c.execute("CREATE TABLE s (a VARCHAR(4), b VARCHAR(4), n INT)")
+    c.execute("INSERT INTO s VALUES ('x', 'p', 1), ('x', 'p', 2), "
+              "('x', 'q', 3), ('y', 'p', 4)")
+    rows = c.execute(
+        "SELECT a, b, SUM(n) FROM s GROUP BY a, b ORDER BY a, b").rows
+    assert rows == [("x", "p", 3), ("x", "q", 3), ("y", "p", 4)]
+
+
+def test_order_by_two_keys_mixed_direction(c):
+    c.execute("CREATE TABLE s (a INT, b INT)")
+    c.execute("INSERT INTO s VALUES (1, 1), (1, 2), (2, 1), (2, 2)")
+    rows = c.execute("SELECT a, b FROM s ORDER BY a ASC, b DESC").rows
+    assert rows == [(1, 2), (1, 1), (2, 2), (2, 1)]
+
+
+def test_left_join_where_filters_null_padded(c):
+    c.execute("CREATE TABLE l (id INT)")
+    c.execute("CREATE TABLE r (id INT, v INT)")
+    c.execute("INSERT INTO l VALUES (1), (2)")
+    c.execute("INSERT INTO r VALUES (1, 10)")
+    rows = c.execute(
+        "SELECT l.id, r.v FROM l LEFT JOIN r ON l.id = r.id "
+        "WHERE r.v > 5").rows
+    assert rows == [(1, 10)]
+
+
+def test_case_in_where_clause(c):
+    c.execute("CREATE TABLE s (n INT)")
+    c.execute("INSERT INTO s VALUES (1), (2), (3)")
+    rows = c.execute(
+        "SELECT n FROM s WHERE CASE WHEN n > 1 THEN TRUE ELSE FALSE END "
+        "ORDER BY n").rows
+    assert rows == [(2,), (3,)]
+
+
+def test_nested_subqueries(c):
+    c.execute("CREATE TABLE s (n INT)")
+    c.execute("INSERT INTO s VALUES (1), (2), (3), (4)")
+    value = c.execute(
+        "SELECT COUNT(*) FROM s WHERE n IN "
+        "(SELECT n FROM s WHERE n > (SELECT MIN(n) FROM s))").scalar()
+    assert value == 3
+
+
+def test_self_join_with_aliases(c):
+    c.execute("CREATE TABLE emp (id INT, boss INT, name VARCHAR(10))")
+    c.execute("INSERT INTO emp VALUES (1, NULL, 'ceo'), (2, 1, 'dev')")
+    rows = c.execute(
+        "SELECT e.name, b.name FROM emp e JOIN emp b ON e.boss = b.id").rows
+    assert rows == [("dev", "ceo")]
+
+
+def test_update_all_rows_without_where(c):
+    c.execute("CREATE TABLE s (n INT)")
+    c.execute("INSERT INTO s VALUES (1), (2)")
+    assert c.execute("UPDATE s SET n = 0").rowcount == 2
+
+
+def test_insert_explicit_null_in_nullable(c):
+    c.execute("CREATE TABLE s (a INT, b INT)")
+    c.execute("INSERT INTO s (a, b) VALUES (1, NULL)")
+    assert c.execute("SELECT b FROM s").scalar() is None
+
+
+def test_empty_in_list_never_matches(c):
+    c.execute("CREATE TABLE s (n INT)")
+    c.execute("INSERT INTO s VALUES (1)")
+    # single-element list as the degenerate case
+    assert c.execute("SELECT COUNT(*) FROM s WHERE n IN (2)").scalar() == 0
+
+
+def test_limit_zero(c):
+    c.execute("CREATE TABLE s (n INT)")
+    c.execute("INSERT INTO s VALUES (1), (2)")
+    assert c.execute("SELECT n FROM s LIMIT 0").rows == []
+
+
+def test_offset_beyond_end(c):
+    c.execute("CREATE TABLE s (n INT)")
+    c.execute("INSERT INTO s VALUES (1)")
+    assert c.execute("SELECT n FROM s LIMIT 5 OFFSET 10").rows == []
+
+
+def test_distinct_with_nulls(c):
+    c.execute("CREATE TABLE s (n INT)")
+    c.execute("INSERT INTO s VALUES (NULL), (NULL), (1)")
+    rows = c.execute("SELECT DISTINCT n FROM s ORDER BY n").rows
+    assert rows == [(None,), (1,)]
+
+
+def test_aggregate_in_having_not_selected(c):
+    c.execute("CREATE TABLE s (g VARCHAR(2), n INT)")
+    c.execute("INSERT INTO s VALUES ('a', 1), ('a', 2), ('b', 1)")
+    rows = c.execute(
+        "SELECT g FROM s GROUP BY g HAVING SUM(n) > 2").rows
+    assert rows == [("a",)]
+
+
+def test_arithmetic_on_aggregates(c):
+    c.execute("CREATE TABLE s (n INT)")
+    c.execute("INSERT INTO s VALUES (2), (4)")
+    assert c.execute("SELECT SUM(n) * 2 + 1 FROM s").scalar() == 13
+
+
+def test_string_ordering(c):
+    c.execute("CREATE TABLE s (w VARCHAR(8))")
+    c.execute("INSERT INTO s VALUES ('banana'), ('apple'), ('cherry')")
+    rows = [r[0] for r in c.execute("SELECT w FROM s ORDER BY w").rows]
+    assert rows == ["apple", "banana", "cherry"]
+
+
+def test_multi_statement_script_returns_last(c):
+    c.execute("CREATE TABLE s (n INT)")
+    result = c.execute("INSERT INTO s VALUES (1); SELECT n FROM s;")
+    assert result.scalar() == 1
+
+
+def test_cross_database_insert_select(c):
+    c.engine.create_database("other")
+    c.execute("CREATE TABLE d.src (n INT)")
+    c.execute("CREATE TABLE other.dst (n INT)")
+    c.execute("INSERT INTO d.src VALUES (7)")
+    c.execute("INSERT INTO other.dst (n) SELECT n FROM d.src")
+    assert c.execute("SELECT n FROM other.dst").scalar() == 7
+
+
+def test_use_switches_database(c):
+    c.engine.create_database("second")
+    c.execute("USE second")
+    c.execute("CREATE TABLE here (n INT)")
+    assert c.engine.database("second").has_table("here")
+    with pytest.raises(NameError_):
+        c.execute("USE nonexistent")
+
+
+def test_for_update_read_returns_rows(c):
+    c.execute("CREATE TABLE s (n INT)")
+    c.execute("INSERT INTO s VALUES (5)")
+    c.execute("BEGIN")
+    rows = c.execute("SELECT n FROM s FOR UPDATE").rows
+    c.execute("COMMIT")
+    assert rows == [(5,)]
+
+
+def test_between_on_strings(c):
+    assert c.execute("SELECT 'b' BETWEEN 'a' AND 'c'").scalar() is True
+
+
+def test_column_alias_shadowing_in_order_by(c):
+    c.execute("CREATE TABLE s (n INT)")
+    c.execute("INSERT INTO s VALUES (1), (2), (3)")
+    rows = c.execute(
+        "SELECT n * -1 AS n FROM s ORDER BY n").rows
+    assert [r[0] for r in rows] == [-3, -2, -1]
+
+
+def test_update_where_param(c):
+    c.execute("CREATE TABLE s (k INT PRIMARY KEY, v INT)")
+    c.execute("INSERT INTO s VALUES (1, 0), (2, 0)")
+    c.execute("UPDATE s SET v = ? WHERE k = ?", [9, 2])
+    assert c.execute("SELECT v FROM s WHERE k = 2").scalar() == 9
+
+
+def test_reserved_soft_keywords_as_columns(c):
+    c.execute('CREATE TABLE s ("level" INT, "key" INT)')
+    c.execute("INSERT INTO s VALUES (1, 2)")
+    rows = c.execute('SELECT "level", "key" FROM s').rows
+    assert rows == [(1, 2)]

@@ -1,0 +1,172 @@
+"""INSERT / UPDATE / DELETE and constraint tests."""
+
+import pytest
+
+from repro.sqlengine import IntegrityError, NameError_, TypeError_
+
+
+@pytest.fixture
+def t(conn):
+    conn.execute("""CREATE TABLE t (
+        id INT PRIMARY KEY AUTO_INCREMENT,
+        name VARCHAR(30) NOT NULL,
+        score INT DEFAULT 10,
+        email VARCHAR(50) UNIQUE)""")
+    return conn
+
+
+def test_insert_and_lastrowid(t):
+    result = t.execute("INSERT INTO t (name) VALUES ('a')")
+    assert result.rowcount == 1
+    assert t.last_insert_id == 1
+    t.execute("INSERT INTO t (name) VALUES ('b')")
+    assert t.last_insert_id == 2
+
+
+def test_insert_multi_row_rowcount(t):
+    result = t.execute("INSERT INTO t (name) VALUES ('a'), ('b'), ('c')")
+    assert result.rowcount == 3
+
+
+def test_default_value_applied(t):
+    t.execute("INSERT INTO t (name) VALUES ('a')")
+    assert t.execute("SELECT score FROM t").scalar() == 10
+
+
+def test_explicit_null_overrides_nothing_for_default(t):
+    # explicit NULL for a defaulted nullable column stays NULL
+    t.execute("INSERT INTO t (name, score) VALUES ('a', NULL)")
+    assert t.execute("SELECT score FROM t").scalar() is None
+
+
+def test_not_null_violation(t):
+    with pytest.raises(IntegrityError):
+        t.execute("INSERT INTO t (name) VALUES (NULL)")
+
+
+def test_primary_key_duplicate(t):
+    t.execute("INSERT INTO t (id, name) VALUES (5, 'a')")
+    with pytest.raises(IntegrityError):
+        t.execute("INSERT INTO t (id, name) VALUES (5, 'b')")
+
+
+def test_unique_column_duplicate(t):
+    t.execute("INSERT INTO t (name, email) VALUES ('a', 'x@y.z')")
+    with pytest.raises(IntegrityError):
+        t.execute("INSERT INTO t (name, email) VALUES ('b', 'x@y.z')")
+
+
+def test_unique_allows_multiple_nulls(t):
+    t.execute("INSERT INTO t (name) VALUES ('a'), ('b')")
+    assert t.execute("SELECT COUNT(*) FROM t").scalar() == 2
+
+
+def test_insert_unknown_column(t):
+    with pytest.raises(NameError_):
+        t.execute("INSERT INTO t (nope) VALUES (1)")
+
+
+def test_insert_arity_mismatch(t):
+    with pytest.raises(TypeError_):
+        t.execute("INSERT INTO t (name, score) VALUES ('a')")
+
+
+def test_insert_type_coercion(t):
+    t.execute("INSERT INTO t (name, score) VALUES ('a', '42')")
+    assert t.execute("SELECT score FROM t").scalar() == 42
+
+
+def test_insert_bad_type(t):
+    with pytest.raises(TypeError_):
+        t.execute("INSERT INTO t (name, score) VALUES ('a', 'not-a-number')")
+
+
+def test_insert_select(t):
+    t.execute("INSERT INTO t (name, score) VALUES ('a', 1), ('b', 2)")
+    t.execute("CREATE TABLE copy1 (n VARCHAR(30), s INT)")
+    t.execute("INSERT INTO copy1 (n, s) SELECT name, score FROM t")
+    assert t.execute("SELECT COUNT(*) FROM copy1").scalar() == 2
+
+
+def test_update_rowcount_and_values(t):
+    t.execute("INSERT INTO t (name, score) VALUES ('a', 1), ('b', 2)")
+    result = t.execute("UPDATE t SET score = score + 10")
+    assert result.rowcount == 2
+    scores = {r[0] for r in t.execute("SELECT score FROM t").rows}
+    assert scores == {11, 12}
+
+
+def test_update_where(t):
+    t.execute("INSERT INTO t (name, score) VALUES ('a', 1), ('b', 2)")
+    result = t.execute("UPDATE t SET score = 0 WHERE name = 'a'")
+    assert result.rowcount == 1
+
+
+def test_update_self_reference(t):
+    t.execute("INSERT INTO t (name, score) VALUES ('a', 5)")
+    t.execute("UPDATE t SET score = score * score")
+    assert t.execute("SELECT score FROM t").scalar() == 25
+
+
+def test_update_not_null_violation(t):
+    t.execute("INSERT INTO t (name) VALUES ('a')")
+    with pytest.raises(IntegrityError):
+        t.execute("UPDATE t SET name = NULL")
+
+
+def test_update_unique_violation(t):
+    t.execute("INSERT INTO t (name, email) VALUES ('a', 'a@x'), ('b', 'b@x')")
+    with pytest.raises(IntegrityError):
+        t.execute("UPDATE t SET email = 'a@x' WHERE name = 'b'")
+
+
+def test_update_pk_to_same_value_ok(t):
+    t.execute("INSERT INTO t (id, name) VALUES (1, 'a')")
+    t.execute("UPDATE t SET id = 1, name = 'z' WHERE id = 1")
+    assert t.execute("SELECT name FROM t WHERE id = 1").scalar() == "z"
+
+
+def test_delete_rowcount(t):
+    t.execute("INSERT INTO t (name, score) VALUES ('a', 1), ('b', 2)")
+    assert t.execute("DELETE FROM t WHERE score > 1").rowcount == 1
+    assert t.execute("SELECT COUNT(*) FROM t").scalar() == 1
+
+
+def test_delete_all(t):
+    t.execute("INSERT INTO t (name) VALUES ('a'), ('b')")
+    t.execute("DELETE FROM t")
+    assert t.execute("SELECT COUNT(*) FROM t").scalar() == 0
+
+
+def test_delete_then_reinsert_same_pk(t):
+    t.execute("INSERT INTO t (id, name) VALUES (7, 'a')")
+    t.execute("DELETE FROM t WHERE id = 7")
+    t.execute("INSERT INTO t (id, name) VALUES (7, 'b')")
+    assert t.execute("SELECT name FROM t WHERE id = 7").scalar() == "b"
+
+
+def test_update_with_in_subquery_limit(t):
+    """The section 4.3.2 divergence statement executes fine on ONE engine;
+    the hazard only exists across replicas."""
+    t.execute("INSERT INTO t (name, email) VALUES ('a', NULL), ('b', NULL), "
+              "('c', 'set@x')")
+    t.execute(
+        "UPDATE t SET email = 'fixed' WHERE id IN "
+        "(SELECT id FROM t WHERE email IS NULL LIMIT 1)")
+    fixed = t.execute(
+        "SELECT COUNT(*) FROM t WHERE email = 'fixed'").scalar()
+    assert fixed == 1
+
+
+def test_auto_increment_respects_explicit_values(t):
+    t.execute("INSERT INTO t (id, name) VALUES (100, 'a')")
+    t.execute("INSERT INTO t (name) VALUES ('b')")
+    assert t.last_insert_id == 101
+
+
+def test_statement_level_atomicity(t):
+    """A failing multi-row INSERT must not leave partial rows behind."""
+    t.execute("INSERT INTO t (id, name) VALUES (1, 'a')")
+    with pytest.raises(IntegrityError):
+        t.execute("INSERT INTO t (id, name) VALUES (2, 'b'), (1, 'dup')")
+    assert t.execute("SELECT COUNT(*) FROM t").scalar() == 1

@@ -1,0 +1,195 @@
+"""SELECT execution tests."""
+
+import pytest
+
+from repro.sqlengine import NameError_
+
+
+@pytest.fixture
+def data(conn):
+    conn.execute("""CREATE TABLE users (
+        id INT PRIMARY KEY, name VARCHAR(30), age INT, city VARCHAR(20))""")
+    conn.execute("""CREATE TABLE orders (
+        oid INT PRIMARY KEY, uid INT, total FLOAT)""")
+    conn.execute(
+        "INSERT INTO users VALUES "
+        "(1, 'alice', 30, 'paris'), (2, 'bob', 25, 'london'), "
+        "(3, 'carol', 35, 'paris'), (4, 'dave', NULL, 'berlin')")
+    conn.execute(
+        "INSERT INTO orders VALUES (1, 1, 10.0), (2, 1, 25.0), "
+        "(3, 2, 5.0), (4, 9, 99.0)")
+    return conn
+
+
+def test_select_star_order(data):
+    result = data.execute("SELECT * FROM users ORDER BY id")
+    assert result.columns == ["id", "name", "age", "city"]
+    assert result.rows[0] == (1, "alice", 30, "paris")
+    assert len(result.rows) == 4
+
+
+def test_where_filter(data):
+    result = data.execute("SELECT name FROM users WHERE age > 26")
+    assert {r[0] for r in result.rows} == {"alice", "carol"}
+
+
+def test_where_null_excluded(data):
+    result = data.execute("SELECT name FROM users WHERE age > 0")
+    assert "dave" not in {r[0] for r in result.rows}
+
+
+def test_order_by_asc_desc_and_nulls_first(data):
+    ages = [r[0] for r in data.execute(
+        "SELECT age FROM users ORDER BY age").rows]
+    assert ages == [None, 25, 30, 35]
+    ages_desc = [r[0] for r in data.execute(
+        "SELECT age FROM users ORDER BY age DESC").rows]
+    assert ages_desc == [35, 30, 25, None]
+
+
+def test_order_by_alias_and_ordinal(data):
+    by_alias = data.execute(
+        "SELECT name, age AS years FROM users WHERE age IS NOT NULL "
+        "ORDER BY years DESC")
+    assert by_alias.rows[0][0] == "carol"
+
+
+def test_limit_offset(data):
+    result = data.execute("SELECT id FROM users ORDER BY id LIMIT 2 OFFSET 1")
+    assert [r[0] for r in result.rows] == [2, 3]
+
+
+def test_distinct(data):
+    result = data.execute("SELECT DISTINCT city FROM users")
+    assert len(result.rows) == 3
+
+
+def test_aggregates(data):
+    row = data.execute(
+        "SELECT COUNT(*), COUNT(age), SUM(age), AVG(age), MIN(age), MAX(age) "
+        "FROM users").rows[0]
+    assert row == (4, 3, 90, 30.0, 25, 35)
+
+
+def test_aggregate_empty_table(conn):
+    conn.execute("CREATE TABLE empty1 (a INT)")
+    row = conn.execute("SELECT COUNT(*), SUM(a), MIN(a) FROM empty1").rows[0]
+    assert row == (0, None, None)
+
+
+def test_group_by_having(data):
+    result = data.execute(
+        "SELECT city, COUNT(*) AS n FROM users GROUP BY city "
+        "HAVING COUNT(*) > 1")
+    assert result.rows == [("paris", 2)]
+
+
+def test_count_distinct(data):
+    assert data.execute(
+        "SELECT COUNT(DISTINCT city) FROM users").scalar() == 3
+
+
+def test_inner_join(data):
+    result = data.execute(
+        "SELECT u.name, o.total FROM users u JOIN orders o ON u.id = o.uid "
+        "ORDER BY o.total")
+    assert result.rows == [("bob", 5.0), ("alice", 10.0), ("alice", 25.0)]
+
+
+def test_left_join_null_padding(data):
+    result = data.execute(
+        "SELECT u.name, o.oid FROM users u LEFT JOIN orders o "
+        "ON u.id = o.uid WHERE o.oid IS NULL")
+    assert {r[0] for r in result.rows} == {"carol", "dave"}
+
+
+def test_join_with_group_by(data):
+    result = data.execute(
+        "SELECT u.name, SUM(o.total) AS s FROM users u "
+        "JOIN orders o ON u.id = o.uid GROUP BY u.name ORDER BY s DESC")
+    assert result.rows[0] == ("alice", 35.0)
+
+
+def test_cross_join(data):
+    result = data.execute("SELECT COUNT(*) FROM users, orders")
+    assert result.scalar() == 16
+
+
+def test_in_subquery(data):
+    result = data.execute(
+        "SELECT name FROM users WHERE id IN "
+        "(SELECT uid FROM orders WHERE total > 8)")
+    assert {r[0] for r in result.rows} == {"alice"}
+
+
+def test_correlated_exists(data):
+    result = data.execute(
+        "SELECT name FROM users u WHERE EXISTS "
+        "(SELECT 1 FROM orders o WHERE o.uid = u.id)")
+    assert {r[0] for r in result.rows} == {"alice", "bob"}
+
+
+def test_scalar_subquery(data):
+    result = data.execute(
+        "SELECT name, (SELECT MAX(total) FROM orders) FROM users "
+        "WHERE id = 1")
+    assert result.rows[0][1] == 99.0
+
+
+def test_derived_table(data):
+    result = data.execute(
+        "SELECT big.name FROM "
+        "(SELECT name, age FROM users WHERE age > 24) big "
+        "WHERE big.age < 31")
+    assert {r[0] for r in result.rows} == {"alice", "bob"}
+
+
+def test_ambiguous_column_raises(data):
+    with pytest.raises(NameError_):
+        data.execute("SELECT name FROM users u1 JOIN users u2 "
+                     "ON u1.id = u2.id")
+
+
+def test_unknown_column_raises(data):
+    with pytest.raises(NameError_):
+        data.execute("SELECT nope FROM users")
+
+
+def test_unknown_table_raises(conn):
+    with pytest.raises(NameError_):
+        conn.execute("SELECT * FROM missing_table")
+
+
+def test_qualified_star_in_join(data):
+    result = data.execute(
+        "SELECT o.* FROM users u JOIN orders o ON u.id = o.uid "
+        "WHERE u.name = 'bob'")
+    assert result.columns == ["oid", "uid", "total"]
+    assert result.rows == [(3, 2, 5.0)]
+
+
+def test_multi_database_query(engine, conn):
+    """Queries spanning database instances (paper section 4.1.1)."""
+    engine.create_database("reporting")
+    conn.execute("CREATE TABLE shop.products (id INT, label VARCHAR(20))")
+    conn.execute("CREATE TABLE reporting.stats (id INT, hits INT)")
+    conn.execute("INSERT INTO shop.products VALUES (1, 'thing')")
+    conn.execute("INSERT INTO reporting.stats VALUES (1, 42)")
+    result = conn.execute(
+        "SELECT p.label, s.hits FROM shop.products p "
+        "JOIN reporting.stats s ON p.id = s.id")
+    assert result.rows == [("thing", 42)]
+
+
+def test_expression_in_select_list(data):
+    result = data.execute(
+        "SELECT name, age * 2 AS double_age FROM users WHERE id = 1")
+    assert result.rows == [("alice", 60)]
+    assert result.columns == ["name", "double_age"]
+
+
+def test_result_helpers(data):
+    result = data.execute("SELECT id, name FROM users ORDER BY id LIMIT 1")
+    assert result.scalar() == 1
+    assert result.first() == (1, "alice")
+    assert result.as_dicts() == [{"id": 1, "name": "alice"}]

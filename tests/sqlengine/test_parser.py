@@ -1,0 +1,288 @@
+"""Parser unit tests."""
+
+import pytest
+
+from repro.sqlengine import ast_nodes as ast
+from repro.sqlengine.errors import ParseError
+from repro.sqlengine.parser import parse, parse_script
+
+
+# -- SELECT -----------------------------------------------------------------
+
+def test_select_star():
+    statement = parse("SELECT * FROM users")
+    assert isinstance(statement, ast.SelectStatement)
+    assert isinstance(statement.columns[0][0], ast.Star)
+    assert statement.source.name.name == "users"
+
+
+def test_select_columns_and_aliases():
+    statement = parse("SELECT a, b AS bee, c cee FROM t")
+    aliases = [alias for _expr, alias in statement.columns]
+    assert aliases == [None, "bee", "cee"]
+
+
+def test_select_qualified_star():
+    statement = parse("SELECT u.* FROM users u")
+    star = statement.columns[0][0]
+    assert isinstance(star, ast.Star)
+    assert star.table == "u"
+
+
+def test_select_where_precedence():
+    statement = parse("SELECT 1 FROM t WHERE a = 1 OR b = 2 AND c = 3")
+    where = statement.where
+    assert where.op == "OR"
+    assert where.right.op == "AND"
+
+
+def test_select_group_having_order_limit():
+    statement = parse(
+        "SELECT a, COUNT(*) FROM t GROUP BY a HAVING COUNT(*) > 1 "
+        "ORDER BY a DESC LIMIT 5 OFFSET 2")
+    assert len(statement.group_by) == 1
+    assert statement.having is not None
+    assert statement.order_by[0][1] is False  # DESC
+    assert statement.limit.value == 5
+    assert statement.offset.value == 2
+
+
+def test_select_joins():
+    statement = parse(
+        "SELECT * FROM a JOIN b ON a.id = b.id LEFT JOIN c ON b.id = c.id")
+    outer = statement.source
+    assert isinstance(outer, ast.Join)
+    assert outer.kind == "LEFT"
+    assert outer.left.kind == "INNER"
+
+
+def test_select_cross_join_comma():
+    statement = parse("SELECT * FROM a, b")
+    assert statement.source.kind == "CROSS"
+
+
+def test_select_derived_table():
+    statement = parse("SELECT * FROM (SELECT a FROM t) sub")
+    assert isinstance(statement.source, ast.SubquerySource)
+    assert statement.source.alias == "sub"
+
+
+def test_select_for_update():
+    statement = parse("SELECT * FROM t FOR UPDATE")
+    assert statement.for_update
+
+
+def test_select_distinct():
+    assert parse("SELECT DISTINCT a FROM t").distinct
+
+
+def test_select_without_from():
+    statement = parse("SELECT 1 + 2")
+    assert statement.source is None
+
+
+def test_scalar_subquery_and_exists():
+    statement = parse(
+        "SELECT (SELECT MAX(v) FROM t2), a FROM t "
+        "WHERE EXISTS (SELECT 1 FROM t3)")
+    assert isinstance(statement.columns[0][0], ast.ScalarSubquery)
+    assert isinstance(statement.where, ast.ExistsSubquery)
+
+
+def test_in_list_and_subquery():
+    s1 = parse("SELECT 1 FROM t WHERE a IN (1, 2, 3)")
+    assert len(s1.where.items) == 3
+    s2 = parse("SELECT 1 FROM t WHERE a NOT IN (SELECT b FROM u)")
+    assert s2.where.negated and s2.where.subquery is not None
+
+
+def test_between_like_isnull():
+    statement = parse(
+        "SELECT 1 FROM t WHERE a BETWEEN 1 AND 5 AND b LIKE 'x%' "
+        "AND c IS NOT NULL")
+    clause = statement.where
+    assert isinstance(clause.left.left, ast.Between)
+    assert isinstance(clause.left.right, ast.Like)
+    assert isinstance(clause.right, ast.IsNull) and clause.right.negated
+
+
+def test_case_expression():
+    statement = parse(
+        "SELECT CASE WHEN a > 0 THEN 'pos' WHEN a < 0 THEN 'neg' "
+        "ELSE 'zero' END FROM t")
+    case = statement.columns[0][0]
+    assert isinstance(case, ast.Case)
+    assert len(case.whens) == 2
+    assert case.default.value == "zero"
+
+
+# -- DML -----------------------------------------------------------------
+
+def test_insert_multi_row():
+    statement = parse("INSERT INTO t (a, b) VALUES (1, 2), (3, 4)")
+    assert statement.columns == ["a", "b"]
+    assert len(statement.rows) == 2
+
+
+def test_insert_select():
+    statement = parse("INSERT INTO t (a) SELECT b FROM u")
+    assert statement.select is not None
+
+
+def test_insert_qualified_table():
+    statement = parse("INSERT INTO shop.orders (id) VALUES (1)")
+    assert statement.table.database == "shop"
+
+
+def test_update_with_assignments():
+    statement = parse("UPDATE t SET a = 1, b = b + 1 WHERE id = 3")
+    assert len(statement.assignments) == 2
+    assert statement.where is not None
+
+
+def test_delete():
+    statement = parse("DELETE FROM t WHERE a < 5")
+    assert isinstance(statement, ast.DeleteStatement)
+
+
+# -- DDL -----------------------------------------------------------------
+
+def test_create_table_constraints():
+    statement = parse(
+        "CREATE TABLE t (id INT PRIMARY KEY AUTO_INCREMENT, "
+        "name VARCHAR(30) NOT NULL UNIQUE, ts TIMESTAMP DEFAULT NOW())")
+    by_name = {c.name: c for c in statement.columns}
+    assert by_name["id"].primary_key and by_name["id"].auto_increment
+    assert not by_name["name"].nullable and by_name["name"].unique
+    assert by_name["ts"].default is not None
+
+
+def test_create_table_composite_pk():
+    statement = parse("CREATE TABLE t (a INT, b INT, PRIMARY KEY (a, b))")
+    assert all(c.primary_key for c in statement.columns)
+
+
+def test_create_temporary_table():
+    assert parse("CREATE TEMPORARY TABLE tmp (a INT)").temporary
+    assert parse("CREATE TEMP TABLE tmp (a INT)").temporary
+
+
+def test_create_table_if_not_exists():
+    assert parse("CREATE TABLE IF NOT EXISTS t (a INT)").if_not_exists
+
+
+def test_create_index():
+    statement = parse("CREATE UNIQUE INDEX idx ON t (a, b)")
+    assert statement.unique and statement.columns == ["a", "b"]
+
+
+def test_create_sequence():
+    statement = parse("CREATE SEQUENCE seq START WITH 10 INCREMENT BY 5")
+    assert statement.start == 10 and statement.increment == 5
+
+
+def test_create_trigger():
+    statement = parse(
+        "CREATE TRIGGER trg AFTER UPDATE ON t FOR EACH ROW "
+        "BEGIN INSERT INTO log (x) VALUES (1); END")
+    assert statement.timing == "AFTER" and statement.event == "UPDATE"
+    assert len(statement.body) == 1
+
+
+def test_create_procedure():
+    statement = parse(
+        "CREATE PROCEDURE proc(a, b) BEGIN "
+        "UPDATE t SET x = a WHERE id = b; "
+        "SELECT * FROM t; END")
+    assert statement.params == ["a", "b"]
+    assert len(statement.body) == 2
+
+
+def test_drop_variants():
+    assert parse("DROP TABLE IF EXISTS t").if_exists
+    assert parse("DROP DATABASE d").kind == "DATABASE"
+    assert parse("DROP SEQUENCE s").kind == "SEQUENCE"
+
+
+def test_alter_table():
+    add = parse("ALTER TABLE t ADD COLUMN extra INT")
+    assert add.action == "ADD_COLUMN" and add.column.name == "extra"
+    rename = parse("ALTER TABLE t RENAME TO t2")
+    assert rename.action == "RENAME" and rename.new_name == "t2"
+
+
+# -- transactions / misc ----------------------------------------------------
+
+def test_begin_isolation_levels():
+    assert parse("BEGIN").isolation is None
+    assert parse("BEGIN ISOLATION LEVEL SNAPSHOT").isolation == "SNAPSHOT"
+    assert parse("START TRANSACTION").isolation is None
+    assert (parse("BEGIN ISOLATION LEVEL READ COMMITTED").isolation
+            == "READ COMMITTED")
+    assert (parse("BEGIN ISOLATION LEVEL REPEATABLE READ").isolation
+            == "REPEATABLE READ")
+
+
+def test_commit_rollback():
+    assert isinstance(parse("COMMIT"), ast.CommitStatement)
+    assert isinstance(parse("ROLLBACK WORK"), ast.RollbackStatement)
+
+
+def test_set_isolation():
+    statement = parse("SET TRANSACTION ISOLATION LEVEL SERIALIZABLE")
+    assert statement.name == "isolation_level"
+    assert statement.value == "SERIALIZABLE"
+
+
+def test_grant_revoke():
+    grant = parse("GRANT SELECT, INSERT ON shop.orders TO bob")
+    assert grant.privileges == ["SELECT", "INSERT"]
+    revoke = parse("REVOKE ALL ON shop.orders FROM bob")
+    assert revoke.privileges == ["ALL"]
+
+
+def test_use_and_call():
+    assert parse("USE shop").database == "shop"
+    call = parse("CALL proc(1, 'x')")
+    assert len(call.args) == 2
+
+
+def test_lock_table():
+    statement = parse("LOCK TABLE t IN EXCLUSIVE MODE")
+    assert statement.mode == "EXCLUSIVE"
+
+
+def test_sequence_pseudocolumns():
+    statement = parse("SELECT seq.NEXTVAL, NEXTVAL('seq')")
+    first, second = statement.columns[0][0], statement.columns[1][0]
+    assert first.name == "NEXTVAL" and second.name == "NEXTVAL"
+
+
+def test_params_numbered_in_order():
+    statement = parse("SELECT 1 FROM t WHERE a = ? AND b = ?")
+    assert statement.where.left.right.index == 0
+    assert statement.where.right.right.index == 1
+
+
+def test_parse_script_multiple():
+    statements = parse_script("SELECT 1; SELECT 2; COMMIT;")
+    assert len(statements) == 3
+
+
+def test_parse_single_rejects_multiple():
+    with pytest.raises(ParseError):
+        parse("SELECT 1; SELECT 2")
+
+
+def test_parse_error_on_garbage():
+    with pytest.raises(ParseError):
+        parse("FLY ME TO THE MOON")
+    with pytest.raises(ParseError):
+        parse("SELECT FROM WHERE")
+
+
+def test_qualified_name_three_parts():
+    statement = parse("SELECT * FROM db.app.table1")
+    name = statement.source.name
+    assert name.database == "db" and name.schema == "app"
+    assert name.name == "table1"

@@ -1,0 +1,169 @@
+"""Property-based tests (hypothesis) on engine invariants."""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.sqlengine import Engine, generic
+from repro.sqlengine.locks import LockConflict
+from repro.sqlengine.errors import SQLError
+
+
+def fresh():
+    engine = Engine("prop", dialect=generic(), seed=3)
+    engine.create_database("d")
+    connection = engine.connect(database="d")
+    connection.execute("CREATE TABLE kv (k INT PRIMARY KEY, v INT)")
+    return engine, connection
+
+
+# ---------------------------------------------------------------------------
+# MVCC visibility
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(
+    st.tuples(st.sampled_from(["insert", "update", "delete"]),
+              st.integers(0, 9), st.integers(0, 100)),
+    min_size=1, max_size=25))
+def test_committed_state_matches_shadow_model(operations):
+    """Random single-statement operations against a shadow dict: the
+    visible committed state must always match."""
+    engine, connection = fresh()
+    shadow = {}
+    for op, key, value in operations:
+        try:
+            if op == "insert":
+                connection.execute(
+                    f"INSERT INTO kv VALUES ({key}, {value})")
+                shadow[key] = value
+            elif op == "update":
+                result = connection.execute(
+                    f"UPDATE kv SET v = {value} WHERE k = {key}")
+                if key in shadow:
+                    assert result.rowcount == 1
+                    shadow[key] = value
+                else:
+                    assert result.rowcount == 0
+            else:
+                result = connection.execute(
+                    f"DELETE FROM kv WHERE k = {key}")
+                if key in shadow:
+                    del shadow[key]
+        except SQLError:
+            # duplicate-pk insert: shadow unchanged
+            assert op == "insert" and key in shadow
+    rows = connection.execute("SELECT k, v FROM kv").rows
+    assert dict(rows) == shadow
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.tuples(st.integers(0, 5), st.integers(0, 50)),
+                min_size=1, max_size=12),
+       st.booleans())
+def test_rollback_restores_exact_state(txn_updates, use_delete):
+    """Whatever a transaction does, rollback restores the pre-image."""
+    engine, connection = fresh()
+    for key in range(6):
+        connection.execute(f"INSERT INTO kv VALUES ({key}, {key})")
+    before = engine.content_signature()
+    connection.execute("BEGIN")
+    for key, value in txn_updates:
+        connection.execute(f"UPDATE kv SET v = {value} WHERE k = {key}")
+    if use_delete:
+        connection.execute("DELETE FROM kv WHERE k = 0")
+    connection.execute("ROLLBACK")
+    assert engine.content_signature() == before
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.integers(2, 6), st.integers(1, 30))
+def test_snapshot_reader_isolated_from_any_writes(keys, writes):
+    """A snapshot transaction's repeated reads never change, whatever a
+    concurrent writer commits."""
+    engine, connection = fresh()
+    for key in range(keys):
+        connection.execute(f"INSERT INTO kv VALUES ({key}, 0)")
+    reader = engine.connect(database="d")
+    reader.execute("BEGIN ISOLATION LEVEL SNAPSHOT")
+    first = reader.execute("SELECT k, v FROM kv ORDER BY k").rows
+    rng = random.Random(writes)
+    for _ in range(writes):
+        key = rng.randrange(keys)
+        connection.execute(f"UPDATE kv SET v = v + 1 WHERE k = {key}")
+    again = reader.execute("SELECT k, v FROM kv ORDER BY k").rows
+    reader.execute("COMMIT")
+    assert first == again
+
+
+# ---------------------------------------------------------------------------
+# lock manager
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.tuples(st.integers(1, 4), st.sampled_from(["S", "X"]),
+                          st.integers(0, 2)),
+                min_size=1, max_size=20))
+def test_lock_manager_never_grants_conflicting(requests):
+    from repro.sqlengine.locks import LockManager, LockMode
+    from repro.sqlengine.errors import DeadlockError
+
+    manager = LockManager()
+    for txn, mode_name, resource_index in requests:
+        resource = f"res{resource_index}"
+        mode = LockMode.SHARED if mode_name == "S" else LockMode.EXCLUSIVE
+        try:
+            manager.acquire(txn, resource, mode)
+        except (LockConflict, DeadlockError):
+            pass
+        # invariant: at most one holder when any holds X
+        holders = manager.holders_of(resource)
+        exclusive = [t for t, m in holders if m is LockMode.EXCLUSIVE]
+        if exclusive:
+            assert len(holders) == 1
+
+
+# ---------------------------------------------------------------------------
+# parser round-trip-ish
+# ---------------------------------------------------------------------------
+
+@settings(max_examples=50, deadline=None)
+@given(st.integers(-1000, 1000), st.integers(-1000, 1000))
+def test_arithmetic_matches_python(a, b):
+    engine, connection = fresh()
+    got = connection.execute(f"SELECT ({a}) + ({b}), ({a}) * ({b})").rows[0]
+    assert got == (a + b, a * b)
+
+
+@settings(max_examples=50, deadline=None)
+@given(st.text(
+    alphabet=st.characters(min_codepoint=32, max_codepoint=126,
+                           exclude_characters="'\\"),
+    max_size=30))
+def test_string_literals_round_trip(text):
+    engine, connection = fresh()
+    escaped = text.replace("'", "''")
+    assert connection.execute(f"SELECT '{escaped}'").scalar() == text
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(-100, 100), min_size=1, max_size=20))
+def test_order_by_sorts_like_python(values):
+    engine, connection = fresh()
+    connection.execute("CREATE TABLE nums (i INT PRIMARY KEY, n INT)")
+    for index, value in enumerate(values):
+        connection.execute(f"INSERT INTO nums VALUES ({index}, {value})")
+    rows = connection.execute("SELECT n FROM nums ORDER BY n").rows
+    assert [r[0] for r in rows] == sorted(values)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.integers(0, 20), min_size=1, max_size=30))
+def test_aggregates_match_python(values):
+    engine, connection = fresh()
+    connection.execute("CREATE TABLE nums (i INT PRIMARY KEY, n INT)")
+    for index, value in enumerate(values):
+        connection.execute(f"INSERT INTO nums VALUES ({index}, {value})")
+    row = connection.execute(
+        "SELECT COUNT(*), SUM(n), MIN(n), MAX(n) FROM nums").rows[0]
+    assert row == (len(values), sum(values), min(values), max(values))

@@ -1,0 +1,113 @@
+"""Tokenizer unit tests."""
+
+import pytest
+
+from repro.sqlengine.errors import ParseError
+from repro.sqlengine.tokens import Token, TokenStream, TokenType, tokenize
+
+
+def kinds(sql):
+    return [(t.type, t.value) for t in tokenize(sql) if t.type is not TokenType.EOF]
+
+
+def test_keywords_case_insensitive():
+    assert kinds("select")[0] == (TokenType.KEYWORD, "SELECT")
+    assert kinds("SeLeCt")[0] == (TokenType.KEYWORD, "SELECT")
+
+
+def test_identifier_preserves_case():
+    tokens = kinds("SELECT MyColumn")
+    assert tokens[1] == (TokenType.IDENT, "MyColumn")
+
+
+def test_integer_and_float_numbers():
+    tokens = kinds("SELECT 42, 3.14, 1e3, 2.5e-2")
+    values = [v for t, v in tokens if t is TokenType.NUMBER]
+    assert values == ["42", "3.14", "1e3", "2.5e-2"]
+
+
+def test_string_literal_with_escape():
+    tokens = kinds("SELECT 'it''s'")
+    assert (TokenType.STRING, "it's") in tokens
+
+
+def test_unterminated_string_raises():
+    with pytest.raises(ParseError):
+        tokenize("SELECT 'oops")
+
+
+def test_double_quoted_identifier():
+    tokens = kinds('SELECT "order" FROM t')
+    assert (TokenType.IDENT, "order") in tokens
+
+
+def test_backtick_identifier():
+    tokens = kinds("SELECT `weird name` FROM t")
+    assert (TokenType.IDENT, "weird name") in tokens
+
+
+def test_line_comment_skipped():
+    tokens = kinds("SELECT 1 -- comment here\n+ 2")
+    values = [v for _t, v in tokens]
+    assert "comment" not in " ".join(values)
+    assert "+" in values
+
+
+def test_block_comment_skipped():
+    tokens = kinds("SELECT /* hi */ 1")
+    assert len(tokens) == 2
+
+
+def test_unterminated_block_comment_raises():
+    with pytest.raises(ParseError):
+        tokenize("SELECT /* oops")
+
+
+def test_two_char_operators():
+    tokens = kinds("a <= b >= c <> d != e || f")
+    operators = [v for t, v in tokens if t is TokenType.OPERATOR]
+    assert operators == ["<=", ">=", "<>", "!=", "||"]
+
+
+def test_param_placeholder():
+    tokens = kinds("SELECT * FROM t WHERE a = ?")
+    assert (TokenType.PARAM, "?") in tokens
+
+
+def test_unexpected_character_raises():
+    with pytest.raises(ParseError):
+        tokenize("SELECT #")
+
+
+def test_number_dot_not_member_access():
+    # `1.` followed by non-digit must not swallow the dot
+    tokens = kinds("seq.nextval")
+    assert tokens[0] == (TokenType.IDENT, "seq")
+
+
+def test_stream_expect_and_accept():
+    stream = TokenStream(tokenize("SELECT a FROM t"))
+    assert stream.expect_keyword("SELECT").value == "SELECT"
+    assert stream.expect_ident().value == "a"
+    assert stream.accept_keyword("WHERE") is None
+    assert stream.accept_keyword("FROM") is not None
+
+
+def test_stream_expect_failure():
+    stream = TokenStream(tokenize("SELECT"))
+    with pytest.raises(ParseError):
+        stream.expect_keyword("INSERT")
+
+
+def test_soft_keyword_as_identifier():
+    stream = TokenStream(tokenize("level"))
+    assert stream.expect_ident().value == "LEVEL"
+
+
+def test_eof_token_terminates():
+    tokens = tokenize("SELECT 1")
+    assert tokens[-1].type is TokenType.EOF
+    stream = TokenStream(tokens)
+    for _ in range(10):
+        stream.next()
+    assert stream.at_end()

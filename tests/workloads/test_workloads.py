@@ -1,0 +1,142 @@
+"""Workload generator tests."""
+
+import random
+
+import pytest
+
+from repro.core import MiddlewareConfig, ReplicationMiddleware
+from repro.workloads import (
+    ClosedLoopRun, MicroWorkload, MultiTableWorkload, RubisWorkload,
+    SequentialBatchWorkload, StatisticalReplayer, TicketBrokerWorkload,
+    TpcWWorkload, TraceRecorder, equivalent, exact_replay_is_possible,
+    scaled_load_plan, zipf_choice,
+)
+
+from tests.conftest import make_replicas
+
+
+ALL_WORKLOADS = [
+    MicroWorkload(rows=50),
+    SequentialBatchWorkload(rows=20),
+    MultiTableWorkload(tables=3, rows_per_table=20),
+    TicketBrokerWorkload(offers=30, agencies=5),
+    TpcWWorkload(items=40, customers=10),
+    RubisWorkload(items=30, users=10),
+]
+
+
+def cluster_for(workload):
+    replicas = make_replicas(2)
+    mw = ReplicationMiddleware(replicas,
+                               MiddlewareConfig(replication="statement"))
+    session = mw.connect(database="shop")
+    for sql in workload.setup_sql():
+        session.execute(sql)
+    session.close()
+    return mw
+
+
+@pytest.mark.parametrize("workload", ALL_WORKLOADS,
+                         ids=lambda w: w.name)
+def test_workload_runs_against_cluster(workload):
+    mw = cluster_for(workload)
+    run = ClosedLoopRun(workload, clients=2, seed=1)
+    stats = run.run(lambda: mw.connect(database="shop"),
+                    transactions_per_client=15)
+    assert stats["completed"] >= 25
+    assert mw.check_convergence()
+
+
+@pytest.mark.parametrize("workload", ALL_WORKLOADS,
+                         ids=lambda w: w.name)
+def test_mix_matches_declared_read_fraction(workload):
+    rng = random.Random(11)
+    total = 400
+    reads = sum(
+        1 for _ in range(total)
+        if workload.next_transaction(rng).is_read_only
+    )
+    expected = workload.read_fraction_estimate()
+    assert abs(reads / total - expected) < 0.08
+
+
+def test_ticket_broker_is_95_percent_reads():
+    workload = TicketBrokerWorkload()
+    assert workload.read_fraction_estimate() == 0.95
+
+
+def test_tpcw_mixes():
+    assert TpcWWorkload(mix="browsing").read_fraction == 0.95
+    assert TpcWWorkload(mix="ordering").read_fraction == 0.50
+    with pytest.raises(ValueError):
+        TpcWWorkload(mix="nonsense")
+
+
+def test_zipf_skews_hot_keys():
+    rng = random.Random(3)
+    counts = {}
+    for _ in range(3000):
+        key = zipf_choice(rng, 100, 1.3)
+        counts[key] = counts.get(key, 0) + 1
+    hot = sum(counts.get(k, 0) for k in range(10))
+    assert hot > 3000 * 0.3  # top 10% of keys get >30% of traffic
+
+
+def test_sequential_batch_is_deterministic_cursor():
+    workload = SequentialBatchWorkload(rows=5)
+    rng = random.Random(1)
+    keys = []
+    for _ in range(7):
+        spec = workload.next_transaction(rng)
+        keys.append(spec.statements[0][0])
+    assert "k = 0" in keys[0] and "k = 0" in keys[5]  # wraps around
+
+
+def test_scaled_load_plan():
+    assert scaled_load_plan(4, 5) == 20
+
+
+def test_trace_capture_and_statistical_replay():
+    workload = MicroWorkload(rows=30, read_fraction=0.6)
+    mw = cluster_for(workload)
+    session = mw.connect(database="shop")
+    recorder = TraceRecorder(session)
+    rng = random.Random(5)
+    for _ in range(50):
+        spec = workload.next_transaction(rng)
+        for sql, params in spec.statements:
+            recorder.execute(sql, params)
+    histogram = recorder.kind_histogram()
+    assert set(histogram) <= {"read", "write"}
+    assert sum(histogram.values()) == 50
+
+    # replay onto a second, identical cluster
+    mw2 = cluster_for(MicroWorkload(rows=30, read_fraction=0.6))
+    target = mw2.connect(database="shop")
+    replayer = StatisticalReplayer(recorder.entries, seed=9)
+    outcome = replayer.replay(target)
+    assert outcome["replayed"] == 50
+    target.close()
+    recorder.close()
+
+
+def test_statistical_equivalence_definition():
+    assert equivalent({"read": 10, "write": 2}, {"write": 2, "read": 10})
+    assert not equivalent({"read": 10}, {"read": 9})
+
+
+def test_exact_replay_verdict_matches_paper():
+    assert exact_replay_is_possible() is False
+
+
+def test_closed_loop_counts_aborts():
+    class FailingSession:
+        def execute(self, sql, params=None):
+            raise RuntimeError("nope")
+
+        def close(self):
+            pass
+
+    run = ClosedLoopRun(MicroWorkload(rows=5), clients=1)
+    stats = run.run(lambda: FailingSession(), transactions_per_client=3)
+    assert stats["aborted"] == 3 and stats["completed"] == 0
