@@ -22,14 +22,17 @@ Quickstart::
 
 from .bench.harness import Report, build_cluster, build_replicas, load_workload
 from .core import (
-    MiddlewareConfig, MiddlewareSession, Replica, ReplicationMiddleware,
+    CircuitBreaker, MiddlewareConfig, MiddlewareSession, Overloaded,
+    Replica, ReplicationMiddleware, RequestTimeout, ResiliencePolicy,
+    RetryExhausted, RetryPolicy,
 )
 from .sqlengine import Engine
 
 __version__ = "1.0.0"
 
 __all__ = [
-    "Engine", "MiddlewareConfig", "MiddlewareSession", "Replica",
-    "ReplicationMiddleware", "Report", "build_cluster", "build_replicas",
-    "load_workload", "__version__",
+    "CircuitBreaker", "Engine", "MiddlewareConfig", "MiddlewareSession",
+    "Overloaded", "Replica", "ReplicationMiddleware", "Report",
+    "RequestTimeout", "ResiliencePolicy", "RetryExhausted", "RetryPolicy",
+    "build_cluster", "build_replicas", "load_workload", "__version__",
 ]

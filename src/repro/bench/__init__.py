@@ -1,5 +1,8 @@
 """``repro.bench`` — benchmark harness and timed simulation drivers."""
 
+from .chaos import (
+    ChaosConfig, ChaosResult, ChaosRun, default_resilience_policy, run_chaos,
+)
 from .harness import (
     DEFAULT_DATABASE, Report, build_cluster, build_replicas, load_workload,
 )
@@ -8,7 +11,9 @@ from .simdriver import (
 )
 
 __all__ = [
-    "ClosedLoopDriver", "DEFAULT_DATABASE", "LagProbe", "OpenLoopDriver",
+    "ChaosConfig", "ChaosResult", "ChaosRun", "ClosedLoopDriver",
+    "DEFAULT_DATABASE", "LagProbe", "OpenLoopDriver",
     "Report", "RunMetrics", "TimedCluster", "build_cluster",
-    "build_replicas", "load_workload",
+    "build_replicas", "default_resilience_policy", "load_workload",
+    "run_chaos",
 ]

@@ -1,0 +1,546 @@
+"""Randomized chaos harness: seeded fault schedules against open-loop
+load, with invariant checking (benchmark E22).
+
+Section 5.1 of the paper calls for benchmarks that "integrate fault
+injection or management operations" and measure "performance in the
+presence of failures, performance of degraded modes".  This harness is
+that benchmark: it drives the *same* seeded fault schedule (crashes with
+repair, flapping nodes — see :func:`repro.cluster.failures.random_schedule`)
+against a middleware cluster twice — once bare, once with a
+:class:`~repro.core.resilience.ResiliencePolicy` — under identical
+open-loop Poisson load, and reports goodput, client-visible error rate
+and MTTR for both.
+
+After every run three invariants are checked:
+
+* **no lost acked commits** — every write the client saw succeed is
+  present on every replica once the cluster has healed (under 2-safe
+  synchronous propagation this must hold by construction);
+* **no divergence** — all replicas converge to identical content
+  signatures after repair + failback + drain;
+* **bounded resolution** — every admitted request resolves (success or
+  error) and, when a deadline is configured, within deadline + ε, where
+  ε covers one freshness wait plus one in-flight service charge.
+
+Two-level retry design (the repo-wide convention: state changes are
+instantaneous, time is charged separately): the in-session resilience
+layer (:mod:`repro.core.resilience`) retries instantly when an
+alternative replica exists *right now* and accumulates its backoff in
+``pending_backoff``; this harness charges that backoff as simulated time
+and owns the *timed* retries — the ones that only succeed because
+simulated time passes (a new master gets promoted, a crashed node
+repairs).  ``NodeDown`` surfaces only here, because only the timed layer
+charges service time on nodes.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Set
+
+from ..cluster.failures import FaultInjector, random_schedule
+from ..cluster.nodes import NodeDown
+from ..cluster.sim import Environment
+from ..core.errors import (
+    CircuitOpen, Overloaded, ReplicaUnavailable, RequestTimeout,
+    RetryExhausted,
+)
+from ..core.failover import FailoverManager, VirtualIP
+from ..core.loadbalancer import NoReplicaAvailable
+from ..core.middleware import ReplicationMiddleware
+from ..core.replica import ReplicaState
+from ..core.resilience import ResiliencePolicy, RetryPolicy
+from ..metrics.availability import AvailabilityTracker
+from ..sqlengine.errors import ConnectionError_
+from .harness import build_cluster
+from .simdriver import TimedCluster
+
+DATABASE = "shop"
+
+#: resolution-bound slack: one freshness wait (max 2.0 s in the timed
+#: driver) plus one in-flight service/commit charge
+RESOLUTION_EPSILON = 2.5
+
+
+class ChaosConfig:
+    """One chaos experiment: cluster shape, load, faults, resilience."""
+
+    def __init__(self,
+                 replicas: int = 3,
+                 seed: int = 1,
+                 duration: float = 60.0,
+                 rate_tps: float = 40.0,
+                 read_fraction: float = 0.7,
+                 txn_write_fraction: float = 0.4,
+                 kv_rows: int = 50,
+                 n_faults: int = 4,
+                 fault_spec: Optional[dict] = None,
+                 resilience: Optional[ResiliencePolicy] = None,
+                 detection_delay: float = 0.5,
+                 failback_delay: float = 0.5,
+                 probe_interval: float = 0.25,
+                 drain_grace: float = 30.0):
+        self.replicas = replicas
+        self.seed = seed
+        self.duration = duration
+        self.rate_tps = rate_tps
+        self.read_fraction = read_fraction
+        # fraction of writes that run as a multi-statement transaction
+        # (exercises transaction replay on a survivor)
+        self.txn_write_fraction = txn_write_fraction
+        self.kv_rows = kv_rows
+        self.n_faults = n_faults
+        self.fault_spec = fault_spec
+        self.resilience = resilience
+        # how long the "failure detector" takes before failover reacts
+        self.detection_delay = detection_delay
+        self.failback_delay = failback_delay
+        self.probe_interval = probe_interval
+        # extra simulated time after the load stops for in-flight
+        # requests and repairs to resolve
+        self.drain_grace = drain_grace
+
+    def resolved_fault_spec(self, node_names: List[str]) -> dict:
+        if self.fault_spec is not None:
+            return self.fault_spec
+        return random_schedule(node_names, seed=self.seed,
+                               horizon=self.duration,
+                               n_faults=self.n_faults)
+
+
+class RequestRecord:
+    """One client request's fate."""
+
+    __slots__ = ("id", "kind", "start", "end", "ok", "error", "write_id")
+
+    def __init__(self, id: int, kind: str, start: float,
+                 write_id: Optional[int] = None):
+        self.id = id
+        self.kind = kind            # "read" | "write" | "txn"
+        self.start = start
+        self.end: Optional[float] = None
+        self.ok = False
+        self.error = ""
+        self.write_id = write_id    # unique id INSERTed by this request
+
+    @property
+    def resolved(self) -> bool:
+        return self.end is not None
+
+    @property
+    def latency(self) -> float:
+        return (self.end if self.end is not None else float("inf")) - self.start
+
+
+class ChaosResult:
+    """Everything one chaos run produced."""
+
+    def __init__(self, config: ChaosConfig):
+        self.config = config
+        self.records: List[RequestRecord] = []
+        self.acked_ids: Set[int] = set()
+        self.shed = 0
+        self.fault_spec: Optional[dict] = None
+        self.fault_events: List = []
+        self.invariants: Dict[str, bool] = {}
+        self.violations: List[str] = []
+        self.mttr = 0.0
+        self.availability = 1.0
+        self.elapsed = 0.0
+        self.resilience_stats: Dict[str, int] = {}
+        self.middleware_stats: Dict[str, float] = {}
+
+    # -- headline numbers ----------------------------------------------------
+
+    @property
+    def total_requests(self) -> int:
+        return len(self.records)
+
+    @property
+    def succeeded(self) -> int:
+        return sum(1 for r in self.records if r.ok)
+
+    @property
+    def failed(self) -> int:
+        return sum(1 for r in self.records if r.resolved and not r.ok)
+
+    def goodput(self) -> float:
+        if self.elapsed <= 0:
+            return 0.0
+        return self.succeeded / self.elapsed
+
+    def error_rate(self) -> float:
+        if not self.records:
+            return 0.0
+        return self.failed / len(self.records)
+
+    def errors_by_kind(self) -> Dict[str, int]:
+        kinds: Dict[str, int] = {}
+        for record in self.records:
+            if record.resolved and not record.ok:
+                kinds[record.error] = kinds.get(record.error, 0) + 1
+        return kinds
+
+    @property
+    def all_invariants_hold(self) -> bool:
+        return bool(self.invariants) and all(self.invariants.values())
+
+
+class ChaosRun:
+    """Drives one seeded chaos experiment to completion."""
+
+    #: failures the timed layer retries (resilient runs only)
+    TIMED_RETRYABLE = (NodeDown, ConnectionError_, ReplicaUnavailable,
+                       NoReplicaAvailable, RetryExhausted, CircuitOpen)
+
+    def __init__(self, config: ChaosConfig):
+        self.config = config
+        self.env = Environment()
+        self.middleware = build_cluster(
+            config.replicas, replication="writeset", consistency="rsi-pc",
+            propagation="sync", env=self.env, resilience=config.resilience,
+            name="chaos")
+        self.cluster = TimedCluster(self.env, self.middleware)
+        self.result = ChaosResult(config)
+        self.tracker = AvailabilityTracker(start_time=0.0)
+        self._next_write_id = 0
+        self._next_request = 0
+        self._inflight = 0
+        self._load_done = False
+        self._setup_schema()
+        self.manager = FailoverManager(
+            self.middleware, VirtualIP("vip", self.middleware.master.name))
+        self._wire_failover_reaction()
+        self.injector = FaultInjector(self.env, seed=config.seed)
+        self.spec = config.resolved_fault_spec(
+            [r.name for r in self.middleware.replicas])
+
+    # -- setup ---------------------------------------------------------------
+
+    def _setup_schema(self) -> None:
+        session = self.middleware.connect(database=DATABASE)
+        session.execute("CREATE TABLE kv (k INT PRIMARY KEY, v INT)")
+        session.execute(
+            "CREATE TABLE chaos_log (id INT PRIMARY KEY, client INT)")
+        for key in range(self.config.kv_rows):
+            session.execute(f"INSERT INTO kv (k, v) VALUES ({key}, 0)")
+        session.close()
+
+    # -- failover / failback automation --------------------------------------
+
+    def _wire_failover_reaction(self) -> None:
+        """Automatic operator: promote on master failure (after a
+        detection delay), fail a repaired replica back (after a resync
+        delay), and promote on failback if the master is still dark."""
+        for replica in self.middleware.replicas:
+            replica.on_state_change(self._replica_changed)
+
+    def _replica_changed(self, replica, state) -> None:
+        if state is ReplicaState.FAILED:
+            if self.middleware.master.name == replica.name:
+                self.env.process(self._promotion(replica.name),
+                                 name=f"promote:{replica.name}")
+        elif state is ReplicaState.RECOVERING:
+            self.env.process(self._failback(replica.name),
+                             name=f"failback:{replica.name}")
+
+    def _promotion(self, failed_name: str):
+        yield self.env.timeout(self.config.detection_delay)
+        master = self.middleware.master
+        if master.name != failed_name or master.is_online:
+            return  # already handled, or it came back
+        self.manager.handle_replica_failure(failed_name)
+
+    def _failback(self, name: str):
+        yield self.env.timeout(self.config.failback_delay)
+        replica = self.middleware.replica_by_name(name)
+        if replica.state is not ReplicaState.RECOVERING:
+            return  # crashed again (flapping) or already handled
+        if replica.node is not None and not replica.node.up:
+            return
+        self.manager.failback(name)
+        if not self.middleware.master.is_online:
+            # the cluster was dark; the returning replica becomes master
+            self.manager.handle_replica_failure(self.middleware.master.name)
+
+    # -- load ----------------------------------------------------------------
+
+    def _arrivals(self):
+        env = self.env
+        rng = random.Random(self.config.seed * 977 + 13)
+        deadline = env.now + self.config.duration
+        while env.now < deadline:
+            yield env.timeout(rng.expovariate(self.config.rate_tps))
+            record = self._make_request(rng)
+            env.process(self._run_request(record),
+                        name=f"req{record.id}")
+        self._load_done = True
+
+    def _make_request(self, rng: random.Random) -> RequestRecord:
+        request_id = self._next_request
+        self._next_request += 1
+        if rng.random() < self.config.read_fraction:
+            record = RequestRecord(request_id, "read", self.env.now)
+        else:
+            self._next_write_id += 1
+            kind = ("txn" if rng.random() < self.config.txn_write_fraction
+                    else "write")
+            record = RequestRecord(request_id, kind, self.env.now,
+                                   write_id=self._next_write_id)
+        self.result.records.append(record)
+        return record
+
+    def _request_sql(self, record: RequestRecord,
+                     rng: random.Random) -> List[str]:
+        key = rng.randrange(self.config.kv_rows)
+        if record.kind == "read":
+            return [f"SELECT v FROM kv WHERE k = {key}"]
+        insert = (f"INSERT INTO chaos_log (id, client) "
+                  f"VALUES ({record.write_id}, {record.id})")
+        if record.kind == "write":
+            return [insert]
+        return ["BEGIN", insert,
+                f"UPDATE kv SET v = v + 1 WHERE k = {key}", "COMMIT"]
+
+    # -- the resilient timed request loop ------------------------------------
+
+    def _run_request(self, record: RequestRecord):
+        resilience = self.middleware.resilience
+        rng = random.Random(self.config.seed * 31 + record.id)
+        statements = self._request_sql(record, rng)
+        is_write = record.kind != "read"
+
+        session = None
+        admitted = False
+        try:
+            if resilience is not None:
+                if not resilience.admission.try_acquire(is_write):
+                    self.result.shed += 1
+                    self._resolve(record, ok=False, error="Overloaded")
+                    return
+                admitted = True
+            try:
+                session = self.middleware.connect(database=DATABASE)
+            except Exception as exc:  # noqa: BLE001 — middleware down
+                self._resolve(record, ok=False, error=type(exc).__name__)
+                return
+            if resilience is not None:
+                session.deadline = resilience.deadline()
+
+            retry = (resilience.policy.retry if resilience is not None
+                     else RetryPolicy(max_attempts=1))
+            attempt = 1
+            while True:
+                try:
+                    for sql in statements:
+                        yield from self.cluster._timed_statement(
+                            session, sql, [])
+                        yield from self._charge_backoff(resilience)
+                    self._resolve(record, ok=True)
+                    return
+                except (RequestTimeout, Overloaded) as exc:
+                    self._abort_quietly(session)
+                    self._resolve(record, ok=False,
+                                  error=type(exc).__name__)
+                    return
+                except self.TIMED_RETRYABLE as exc:
+                    self._abort_quietly(session)
+                    yield from self._charge_backoff(resilience)
+                    deadline = (session.deadline if resilience is not None
+                                else None)
+                    if resilience is None \
+                            or getattr(exc, "ambiguous", False):
+                        self._resolve(record, ok=False,
+                                      error=type(exc).__name__)
+                        return
+                    # With a deadline, the deadline is the retry budget:
+                    # keep backing off in simulated time (so the cluster
+                    # can repair/promote underneath us) until it would
+                    # expire.  Without one, the attempt cap bounds us.
+                    if deadline is None and retry.spent(attempt):
+                        self._resolve(record, ok=False,
+                                      error=type(exc).__name__)
+                        return
+                    backoff = retry.backoff(attempt, key=record.id)
+                    if deadline is not None \
+                            and deadline.remaining() <= backoff:
+                        self._resolve(record, ok=False,
+                                      error="RequestTimeout")
+                        return
+                    yield self.env.timeout(backoff)
+                    attempt += 1
+                except Exception as exc:  # noqa: BLE001 — terminal
+                    self._abort_quietly(session)
+                    self._resolve(record, ok=False,
+                                  error=type(exc).__name__)
+                    return
+        finally:
+            if session is not None:
+                session.deadline = None
+                if not session.closed:
+                    session.close()
+            if admitted:
+                resilience.admission.release()
+
+    def _charge_backoff(self, resilience):
+        """Synchronous in-session retries accumulate their backoff; the
+        timed layer charges it here as simulated delay."""
+        if resilience is None:
+            return
+        delay = resilience.consume_backoff()
+        if delay > 0:
+            yield self.env.timeout(delay)
+
+    def _abort_quietly(self, session) -> None:
+        if session is None or session.closed:
+            return
+        try:
+            session.execute("ROLLBACK")
+        except Exception:  # noqa: BLE001
+            pass
+
+    def _resolve(self, record: RequestRecord, ok: bool,
+                 error: str = "") -> None:
+        record.end = self.env.now
+        record.ok = ok
+        record.error = error
+        if ok and record.write_id is not None:
+            self.result.acked_ids.add(record.write_id)
+
+    # -- availability probe --------------------------------------------------
+
+    def _probe(self):
+        """A canary write on the instantaneous path drives the MTTR /
+        availability timeline: the service is 'up' when a fresh client
+        can commit a write right now."""
+        probe_key = self.config.kv_rows  # a row the workload never touches
+        session = self.middleware.connect(database=DATABASE)
+        session._admission_held = True  # the canary is never shed
+        session.execute(f"INSERT INTO kv (k, v) VALUES ({probe_key}, 0)")
+        while not self._load_done:
+            try:
+                session.execute(
+                    f"UPDATE kv SET v = v + 1 WHERE k = {probe_key}")
+                self.tracker.service_up(self.env.now)
+            except Exception:  # noqa: BLE001
+                self.tracker.service_down(self.env.now)
+                if session.closed:
+                    try:
+                        session = self.middleware.connect(database=DATABASE)
+                        session._admission_held = True
+                    except Exception:  # noqa: BLE001
+                        pass
+            yield self.env.timeout(self.config.probe_interval)
+        session.close()
+
+    # -- run + invariants ----------------------------------------------------
+
+    def run(self) -> ChaosResult:
+        config = self.config
+        self.injector.schedule_from_spec(self.spec,
+                                         [r.node for r in
+                                          self.middleware.replicas
+                                          if r.node is not None]
+                                         or self.middleware.replicas)
+        self.env.process(self._arrivals(), name="chaos_arrivals")
+        self.env.process(self._probe(), name="chaos_probe")
+        self.env.run(until=config.duration + config.drain_grace)
+        self.injector.stop()
+        self.tracker.finish(min(self.env.now, config.duration))
+        self.result.elapsed = config.duration
+        self.result.mttr = self.tracker.mttr()
+        self.result.availability = self.tracker.availability()
+        self.result.fault_spec = self.spec
+        self.result.fault_events = list(self.injector.events)
+        if self.middleware.resilience is not None:
+            self.result.resilience_stats = dict(
+                self.middleware.resilience.stats)
+        self.result.middleware_stats = dict(self.middleware.stats)
+        self._heal_cluster()
+        self._check_invariants()
+        return self.result
+
+    def _heal_cluster(self) -> None:
+        """Repair every node and fail every replica back, so the
+        invariants are checked against a fully converged cluster."""
+        for replica in self.middleware.replicas:
+            if replica.node is not None and not replica.node.up:
+                self.injector._repair(replica.node)
+        for replica in self.middleware.replicas:
+            if replica.state in (ReplicaState.FAILED,
+                                 ReplicaState.RECOVERING):
+                self.manager.failback(replica.name)
+        if not self.middleware.master.is_online:
+            self.manager.handle_replica_failure(self.middleware.master.name)
+        self.middleware.drain_all()
+
+    def _check_invariants(self) -> None:
+        result = self.result
+        # 1. no lost acked commits (2-safe: zero loss by construction)
+        lost: Set[int] = set()
+        for replica in self.middleware.replicas:
+            present = self._log_ids(replica)
+            lost |= result.acked_ids - present
+        result.invariants["no_lost_acked_commits"] = not lost
+        if lost:
+            result.violations.append(
+                f"{len(lost)} acked commit(s) missing from a replica "
+                f"(e.g. ids {sorted(lost)[:5]})")
+        # 2. no divergence after heal + drain
+        signatures = set(self.middleware.content_signatures().values())
+        result.invariants["no_divergence"] = len(signatures) == 1
+        if len(signatures) > 1:
+            result.violations.append(
+                f"replicas diverged: {len(signatures)} distinct signatures")
+        # 3. bounded resolution: every admitted request resolved, within
+        # deadline + epsilon when a deadline was configured
+        unresolved = [r for r in result.records if not r.resolved]
+        bound = None
+        policy = self.config.resilience
+        if policy is not None and policy.request_timeout is not None:
+            bound = policy.request_timeout + RESOLUTION_EPSILON
+        overruns = []
+        if bound is not None:
+            overruns = [r for r in result.records
+                        if r.resolved and r.latency > bound]
+        result.invariants["bounded_resolution"] = (
+            not unresolved and not overruns)
+        if unresolved:
+            result.violations.append(
+                f"{len(unresolved)} request(s) never resolved")
+        if overruns:
+            worst = max(r.latency for r in overruns)
+            result.violations.append(
+                f"{len(overruns)} request(s) overran the {bound:.2f}s "
+                f"resolution bound (worst {worst:.2f}s)")
+
+    def _log_ids(self, replica) -> Set[int]:
+        connection = replica.engine.connect("admin", "", database=DATABASE)
+        try:
+            result = connection.execute("SELECT id FROM chaos_log")
+            return {row[0] for row in result.rows}
+        finally:
+            connection.close()
+
+
+def run_chaos(config: ChaosConfig) -> ChaosResult:
+    """Run one seeded chaos experiment and return its result."""
+    return ChaosRun(config).run()
+
+
+def default_resilience_policy(seed: int = 0) -> ResiliencePolicy:
+    """The E22 resilient configuration: deadline, 4 retry attempts,
+    breakers tuned to eject a flapper, generous admission."""
+    return ResiliencePolicy(
+        retry=RetryPolicy(max_attempts=4, base_backoff=0.1,
+                          multiplier=2.0, max_backoff=1.5,
+                          jitter=0.25, seed=seed),
+        request_timeout=8.0,
+        breaker_failure_threshold=3,
+        breaker_recovery_time=4.0,
+        breaker_half_open_probes=1,
+        max_inflight=512,
+        write_shed_fraction=0.9,
+        degraded_reads=True,
+        max_staleness=1000,
+    )

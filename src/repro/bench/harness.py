@@ -16,6 +16,7 @@ from ..core.loadbalancer import BalancingLevel, LoadBalancer, Policy, RoundRobin
 from ..core.middleware import MiddlewareConfig, ReplicationMiddleware
 from ..core.monitoring import Monitor
 from ..core.replica import Replica
+from ..core.resilience import ResiliencePolicy
 from ..sqlengine import Engine
 from ..sqlengine.dialects import Dialect, postgresql
 from ..workloads.generator import Workload
@@ -63,6 +64,7 @@ def build_cluster(count: int = 3,
                   nondeterminism: str = "rewrite",
                   compensate_counters: bool = True,
                   monitor: Optional[Monitor] = None,
+                  resilience: Optional["ResiliencePolicy"] = None,
                   name: str = "mw") -> ReplicationMiddleware:
     """Build a ready-to-use middleware cluster."""
     replicas = build_replicas(count, dialect_factory, database, env=env,
@@ -78,6 +80,7 @@ def build_cluster(count: int = 3,
         propagation=propagation,
         nondeterminism=nondeterminism,
         compensate_counters=compensate_counters,
+        resilience=resilience,
     )
     if monitor is None and env is not None:
         monitor = Monitor(time_source=lambda: env.now)

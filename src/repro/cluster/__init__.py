@@ -9,6 +9,7 @@ silent degradation (``nodes``), total-order group communication
 
 from .failures import (
     FaultEvent, FaultInjector, PAPER_FAILURES_PER_CPU_DAY, SECONDS_PER_DAY,
+    random_schedule,
 )
 from .groupcomm import Delivery, TotalOrderChannel
 from .heartbeat import (
@@ -30,5 +31,6 @@ __all__ = [
     "LatencyModel", "Message", "Network", "NetworkDown", "NetworkTimeout",
     "Node", "NodeDown", "PAPER_FAILURES_PER_CPU_DAY", "Process", "Resource",
     "SECONDS_PER_DAY", "SimulationError", "Store", "TCP_KEEPALIVE_DEFAULT",
-    "TcpKeepaliveDetector", "Timeout", "TotalOrderChannel", "rpc_endpoint",
+    "TcpKeepaliveDetector", "Timeout", "TotalOrderChannel",
+    "random_schedule", "rpc_endpoint",
 ]

@@ -100,6 +100,28 @@ class FaultInjector:
                 self.events.append(FaultEvent("heal", "network", self.env.now))
         self.env.process(scenario(), name="partition")
 
+    def flap_node(self, node: Node, time: float, down_time: float = 5.0,
+                  up_time: float = 5.0, cycles: int = 3) -> None:
+        """A flapping node: repeated crash/recover cycles faster than an
+        administrator would react.  This is the failure mode circuit
+        breakers exist for — each up-phase looks healthy to a liveness
+        detector, yet every request routed there during the next
+        down-phase is wasted."""
+        def scenario():
+            if time > self.env.now:
+                yield self.env.timeout(time - self.env.now)
+            for cycle in range(cycles):
+                if not self._running:
+                    return
+                self._crash(node)
+                self.events.append(FaultEvent(
+                    "flap", node.name, self.env.now, f"cycle={cycle + 1}"))
+                yield self.env.timeout(down_time)
+                self._repair(node)
+                if cycle + 1 < cycles:
+                    yield self.env.timeout(up_time)
+        self.env.process(scenario(), name=f"flap:{node.name}")
+
     def degrade_disk_at(self, node: Node, time: float, factor: float) -> None:
         """Silent RAID-battery failure: disk becomes ``factor``x slower and
         nothing reports it (section 4.1.3)."""
@@ -164,6 +186,73 @@ class FaultInjector:
     def stop(self) -> None:
         self._running = False
 
+    # -- composable seeded schedules ----------------------------------------
+
+    def schedule_from_spec(self, spec: dict,
+                           nodes: Sequence[Node]) -> List[dict]:
+        """Install a whole fault schedule from a declarative spec dict.
+
+        ``spec`` is ``{"faults": [{"kind": ..., ...}, ...]}`` where each
+        entry names one injector call; targets are node *names*.  The same
+        spec applied to equivalent clusters produces the identical
+        schedule, which is how the chaos harness (repro.bench.chaos) runs
+        baseline and resilient middleware under one fault history.
+
+        Kinds: ``crash`` (node, time, repair_after), ``flap`` (node, time,
+        down_time, up_time, cycles), ``rack_outage`` (nodes, time,
+        repair_after), ``partition`` (groups, time, heal_after),
+        ``slow_disk`` (node, time, factor), ``slow_link`` (a, b, time,
+        factor), ``random_crashes`` (nodes?, failures_per_node_day,
+        mean_repair_time).
+
+        Returns the list of fault entries actually installed.
+        """
+        by_name = {node.name: node for node in nodes}
+
+        def lookup(name: str) -> Node:
+            try:
+                return by_name[name]
+            except KeyError:
+                raise ValueError(f"fault spec names unknown node {name!r}")
+
+        installed = []
+        for fault in spec.get("faults", []):
+            kind = fault["kind"]
+            if kind == "crash":
+                self.crash_at(lookup(fault["node"]), fault["time"],
+                              repair_after=fault.get("repair_after"))
+            elif kind == "flap":
+                self.flap_node(lookup(fault["node"]), fault["time"],
+                               down_time=fault.get("down_time", 5.0),
+                               up_time=fault.get("up_time", 5.0),
+                               cycles=fault.get("cycles", 3))
+            elif kind == "rack_outage":
+                self.rack_outage_at(
+                    [lookup(n) for n in fault["nodes"]], fault["time"],
+                    repair_after=fault.get("repair_after"))
+            elif kind == "partition":
+                self.partition_at([set(g) for g in fault["groups"]],
+                                  fault["time"],
+                                  heal_after=fault.get("heal_after"))
+            elif kind == "slow_disk":
+                self.degrade_disk_at(lookup(fault["node"]), fault["time"],
+                                     fault.get("factor", 10.0))
+            elif kind == "slow_link":
+                self.degrade_link_at(fault["a"], fault["b"], fault["time"],
+                                     fault.get("factor", 10.0))
+            elif kind == "random_crashes":
+                targets = ([lookup(n) for n in fault["nodes"]]
+                           if "nodes" in fault else list(nodes))
+                self.poisson_crashes(
+                    targets,
+                    failures_per_node_day=fault.get(
+                        "failures_per_node_day", PAPER_FAILURES_PER_CPU_DAY),
+                    mean_repair_time=fault.get("mean_repair_time", 600.0))
+            else:
+                raise ValueError(f"unknown fault kind {kind!r}")
+            installed.append(fault)
+        return installed
+
     # -- internals ----------------------------------------------------------
 
     def _crash(self, node: Node) -> None:
@@ -180,3 +269,42 @@ class FaultInjector:
 
     def count(self, kind: str) -> int:
         return sum(1 for event in self.events if event.kind == kind)
+
+
+def random_schedule(node_names: Sequence[str], seed: int,
+                    horizon: float = 120.0, n_faults: int = 4,
+                    protect: Sequence[str] = (),
+                    mean_repair_time: float = 10.0) -> dict:
+    """Generate a seeded, reproducible fault-schedule spec for
+    :meth:`FaultInjector.schedule_from_spec`.
+
+    Draws ``n_faults`` faults (crashes with repair, and flapping nodes)
+    against random non-``protect`` nodes at random times inside
+    ``horizon``.  The same ``(node_names, seed)`` yields a byte-identical
+    spec — the chaos harness's guarantee that baseline and resilient runs
+    face the same adversity.
+    """
+    rng = random.Random(seed)
+    victims = [n for n in node_names if n not in set(protect)]
+    if not victims:
+        raise ValueError("every node is protected; nothing to break")
+    faults = []
+    for _ in range(n_faults):
+        node = rng.choice(victims)
+        time = round(rng.uniform(0.1 * horizon, 0.8 * horizon), 3)
+        if rng.random() < 0.3:
+            faults.append({
+                "kind": "flap", "node": node, "time": time,
+                "down_time": round(rng.uniform(1.0, mean_repair_time), 3),
+                "up_time": round(rng.uniform(1.0, mean_repair_time), 3),
+                "cycles": rng.randint(2, 4),
+            })
+        else:
+            faults.append({
+                "kind": "crash", "node": node, "time": time,
+                "repair_after": round(
+                    rng.uniform(0.5 * mean_repair_time,
+                                1.5 * mean_repair_time), 3),
+            })
+    faults.sort(key=lambda f: f["time"])
+    return {"seed": seed, "faults": faults}

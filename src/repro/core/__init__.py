@@ -23,8 +23,9 @@ from .consistency import (
 )
 from .costmodel import CostModel, default_cost_model
 from .errors import (
-    ClusterDivergence, MiddlewareDown, MiddlewareError, QuorumLost,
-    ReplicaUnavailable, UnsupportedStatementError,
+    CircuitOpen, ClusterDivergence, MiddlewareDown, MiddlewareError,
+    Overloaded, QuorumLost, ReplicaUnavailable, RequestTimeout,
+    RetryExhausted, UnsupportedStatementError,
 )
 from .failover import FailoverManager, FailoverReport, VirtualIP, promote_and_switch
 from .interception import (
@@ -46,6 +47,10 @@ from .partitioning import (
 from .quorum import QuorumGuard, ReconciliationReport, Reconciler, RowDifference
 from .recoverylog import RecoveryLog, RecoveryLogEntry
 from .replica import ApplyItem, Replica, ReplicaState
+from .resilience import (
+    AdmissionController, BreakerState, CircuitBreaker, Deadline,
+    ResilienceCoordinator, ResiliencePolicy, RetryPolicy,
+)
 from .sessions import ConnectionPool, MultiPool, TransactionContext
 from .wan import Site, WanSession, WanSystem
 from .writesets import (
@@ -54,18 +59,21 @@ from .writesets import (
 )
 
 __all__ = [
-    "ApplyItem", "ApplyReport", "AutonomicDecision",
+    "AdmissionController", "ApplyItem", "ApplyReport", "AutonomicDecision",
     "AutonomicProvisioner", "SyncPrediction", "SyncTimePredictor", "BackupCoordinator", "BalancingLevel",
-    "CertificationOutcome", "Certifier", "CertifierDown", "ClusterBackup",
+    "BreakerState", "CertificationOutcome", "Certifier", "CertifierDown",
+    "CircuitBreaker", "CircuitOpen", "ClusterBackup",
     "ClusterDivergence", "ClusterManager", "ClusterView", "ConnectionPool",
-    "ConsistencyProtocol", "CostModel", "DESIGNS", "DriverInterception",
+    "ConsistencyProtocol", "CostModel", "DESIGNS", "Deadline",
+    "DriverInterception",
     "EngineInterception", "EventualConsistency", "FailoverManager",
     "FailoverReport", "GeneralizedSnapshotIsolation", "HashPartitioner",
     "InterceptionDesign", "LeastPendingPolicy", "ListPartitioner",
     "LoadBalancer", "ManagementReport", "MemoryAwarePolicy",
     "MiddlewareConfig", "MiddlewareDown", "MiddlewareError",
     "MiddlewareSession", "Monitor", "MonitorEvent", "MultiPool",
-    "NoReplicaAvailable", "OneCopySerializability", "POLICIES", "PROTOCOLS",
+    "NoReplicaAvailable", "OneCopySerializability", "Overloaded",
+    "POLICIES", "PROTOCOLS",
     "PartitionedCluster", "PartitionedSession", "PartitionedTable",
     "Partitioner", "Policy", "PrefixConsistentSnapshotIsolation",
     "ProtocolProxyInterception", "QuorumGuard", "QuorumLost", "RandomPolicy",
@@ -73,6 +81,8 @@ __all__ = [
     "Reconciler", "RecoveryLog", "RecoveryLogEntry", "Replica",
     "ReplicaState", "ReplicaUnavailable",
     "ReplicatedSnapshotIsolationPrimaryCopy", "ReplicationMiddleware",
+    "RequestTimeout", "ResilienceCoordinator", "ResiliencePolicy",
+    "RetryExhausted", "RetryPolicy",
     "RoundRobinPolicy", "RoutingContext", "RowDifference", "SessionView",
     "Site", "StatementInfo", "StrongSessionSnapshotIsolation",
     "StrongSnapshotIsolation", "TransactionContext",

@@ -1,4 +1,40 @@
-"""Middleware-level errors."""
+"""Middleware-level errors — the client-visible error taxonomy.
+
+The hierarchy below is what a client of the replication middleware can
+observe.  The paper's complaint (section 5.1) is that prototypes are only
+evaluated on the happy path; a resilient middleware must instead give the
+client a *small, actionable* set of failure verdicts:
+
+``MiddlewareError``
+    Base class for every middleware failure.
+
+    * ``MiddlewareDown`` — the middleware instance itself died (SPOF,
+      section 3.2).  Nothing the client does on this session will work.
+    * ``UnsupportedStatementError`` — deterministic refusal: the SQL can
+      never replicate safely under the configured policy.  Retrying is
+      pointless.
+    * ``ClusterDivergence`` / ``QuorumLost`` — cluster-level safety
+      refusals; operator intervention required.
+    * ``ReplicaUnavailable`` — a *specific* replica the request needed
+      cannot serve.  Transient: the resilience layer retries these.
+
+    **Resilience verdicts** (``repro.core.resilience``) — these four are
+    what the client actually sees once the resilience layer is engaged;
+    each one is final for the request that raised it:
+
+    * ``RequestTimeout`` — the request's deadline (simulated time)
+      expired before the cluster produced an answer.  The outcome of any
+      in-flight work is *unknown*; read requests may simply be reissued.
+    * ``RetryExhausted`` — the retry policy was spent, or the failure was
+      classified non-idempotent (an ambiguous commit) so no safe retry
+      exists.  ``__cause__`` carries the last underlying error.
+    * ``CircuitOpen`` — every candidate replica is currently ejected by
+      its circuit breaker; the request was refused *before* touching a
+      backend.  Transient: breakers half-open after their recovery time.
+    * ``Overloaded`` — admission control shed the request because the
+      cluster is saturated (bounded queue).  Back off and retry later;
+      under the degraded-mode policy reads are shed last.
+"""
 
 from __future__ import annotations
 
@@ -30,3 +66,25 @@ class ClusterDivergence(MiddlewareError):
 class QuorumLost(MiddlewareError):
     """This partition side does not hold a quorum; updates are refused to
     preserve consistency (CAP discussion, section 4.3.4.3)."""
+
+
+class RequestTimeout(MiddlewareError):
+    """The request's deadline expired before an answer was produced.
+
+    Raised instead of hanging on a slow or degraded replica; the outcome
+    of in-flight work is unknown to the client."""
+
+
+class RetryExhausted(MiddlewareError):
+    """The retry policy is spent (or no safe retry exists, e.g. an
+    ambiguous commit outcome); ``__cause__`` holds the last error."""
+
+
+class CircuitOpen(MiddlewareError):
+    """Every candidate replica is ejected by its circuit breaker; the
+    request was refused before reaching a backend."""
+
+
+class Overloaded(MiddlewareError):
+    """Admission control shed the request: the cluster is saturated and
+    the bounded request queue is full."""

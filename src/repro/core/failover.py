@@ -207,8 +207,18 @@ class FailoverManager:
 
 
 def promote_and_switch(middleware: ReplicationMiddleware,
-                       virtual_ip: VirtualIP) -> FailoverReport:
+                       virtual_ip: VirtualIP,
+                       manager: Optional[FailoverManager] = None
+                       ) -> FailoverReport:
     """Convenience: fail the current master over to the best survivor and
-    re-point the virtual IP (the Figure 3 hot-standby reaction)."""
-    manager = FailoverManager(middleware, virtual_ip)
+    re-point the virtual IP (the Figure 3 hot-standby reaction).
+
+    Pass an existing ``manager`` to keep one continuous failover history
+    (reports, callbacks) across repeated incidents; a throwaway manager
+    would silently discard the report log and never fire registered
+    ``on_failover`` callbacks."""
+    if manager is None:
+        manager = FailoverManager(middleware, virtual_ip)
+    elif manager.virtual_ip is None:
+        manager.virtual_ip = virtual_ip
     return manager.handle_replica_failure(middleware.master.name)

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import enum
 import random
-from typing import List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence
 
 from .replica import Replica
 
@@ -161,6 +161,16 @@ class LoadBalancer:
         # session id -> sticky replica name (connection/transaction level)
         self._sticky: dict = {}
         self.decisions = 0
+        # Optional health veto (name -> admissible?), installed by the
+        # resilience layer's circuit breakers: a replica may be nominally
+        # online yet ejected from candidacy because it keeps failing
+        # requests faster than any failure detector would notice.
+        self._health_filter: Optional[Callable[[str], bool]] = None
+        self.health_rejections = 0
+
+    def set_health_filter(self,
+                          health: Optional[Callable[[str], bool]]) -> None:
+        self._health_filter = health
 
     def choose(self, replicas: List[Replica], context: RoutingContext,
                exclude: Optional[set] = None) -> Replica:
@@ -170,6 +180,15 @@ class LoadBalancer:
         ]
         if not candidates:
             raise NoReplicaAvailable("no online replica can serve the request")
+        if self._health_filter is not None:
+            healthy = [r for r in candidates if self._health_filter(r.name)]
+            if not healthy:
+                self.health_rejections += 1
+                from .errors import CircuitOpen
+                raise CircuitOpen(
+                    "every candidate replica is ejected by its circuit "
+                    f"breaker ({[r.name for r in candidates]})")
+            candidates = healthy
         self.decisions += 1
 
         if self.level is BalancingLevel.QUERY or context.session_id is None:

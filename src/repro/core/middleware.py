@@ -52,6 +52,7 @@ from .loadbalancer import (
 from .monitoring import Monitor
 from .recoverylog import RecoveryLog
 from .replica import ApplyItem, Replica, ReplicaState
+from .resilience import Deadline, ResilienceCoordinator, ResiliencePolicy
 from .writesets import apply_writeset, conflict_keys, extract_writeset_engine
 
 
@@ -76,6 +77,11 @@ class MiddlewareConfig:
             (the coarse-granularity regime of section 4.3.2).
         detect_divergence: compare per-replica rowcounts on broadcast
             writes and raise :class:`ClusterDivergence` on mismatch.
+        resilience: a :class:`~repro.core.resilience.ResiliencePolicy`;
+            when set, every request gets deadlines, transparent retry,
+            per-replica circuit breaking, admission control and
+            degraded-mode serving (``None`` = the brittle happy-path
+            behaviour the paper complains about).
     """
 
     def __init__(self,
@@ -86,7 +92,8 @@ class MiddlewareConfig:
                  nondeterminism: str = "rewrite",
                  compensate_counters: bool = True,
                  table_locking: bool = True,
-                 detect_divergence: bool = False):
+                 detect_divergence: bool = False,
+                 resilience: Optional[ResiliencePolicy] = None):
         if replication not in ("statement", "writeset"):
             raise ValueError(f"unknown replication mode {replication!r}")
         if propagation not in ("sync", "async"):
@@ -105,6 +112,7 @@ class MiddlewareConfig:
         self.compensate_counters = compensate_counters
         self.table_locking = table_locking
         self.detect_divergence = detect_divergence
+        self.resilience = resilience
 
 
 class ReplicationMiddleware:
@@ -137,6 +145,14 @@ class ReplicationMiddleware:
         # Hook used by the timed driver to wake per-replica apply workers
         # when asynchronous propagation enqueues work.
         self.on_apply_enqueued = None
+        # Request-resilience layer (deadlines, retries, breakers,
+        # admission control) — engaged only when the config asks for it.
+        self.resilience: Optional[ResilienceCoordinator] = None
+        if self.config.resilience is not None:
+            self.resilience = ResilienceCoordinator(
+                self, self.config.resilience)
+            self.config.balancer.set_health_filter(
+                self.resilience.allow_replica)
         for replica in self.replicas:
             replica.on_state_change(self._replica_state_changed)
 
@@ -174,6 +190,18 @@ class ReplicationMiddleware:
         self.monitor.record("replica_state", replica.name, state=state.value)
         if state is ReplicaState.FAILED:
             self.config.balancer.forget_replica(replica.name)
+            if self.resilience is not None:
+                # eject immediately; a replica that merely *recovers* is
+                # re-admitted through the breaker's half-open probe
+                # discipline, so a flapping node cannot keep taking (and
+                # failing) traffic
+                self.resilience.breaker(replica.name).force_open()
+        elif state is ReplicaState.ONLINE:
+            if self.resilience is not None:
+                # ONLINE is only reached through failback: the replica was
+                # resynchronized and verified against the cluster, which
+                # outranks the breaker's own probe evidence — close it
+                self.resilience.breaker(replica.name).record_success()
 
     # ------------------------------------------------------------------
     # sessions
@@ -259,6 +287,13 @@ class ReplicationMiddleware:
             raise NoReplicaAvailable("no online replicas")
         best = max(online, key=lambda r: r.applied_seq)
         needed = protocol.min_read_seq(session.view, cluster)
+        if self.resilience is not None:
+            # Degraded-mode serving: when the cluster is saturated or the
+            # master is down, a bounded-staleness read from the least-
+            # lagging slave beats queueing behind a freshness wait.
+            lag = max(0, needed - best.applied_seq)
+            if self.resilience.serve_stale(lag):
+                return best
         self.stats["freshness_waits"] += 1
         self.drain_replica(best.name, up_to_seq=needed)
         return best
@@ -407,18 +442,56 @@ class MiddlewareSession:
         # chosen replica (see repro.bench.simdriver).
         self.route_override: Optional[str] = None
         self.write_override: Optional[str] = None
+        # Resilience state: an optional request deadline (set per request
+        # by the client or driver; an implicit one is created from the
+        # policy's request_timeout), and whether an external driver
+        # already holds an admission slot for this session.
+        self.deadline: Optional[Deadline] = None
+        self._admission_held = False
 
     # ------------------------------------------------------------------
     # public API
     # ------------------------------------------------------------------
 
     def execute(self, sql: str, params: Optional[List[Any]] = None) -> Result:
-        """Execute one or more ``;``-separated statements."""
+        """Execute one or more ``;``-separated statements.
+
+        With a resilience policy configured this is the guarded client
+        entry point: the request passes admission control (may raise
+        :class:`~repro.core.errors.Overloaded`), runs under a deadline
+        (:class:`~repro.core.errors.RequestTimeout`), and transient
+        replica failures are retried per the policy."""
         self._check_open()
-        result = Result()
-        for statement in parse_script(sql):
-            result = self._execute_one(statement, sql, list(params or []))
-        return result
+        statements = parse_script(sql)
+        resilience = self.middleware.resilience
+        if resilience is None or resilience._replaying:
+            result = Result()
+            for statement in statements:
+                result = self._execute_one(statement, sql, list(params or []))
+            return result
+
+        admitted = False
+        if not self._admission_held:
+            is_write = any(
+                not isinstance(s, (ast.SelectStatement, ast.BeginStatement,
+                                   ast.CommitStatement, ast.RollbackStatement))
+                for s in statements)
+            resilience.admission.acquire(is_write)
+            admitted = True
+        own_deadline = False
+        if self.deadline is None:
+            self.deadline = resilience.deadline()
+            own_deadline = self.deadline is not None
+        try:
+            result = Result()
+            for statement in statements:
+                result = self._execute_one(statement, sql, list(params or []))
+            return result
+        finally:
+            if own_deadline:
+                self.deadline = None
+            if admitted:
+                resilience.admission.release()
 
     def execute_one_parsed(self, statement: ast.Statement, sql_text: str,
                            params: Optional[List[Any]] = None) -> Result:
@@ -469,6 +542,13 @@ class MiddlewareSession:
 
     def _execute_one(self, statement: ast.Statement, sql_text: str,
                      params: List[Any]) -> Result:
+        resilience = self.middleware.resilience
+        if resilience is None:
+            return self._dispatch_one(statement, sql_text, params)
+        return resilience.execute_statement(self, statement, sql_text, params)
+
+    def _dispatch_one(self, statement: ast.Statement, sql_text: str,
+                      params: List[Any]) -> Result:
         self.middleware._check_up()
         if isinstance(statement, ast.BeginStatement):
             self._begin_transaction(statement.isolation)
@@ -541,6 +621,8 @@ class MiddlewareSession:
                 replica, connection, statement, sql_text, params, info)
         replica.stats["served_reads"] += 1
         replica.note_hot_tables(sorted(info.all_tables()))
+        if middleware.resilience is not None:
+            middleware.resilience.record_success(replica.name)
         middleware.config.consistency.note_read(self.view, replica.applied_seq)
         if not self.in_transaction:
             # an autocommit statement is its own transaction: transaction-
@@ -581,6 +663,8 @@ class MiddlewareSession:
 
     def _note_replica_failure(self, replica: Replica) -> None:
         replica.mark_failed()
+        if self.middleware.resilience is not None:
+            self.middleware.resilience.record_failure(replica.name)
         self._read_connections.pop(replica.name, None)
 
     # ------------------------------------------------------------------
@@ -931,6 +1015,13 @@ class MiddlewareSession:
     def _commit_writeset_mode(self) -> None:
         middleware = self.middleware
         replica = middleware.replica_by_name(self._local_replica)
+        if not replica.is_online or replica.engine.crashed:
+            # The local replica died before certification: nothing global
+            # has happened yet, so this failure is unambiguous — retry
+            # layers may safely replay the transaction on a survivor.
+            # (A crash *after* certify/commit stays ambiguous, 4.3.3.)
+            raise ReplicaUnavailable(
+                f"local replica {replica.name!r} died before commit")
         connection = self._txn_connections[replica.name]
         txn = connection.txn
         entries = extract_writeset_engine(txn) if txn is not None else []

@@ -45,6 +45,14 @@ class Monitor:
         self._logical += 1.0
         return self._logical
 
+    def peek(self) -> float:
+        """Read the current time without advancing the logical clock —
+        the clock the resilience layer (deadlines, breaker recovery
+        windows) polls, where ``now()``'s side effect would skew time."""
+        if self.time_source is not None:
+            return float(self.time_source())
+        return self._logical
+
     def record(self, kind: str, target: str = "",
                **detail: Any) -> MonitorEvent:
         event = MonitorEvent(self.now(), kind, target, detail)

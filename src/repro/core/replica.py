@@ -56,11 +56,12 @@ class Replica:
         # Counters for reports.
         self.stats: Dict[str, float] = {
             "applied_items": 0, "apply_time": 0.0, "served_reads": 0,
-            "served_writes": 0, "aborts": 0,
+            "served_writes": 0, "aborts": 0, "failures": 0,
         }
         self._state_listeners: List[Callable[["Replica", ReplicaState], None]] = []
         if node is not None:
             node.on_crash(lambda _n: self.mark_failed())
+            node.on_recover(lambda _n: self._node_recovered())
         # Memory-aware balancing state (Tashkent+-like): tables assumed
         # resident in this replica's buffer pool.
         self.hot_tables: "OrderedSetLike" = OrderedSetLike()
@@ -87,8 +88,16 @@ class Replica:
         self._state_listeners.append(listener)
 
     def mark_failed(self) -> None:
+        self.stats["failures"] += 1
         self.set_state(ReplicaState.FAILED)
         self._apply_connection = None
+
+    def _node_recovered(self) -> None:
+        """The host came back: the replica is *recovering*, not serving —
+        it must be failed back (resynchronized) before going ONLINE.
+        State listeners fire, so a failover manager can react."""
+        if self.state is ReplicaState.FAILED:
+            self.set_state(ReplicaState.RECOVERING)
 
     # -- apply pipeline -------------------------------------------------------
 

@@ -155,6 +155,27 @@ class TransactionContext:
         session.rollback()
         return context
 
+    @classmethod
+    def capture_for_retry(cls, statements: List[Tuple[str, list]],
+                          isolation: Optional[str],
+                          session: MiddlewareSession) -> "TransactionContext":
+        """Build a context from an *already dead* transaction's statement
+        log, for the resilience layer's automatic replay-on-a-survivor.
+
+        Unlike :meth:`pause`, this accepts writeset-mode transactions:
+        the externalization refusal exists because a *live* writeset
+        transaction's state cannot leave its replica — but a transaction
+        whose replica died before commit left no state anywhere, so
+        replaying its logged statements elsewhere is exact.
+        """
+        return cls(
+            statements=[(sql, list(params)) for sql, params in statements],
+            isolation=isolation,
+            last_commit_seq=session.view.last_commit_seq,
+            last_seen_seq=session.view.last_seen_seq,
+            user=session.user, database=session.database,
+        )
+
     def resume(self, session: MiddlewareSession) -> None:
         """Replay the paused transaction on ``session`` (left open — the
         caller continues issuing statements and finally commits)."""

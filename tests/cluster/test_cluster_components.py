@@ -4,7 +4,7 @@ import pytest
 
 from repro.cluster import (
     Environment, FaultInjector, HeartbeatDetector, Network, Node, NodeDown,
-    TcpKeepaliveDetector, TotalOrderChannel,
+    TcpKeepaliveDetector, TotalOrderChannel, random_schedule,
 )
 
 
@@ -310,3 +310,63 @@ class TestFaultInjector:
         injector.degrade_disk_at(node, time=1.0, factor=2.0)
         env.run(until=2.0)
         assert node.disk_factor == pytest.approx(0.5)
+
+    def test_flap_node_cycles(self, env):
+        node = Node(env, "n1")
+        injector = FaultInjector(env)
+        injector.flap_node(node, time=1.0, down_time=1.0, up_time=1.0,
+                           cycles=3)
+        env.run(until=1.5)
+        assert not node.up  # first down phase
+        env.run(until=2.5)
+        assert node.up      # first up phase
+        env.run(until=20.0)
+        assert node.up      # every cycle ends repaired
+        assert injector.count("flap") == 3
+        assert injector.count("crash") == 3
+        assert injector.count("repair") == 3
+
+    def test_schedule_from_spec(self, env):
+        nodes = [Node(env, f"n{i}") for i in range(3)]
+        injector = FaultInjector(env)
+        spec = {"faults": [
+            {"kind": "crash", "node": "n0", "time": 1.0, "repair_after": 2.0},
+            {"kind": "flap", "node": "n1", "time": 2.0, "down_time": 0.5,
+             "up_time": 0.5, "cycles": 2},
+        ]}
+        installed = injector.schedule_from_spec(spec, nodes)
+        assert installed == spec["faults"]
+        env.run(until=1.5)
+        assert not nodes[0].up
+        env.run(until=10.0)
+        assert all(n.up for n in nodes)
+        assert injector.count("crash") == 3  # one crash + two flap cycles
+        assert injector.count("flap") == 2
+
+    def test_schedule_from_spec_rejects_bad_entries(self, env):
+        node = Node(env, "n0")
+        injector = FaultInjector(env)
+        with pytest.raises(ValueError):
+            injector.schedule_from_spec(
+                {"faults": [{"kind": "crash", "node": "ghost", "time": 1.0}]},
+                [node])
+        with pytest.raises(ValueError):
+            injector.schedule_from_spec(
+                {"faults": [{"kind": "meteor", "node": "n0", "time": 1.0}]},
+                [node])
+
+    def test_random_schedule_deterministic(self, env):
+        names = ["n0", "n1", "n2"]
+        a = random_schedule(names, seed=7, n_faults=5)
+        assert a == random_schedule(names, seed=7, n_faults=5)
+        assert a != random_schedule(names, seed=8, n_faults=5)
+        times = [f["time"] for f in a["faults"]]
+        assert times == sorted(times)
+        assert all(f["kind"] in ("crash", "flap") for f in a["faults"])
+
+    def test_random_schedule_respects_protection(self, env):
+        spec = random_schedule(["n0", "n1"], seed=3, n_faults=8,
+                               protect=["n0"])
+        assert all(f["node"] == "n1" for f in spec["faults"])
+        with pytest.raises(ValueError):
+            random_schedule(["n0"], seed=3, protect=["n0"])

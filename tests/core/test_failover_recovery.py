@@ -1,10 +1,13 @@
 """Failover, failback, recovery log and virtual IP tests."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core import (
     FailoverManager, MiddlewareConfig, RecoveryLog, ReplicationMiddleware,
-    VirtualIP, promote_and_switch, protocol_by_name,
+    ResiliencePolicy, RetryPolicy, VirtualIP, promote_and_switch,
+    protocol_by_name,
 )
 from repro.sqlengine import Engine
 
@@ -125,6 +128,146 @@ class TestFailover:
         assert "failover_started" in kinds
         assert "failover_completed" in kinds
         assert "master_changed" in kinds
+
+
+class TestFailoverEdgeCases:
+    def test_zero_online_survivors(self):
+        """Every replica is down when the master fails: no promotion
+        happens, the incident is recorded, and the cluster resumes once a
+        survivor fails back."""
+        mw = master_slave(3)
+        for replica in mw.replicas[1:]:
+            replica.mark_failed()
+        mw.replicas[0].engine.crash()
+        manager = FailoverManager(mw)
+        report = manager.handle_replica_failure("r0")
+        assert not report.promoted
+        assert report.new_master is None
+        assert mw.monitor.count("failover_no_survivor") == 1
+        # a slave returns; promoting over the still-dead master succeeds now
+        manager.failback("r1")
+        report2 = promote_and_switch(mw, VirtualIP("db", "r0"),
+                                     manager=manager)
+        assert report2.promoted and report2.new_master == "r1"
+        session = mw.connect(database="shop")
+        session.execute("UPDATE kv SET v = 5 WHERE k = 0")
+        assert session.execute("SELECT v FROM kv WHERE k = 0").scalar() == 5
+        session.close()
+
+    def test_promote_and_switch_reuses_manager(self):
+        """Passing an existing manager keeps one continuous failover
+        history: reports accumulate and on_failover callbacks fire."""
+        mw = master_slave(3)
+        vip = VirtualIP("db", "r0")
+        manager = FailoverManager(mw)
+        seen = []
+        manager.on_failover(lambda report: seen.append(report.new_master))
+        mw.replicas[0].engine.crash()
+        report = promote_and_switch(mw, vip, manager=manager)
+        assert manager.virtual_ip is vip          # adopted, not replaced
+        assert manager.reports == [report]
+        assert seen == [report.new_master]
+        mw.replica_by_name(report.new_master).engine.crash()
+        report2 = promote_and_switch(mw, vip, manager=manager)
+        assert len(manager.reports) == 2
+        assert vip.target == report2.new_master
+        assert seen == [report.new_master, report2.new_master]
+
+    def test_second_failure_during_failback(self):
+        """The reference survivor dies while a failback is in progress:
+        the resync still completes from the middleware-held recovery log
+        (section 4.4.2 — the log, not a peer, is authoritative)."""
+        mw = master_slave(3)
+        mw.replicas[2].mark_failed()
+        session = mw.connect(database="shop")
+        for key in range(4):
+            session.execute(f"UPDATE kv SET v = 3 WHERE k = {key}")
+        session.close()
+        mw.drain_replica("r1")
+        manager = FailoverManager(mw)
+
+        def second_failure(event):
+            if event.kind == "failback_started":
+                mw.replicas[1].mark_failed()
+
+        mw.monitor.on_event(second_failure)
+        replayed = manager.failback("r2")
+        assert replayed == 4
+        assert mw.replica_by_name("r2").is_online
+        assert not mw.replica_by_name("r1").is_online
+        assert mw.monitor.count("failback_completed") == 1
+        # the mid-failback casualty recovers too, and everyone converges
+        manager.failback("r1")
+        assert mw.check_convergence()
+
+
+class TestRetryExactlyOnce:
+    """Property: a transparently retried/replayed transaction is applied
+    exactly once — acked increments equal the on-disk count on every
+    replica, no matter where crashes land."""
+
+    @settings(max_examples=20, deadline=None)
+    @given(data=st.data())
+    def test_retry_never_double_applies_committed_txn(self, data):
+        replicas = make_replicas(3, schema=KV_SCHEMA)
+        mw = ReplicationMiddleware(replicas, MiddlewareConfig(
+            replication="writeset", propagation="sync",
+            consistency=protocol_by_name("gsi"),
+            resilience=ResiliencePolicy(
+                retry=RetryPolicy(max_attempts=4, jitter=0.0))))
+        session = mw.connect(database="shop")
+        session.execute("INSERT INTO kv (k, v) VALUES (0, 0)")
+        acked = 0
+        n_ops = data.draw(st.integers(3, 8), label="n_ops")
+        for index in range(n_ops):
+            use_txn = data.draw(st.booleans(), label=f"txn_{index}")
+            point = data.draw(
+                st.sampled_from(["none", "before", "mid", "commit"]),
+                label=f"crash_point_{index}")
+            victim_index = data.draw(st.integers(0, 2),
+                                     label=f"victim_{index}")
+
+            def maybe_kill(when):
+                if point != when:
+                    return
+                victim = mw.replicas[victim_index]
+                alive = [r for r in mw.replicas if r.is_online]
+                if victim.is_online and len(alive) > 1:
+                    victim.engine.crash()
+                    victim.mark_failed()
+
+            try:
+                if use_txn:
+                    session.execute("BEGIN")
+                    session.execute("UPDATE kv SET v = v + 1 WHERE k = 0")
+                    maybe_kill("mid")
+                    session.execute("UPDATE kv SET v = v + 1 WHERE k = 0")
+                    maybe_kill("commit")
+                    session.execute("COMMIT")
+                    acked += 2
+                else:
+                    maybe_kill("before")
+                    session.execute("UPDATE kv SET v = v + 1 WHERE k = 0")
+                    acked += 1
+            except Exception:
+                # the request failed before certification: it must not
+                # have applied anywhere; drop any transaction carcass
+                session.execute("ROLLBACK")
+        session.close()
+        # heal everything and compare each replica's raw engine state
+        manager = FailoverManager(mw)
+        for replica in mw.replicas:
+            if not replica.is_online:
+                manager.failback(replica.name)
+        assert mw.check_convergence()
+        for replica in mw.replicas:
+            connection = replica.engine.connect(database="shop")
+            applied = connection.execute(
+                "SELECT v FROM kv WHERE k = 0").scalar()
+            connection.close()
+            assert applied == acked, (
+                f"{replica.name}: applied {applied} != acked {acked} — "
+                "a retry double-applied or a failed request leaked")
 
 
 class TestRecoveryLog:
