@@ -159,19 +159,26 @@ def apply_writeset(engine: Engine, entries: List[Dict],
 
 
 def _find_target(engine: Engine, table: Table, entry: Dict):
-    """Locate the visible row a writeset UPDATE/DELETE refers to, by
-    primary key when available, else by full old-value match."""
+    """Locate the visible row a writeset UPDATE/DELETE refers to.
+
+    This is the replication hot path every replica pays for every entry:
+    with a primary key it is one hash probe into the PK index (O(1) per
+    entry); only keyless tables fall back to the full old-value scan."""
+    from ..sqlengine.mvcc import version_visible
+
     snapshot = engine.clock.snapshot()
-    pk_columns = tuple(c.name.lower() for c in table.primary_key_columns)
-    if pk_columns and entry["primary_key"] is not None:
-        candidates = table.unique_candidates(pk_columns,
-                                             tuple(entry["primary_key"]))
+    pk_index = table.primary_key_index
+    if pk_index is not None and entry["primary_key"] is not None:
+        engine.stats["index_probes"] += 1
+        candidates = pk_index.probe(tuple(entry["primary_key"]))
+        engine.stats["rows_scanned"] += len(candidates)
         for version in candidates:
-            from ..sqlengine.mvcc import version_visible
             if version_visible(version, snapshot, None):
                 return version
         return None
     old_values = entry.get("old_values") or {}
+    engine.stats["seq_scans"] += 1
+    engine.stats["rows_scanned"] += table.logical_row_count()
     for row_id in list(table._rows.keys()):
         version = visible_version(table, row_id, snapshot, None)
         if version is not None and all(

@@ -31,15 +31,17 @@ from .mvcc import (
     SNAPSHOT, Snapshot,
 )
 from .parser import parse, parse_script
+from .planner import AccessPlan, plan_table_access
 from .procedures import Procedure, ProcedureAnalysis, analyze_procedure
 from .sequences import Sequence
-from .storage import Table
+from .storage import IndexDef, Table
 from .transactions import Transaction, TransactionStatus, Writeset, WritesetEntry
 from .triggers import Trigger, TriggerEvent
 from .types import Column, ColumnType
 
 __all__ = [
-    "AccessDeniedError", "BackupOptions", "Binlog", "BinlogRecord", "Column",
+    "AccessDeniedError", "AccessPlan", "BackupOptions", "Binlog",
+    "BinlogRecord", "Column", "IndexDef", "plan_table_access",
     "ColumnType", "Connection", "ConnectionError_", "Database",
     "DeadlockError", "Dialect", "DiskFullError", "DuplicateObjectError",
     "Engine", "EngineDump", "INFORMATION_SCHEMA", "IntegrityError", "LobError", "LobHandle",

@@ -463,6 +463,16 @@ class CallStatement(Statement):
         self.args = args
 
 
+class ExplainStatement(Statement):
+    """``EXPLAIN <statement>`` — report the planned access path without
+    executing."""
+
+    __slots__ = ("statement",)
+
+    def __init__(self, statement: Statement):
+        self.statement = statement
+
+
 class LockTableStatement(Statement):
     __slots__ = ("table", "mode")
 

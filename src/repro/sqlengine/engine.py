@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import hashlib
 import itertools
+from collections import OrderedDict
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from . import ast_nodes as ast
@@ -298,7 +299,8 @@ class Engine:
 
     def __init__(self, name: str = "engine", dialect: Optional[Dialect] = None,
                  seed: Optional[int] = None,
-                 binlog_capacity: Optional[int] = None):
+                 binlog_capacity: Optional[int] = None,
+                 parse_cache_capacity: int = 4096):
         self.name = name
         self.dialect = dialect or generic()
         self.databases: Dict[str, Database] = {}
@@ -315,10 +317,20 @@ class Engine:
         self._txn_counter = itertools.count(1)
         self.active_transactions: Dict[int, Transaction] = {}
         self._commit_listeners: List[Callable[[Transaction, BinlogRecord], None]] = []
-        self._parse_cache: Dict[str, List[ast.Statement]] = {}
+        # Parsed-statement cache with LRU eviction: long-running sessions
+        # with churning SQL text keep their hot statements cached instead
+        # of the cache freezing once it fills.
+        self._parse_cache: "OrderedDict[str, List[ast.Statement]]" = OrderedDict()
+        self._parse_cache_capacity = max(1, parse_cache_capacity)
+        # Index-backed access paths can be disabled to measure the
+        # sequential-scan baseline (benchmark E23); results are identical.
+        self.use_indexes = True
         # Engine-observable statistics.
         self.stats = {
             "commits": 0, "rollbacks": 0, "statements": 0,
+            "seq_scans": 0, "index_probes": 0, "rows_scanned": 0,
+            "parse_cache_hits": 0, "parse_cache_misses": 0,
+            "versions_gced": 0,
         }
 
     # -- catalog --------------------------------------------------------------
@@ -364,10 +376,15 @@ class Engine:
 
     def parse(self, sql: str) -> List[ast.Statement]:
         cached = self._parse_cache.get(sql)
-        if cached is None:
+        if cached is not None:
+            self._parse_cache.move_to_end(sql)
+            self.stats["parse_cache_hits"] += 1
+        else:
             cached = parse_script(sql)
-            if len(self._parse_cache) < 4096:
-                self._parse_cache[sql] = cached
+            self.stats["parse_cache_misses"] += 1
+            self._parse_cache[sql] = cached
+            while len(self._parse_cache) > self._parse_cache_capacity:
+                self._parse_cache.popitem(last=False)
         self.stats["statements"] += len(cached)
         return cached
 
@@ -436,6 +453,20 @@ class Engine:
             if listener in self._commit_listeners:
                 self._commit_listeners.remove(listener)
         return unsubscribe
+
+    def vacuum(self) -> int:
+        """Garbage-collect row versions no live snapshot can see, keeping
+        chains and indexes bounded under churn.  Returns versions removed."""
+        horizon = min(
+            (txn.snapshot.timestamp
+             for txn in self.active_transactions.values()),
+            default=self.clock.now)
+        removed = 0
+        for database in self.databases.values():
+            for table in database.tables.values():
+                removed += table.gc_versions(horizon)
+        self.stats["versions_gced"] += removed
+        return removed
 
     # -- fault injection ---------------------------------------------------------
 

@@ -28,6 +28,7 @@ from .mvcc import (
     READ_UNCOMMITTED, SERIALIZABLE, Snapshot, latest_committed_change,
     uncommitted_writer, visible_rows, visible_version,
 )
+from .planner import AccessPlan, SEQ_SCAN, plan_table_access
 from .sequences import Sequence
 from .procedures import Procedure
 from .storage import RowVersion, Table
@@ -73,6 +74,47 @@ class Executor:
     def __init__(self, engine):
         self.engine = engine
         self._trigger_depth = 0
+        # Access paths chosen by the most recent statement, newest last —
+        # EXPLAIN-style introspection for tests and benchmarks.
+        self.last_access_paths: List[str] = []
+
+    # ------------------------------------------------------------------
+    # access paths
+    # ------------------------------------------------------------------
+
+    def _table_versions(self, session, table, binding, where, snapshot,
+                        ctx, dirty: bool = False) -> List[RowVersion]:
+        """The visible versions a statement must consider for ``table``,
+        through the planned access path.
+
+        An index probe yields a *superset* of the fully-matching rows (the
+        caller still applies the complete WHERE), so routing here never
+        changes results — only how many rows are touched, which the
+        engine-level ``seq_scans`` / ``index_probes`` / ``rows_scanned``
+        counters record.
+        """
+        txn_id = session.txn.id if session.txn else None
+        stats = self.engine.stats
+        plan = (plan_table_access(table, binding, where, ctx)
+                if self.engine.use_indexes else AccessPlan(SEQ_SCAN, table))
+        self.last_access_paths.append(plan.describe())
+        if plan.is_index:
+            stats["index_probes"] += 1
+            row_ids = set()
+            for key in plan.keys:
+                for candidate in plan.index.probe(key):
+                    row_ids.add(candidate.row_id)
+            stats["rows_scanned"] += len(row_ids)
+            versions = []
+            for row_id in row_ids:
+                version = visible_version(table, row_id, snapshot, txn_id,
+                                          dirty=dirty)
+                if version is not None:
+                    versions.append(version)
+            return versions
+        stats["seq_scans"] += 1
+        stats["rows_scanned"] += table.logical_row_count()
+        return list(visible_rows(table, snapshot, txn_id, dirty=dirty))
 
     # ------------------------------------------------------------------
     # dispatch
@@ -82,8 +124,12 @@ class Executor:
                 params: Optional[List[Any]] = None,
                 variables: Optional[Dict[str, Any]] = None) -> Result:
         params = params or []
+        if self._trigger_depth == 0:
+            self.last_access_paths = []
         if isinstance(statement, ast.SelectStatement):
             return self._execute_select_statement(session, statement, params, variables)
+        if isinstance(statement, ast.ExplainStatement):
+            return self._execute_explain(session, statement, params, variables)
         if isinstance(statement, ast.InsertStatement):
             return self._execute_insert(session, statement, params, variables)
         if isinstance(statement, ast.UpdateStatement):
@@ -212,7 +258,8 @@ class Executor:
         dirty = session.txn is not None and session.txn.isolation == READ_UNCOMMITTED
 
         source_rows, source_columns = self._build_source(
-            session, statement.source, snapshot, dirty, outer_ctx)
+            session, statement.source, snapshot, dirty, outer_ctx,
+            where=statement.where)
 
         if statement.for_update and isinstance(statement.source, ast.TableRef):
             database_name, table = self._resolve_table(
@@ -267,19 +314,27 @@ class Executor:
         rows = self._apply_limit(statement, rows, outer_ctx)
         return Result(columns=columns, rows=rows, rowcount=len(rows))
 
-    def _build_source(self, session, source, snapshot, dirty, outer_ctx):
-        """Returns (list of binding dicts, ordered [(binding, column_names)])."""
+    def _build_source(self, session, source, snapshot, dirty, outer_ctx,
+                      where=None):
+        """Returns (list of binding dicts, ordered [(binding, column_names)]).
+
+        ``where`` is the enclosing statement's predicate, pushed down so
+        table references can serve equality conjuncts from an index probe
+        instead of a full scan; the caller still applies the complete
+        predicate to whatever comes back.
+        """
         if source is None:
             return [{}], []
         if isinstance(source, ast.TableRef):
             database_name, table = self._resolve_table(
                 session, source.name, privilege="SELECT")
             self._lock_for_read(session, database_name, table)
-            txn_id = session.txn.id if session.txn else None
             binding = source.binding
             rows = [
                 {binding: dict(version.values)}
-                for version in visible_rows(table, snapshot, txn_id, dirty=dirty)
+                for version in self._table_versions(
+                    session, table, binding, where, snapshot, outer_ctx,
+                    dirty=dirty)
             ]
             if session.txn is not None:
                 session.txn.tables_read.add((database_name, table.name.lower()))
@@ -295,14 +350,19 @@ class Executor:
             ]
             return rows, [(binding, columns)]
         if isinstance(source, ast.Join):
-            return self._build_join(session, source, snapshot, dirty, outer_ctx)
+            return self._build_join(session, source, snapshot, dirty,
+                                    outer_ctx, where=where)
         raise TypeError_(f"unsupported FROM clause {type(source).__name__}")
 
-    def _build_join(self, session, join: ast.Join, snapshot, dirty, outer_ctx):
+    def _build_join(self, session, join: ast.Join, snapshot, dirty, outer_ctx,
+                    where=None):
+        # WHERE conjuncts push through joins: a conjunct binding one side's
+        # columns restricts only rows the full predicate would reject
+        # anyway (null-extended LEFT JOIN rows fail the conjunct too).
         left_rows, left_columns = self._build_source(
-            session, join.left, snapshot, dirty, outer_ctx)
+            session, join.left, snapshot, dirty, outer_ctx, where=where)
         right_rows, right_columns = self._build_source(
-            session, join.right, snapshot, dirty, outer_ctx)
+            session, join.right, snapshot, dirty, outer_ctx, where=where)
         combined: List[Dict[str, Dict]] = []
         for left in left_rows:
             matched = False
@@ -502,6 +562,54 @@ class Executor:
         if offset:
             return rows[offset:]
         return rows
+
+    # ------------------------------------------------------------------
+    # EXPLAIN
+    # ------------------------------------------------------------------
+
+    def _execute_explain(self, session, statement: ast.ExplainStatement,
+                         params, variables) -> Result:
+        """Describe the access path the planner would choose, without
+        executing the statement."""
+        ctx = EvalContext(self, session, params=params,
+                          variables=variables or {})
+        inner = statement.statement
+        rows: List[tuple] = []
+        if isinstance(inner, ast.SelectStatement):
+            self._explain_source(session, inner.source, inner.where, ctx, rows)
+        elif isinstance(inner, ast.UpdateStatement):
+            _db, table = self._resolve_table(session, inner.table)
+            rows.append(self._explain_row(
+                "UPDATE", table, inner.table.name.lower(), inner.where, ctx))
+        elif isinstance(inner, ast.DeleteStatement):
+            _db, table = self._resolve_table(session, inner.table)
+            rows.append(self._explain_row(
+                "DELETE", table, inner.table.name.lower(), inner.where, ctx))
+        else:
+            raise TypeError_(
+                f"cannot EXPLAIN {type(inner).__name__}")
+        return Result(columns=["operation", "table", "access_path", "keys"],
+                      rows=rows, rowcount=len(rows))
+
+    def _explain_source(self, session, source, where, ctx,
+                        rows: List[tuple]) -> None:
+        if isinstance(source, ast.TableRef):
+            _db, table = self._resolve_table(session, source.name)
+            rows.append(self._explain_row(
+                "SELECT", table, source.binding, where, ctx))
+        elif isinstance(source, ast.Join):
+            self._explain_source(session, source.left, where, ctx, rows)
+            self._explain_source(session, source.right, where, ctx, rows)
+        elif isinstance(source, ast.SubquerySource):
+            rows.append(("SELECT", source.binding, "derived-table", 0))
+
+    def _explain_row(self, operation: str, table: Table, binding: str,
+                     where, ctx) -> tuple:
+        plan = (plan_table_access(table, binding, where, ctx)
+                if self.engine.use_indexes else AccessPlan(SEQ_SCAN, table))
+        access = (f"index-probe ({plan.index.name})" if plan.is_index
+                  else "seq-scan")
+        return (operation, table.name, access, len(plan.keys))
 
     # -- subquery hooks (called from expressions.py) -----------------------
 
@@ -767,12 +875,10 @@ class Executor:
 
     def _matching_versions(self, session, table: Table, binding: str,
                            where, snapshot, ctx) -> List[RowVersion]:
-        txn_id = session.txn.id if session.txn else None
+        candidates = self._table_versions(
+            session, table, binding, where, snapshot, ctx)
         matches = []
-        for row_id in list(table._rows.keys()):
-            version = visible_version(table, row_id, snapshot, txn_id)
-            if version is None:
-                continue
+        for version in candidates:
             if where is not None:
                 row_ctx = ctx.with_bindings({binding: dict(version.values)})
                 if not is_true(evaluate(where, row_ctx)):
@@ -895,21 +1001,19 @@ class Executor:
 
     def _execute_create_index(self, session, statement) -> Result:
         database_name, table = self._resolve_table(session, statement.table)
-        from .storage import IndexDef
-        index = IndexDef(statement.name, statement.columns, statement.unique)
-        table.indexes[statement.name.lower()] = index
+        key_columns = [c.lower() for c in statement.columns]
         if statement.unique:
             # Reject if existing committed data already violates uniqueness.
             snapshot = self.engine.clock.snapshot()
-            seen = {}
+            seen = set()
             for version in visible_rows(table, snapshot, None):
-                key = index.key_for(version.values)
+                key = tuple(version.values.get(c) for c in key_columns)
                 if key in seen and not any(v is None for v in key):
                     raise IntegrityError(
                         f"cannot create unique index {statement.name!r}: "
                         f"duplicate key {key}")
-                seen[key] = version
-            table.register_unique(statement.columns)
+                seen.add(key)
+        table.create_index(statement.name, key_columns, statement.unique)
         return Result()
 
     def _execute_create_sequence(self, session, statement) -> Result:
@@ -970,11 +1074,11 @@ class Executor:
             self.engine.users.drop_user(name.name)
             return Result()
         if kind == "INDEX":
-            # find the index in the current database's tables
+            # find the index in the current database's tables; constraint
+            # indexes (primary key / UNIQUE column) are not droppable
             database = self.engine.database(session.current_database_name())
             for table in database.tables.values():
-                if name.name.lower() in table.indexes:
-                    del table.indexes[name.name.lower()]
+                if table.drop_index(name.name):
                     return Result()
             if statement.if_exists:
                 return Result()

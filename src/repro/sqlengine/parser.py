@@ -64,11 +64,22 @@ class _Parser:
             "USE": self._parse_use,
             "CALL": self._parse_call,
             "LOCK": self._parse_lock,
+            "EXPLAIN": self._parse_explain,
         }
         handler = handlers.get(token.value)
         if handler is None:
             raise ParseError(f"unsupported statement starting with {token.value}")
         return handler()
+
+    # -- EXPLAIN -----------------------------------------------------------
+
+    def _parse_explain(self) -> ast.ExplainStatement:
+        self.stream.expect_keyword("EXPLAIN")
+        inner = self.parse_statement()
+        if not isinstance(inner, (ast.SelectStatement, ast.UpdateStatement,
+                                  ast.DeleteStatement)):
+            raise ParseError("EXPLAIN supports SELECT, UPDATE and DELETE")
+        return ast.ExplainStatement(inner)
 
     # -- SELECT ------------------------------------------------------------
 

@@ -1,0 +1,187 @@
+"""Lightweight access-path planning for the execution hot path.
+
+The planner looks at a statement's WHERE clause, pulls the equality and
+``IN``-list conjuncts that bind columns of one table, and — when an index
+covers all of an index's key columns — turns them into hash-index probe
+keys.  Everything else falls back to a sequential scan.  The probe result
+is always a *superset* of the rows the full predicate accepts (the
+executor re-evaluates the complete WHERE on the candidates), so planning
+can only change cost, never results.
+
+This is the piece the paper's §3.4/§5 critique asks middleware
+evaluations to get right: without it, every point lookup, uniqueness
+check and writeset apply is O(table) and scale-out numbers measure scan
+cost rather than replication cost.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, List, Optional, Sequence
+
+from . import ast_nodes as ast
+from .errors import SQLError
+from .storage import IndexDef, Table
+from .types import coerce
+
+# Multi-column IN-lists multiply; beyond this many probe keys a scan is
+# cheaper anyway.
+_MAX_PROBE_KEYS = 64
+
+SEQ_SCAN = "seq-scan"
+INDEX_PROBE = "index-probe"
+
+
+class AccessPlan:
+    """The chosen access path for one table reference."""
+
+    __slots__ = ("kind", "table", "index", "keys")
+
+    def __init__(self, kind: str, table: Table,
+                 index: Optional[IndexDef] = None,
+                 keys: Optional[List[tuple]] = None):
+        self.kind = kind
+        self.table = table
+        self.index = index
+        self.keys = keys or []
+
+    @property
+    def is_index(self) -> bool:
+        return self.kind == INDEX_PROBE
+
+    def describe(self) -> str:
+        if self.is_index:
+            columns = ",".join(self.index.columns)
+            return (f"index-probe {self.table.name}.{self.index.name} "
+                    f"({columns}) keys={len(self.keys)}")
+        return f"seq-scan {self.table.name}"
+
+    def __repr__(self) -> str:
+        return f"AccessPlan({self.describe()})"
+
+
+def and_conjuncts(where: Optional[ast.Expression]):
+    """Flatten a predicate into its top-level AND conjuncts."""
+    if where is None:
+        return
+    stack = [where]
+    while stack:
+        expr = stack.pop()
+        if isinstance(expr, ast.BinaryOp) and expr.op == "AND":
+            stack.append(expr.left)
+            stack.append(expr.right)
+        else:
+            yield expr
+
+
+def _is_value_expr(expr: ast.Expression) -> bool:
+    """Expressions safe to evaluate at plan time: no column references,
+    no side effects, no subqueries."""
+    if isinstance(expr, (ast.Literal, ast.Param)):
+        return True
+    if isinstance(expr, ast.UnaryOp):
+        return _is_value_expr(expr.operand)
+    return False
+
+
+def _column_of(expr: ast.Expression, binding: str,
+               table: Table) -> Optional[str]:
+    """The table column ``expr`` names, if it belongs to ``binding``."""
+    if not isinstance(expr, ast.ColumnRef):
+        return None
+    if expr.table is not None and expr.table.lower() != binding:
+        return None
+    name = expr.name.lower()
+    if not table.has_column(name):
+        return None
+    return name
+
+
+def equality_candidates(where: Optional[ast.Expression], binding: str,
+                        table: Table) -> Dict[str, List[ast.Expression]]:
+    """Map column -> candidate value expressions, from ``col = value`` and
+    ``col IN (values...)`` conjuncts of ``where``."""
+    candidates: Dict[str, List[ast.Expression]] = {}
+
+    def record(column: str, values: List[ast.Expression]) -> None:
+        # A column constrained twice: either conjunct's value set already
+        # covers the intersection, keep the smaller one.
+        existing = candidates.get(column)
+        if existing is None or len(values) < len(existing):
+            candidates[column] = values
+
+    for conjunct in and_conjuncts(where):
+        if isinstance(conjunct, ast.BinaryOp) and conjunct.op == "=":
+            for column_side, value_side in ((conjunct.left, conjunct.right),
+                                            (conjunct.right, conjunct.left)):
+                column = _column_of(column_side, binding, table)
+                if column is not None and _is_value_expr(value_side):
+                    record(column, [value_side])
+                    break
+        elif isinstance(conjunct, ast.InList) and not conjunct.negated \
+                and conjunct.items is not None:
+            column = _column_of(conjunct.expr, binding, table)
+            if column is not None and all(
+                    _is_value_expr(item) for item in conjunct.items):
+                record(column, list(conjunct.items))
+    return candidates
+
+
+def _choose_index(table: Table,
+                  bound_columns: Sequence[str]) -> Optional[IndexDef]:
+    """The best index whose key columns are all equality-bound: unique
+    beats non-unique, then longer keys (more selective) win."""
+    bound = set(bound_columns)
+    best = None
+    best_rank = None
+    for index in table.indexes.values():
+        if not index.columns or not all(c in bound for c in index.columns):
+            continue
+        rank = (index.unique, len(index.columns))
+        if best_rank is None or rank > best_rank:
+            best, best_rank = index, rank
+    return best
+
+
+def plan_table_access(table: Table, binding: str,
+                      where: Optional[ast.Expression],
+                      ctx) -> AccessPlan:
+    """Pick the access path for one table: an index probe when an index's
+    key columns are fully equality-bound, a sequential scan otherwise."""
+    if where is None or not table.indexes:
+        return AccessPlan(SEQ_SCAN, table)
+    candidates = equality_candidates(where, binding, table)
+    if not candidates:
+        return AccessPlan(SEQ_SCAN, table)
+    index = _choose_index(table, list(candidates.keys()))
+    if index is None:
+        return AccessPlan(SEQ_SCAN, table)
+
+    per_column_values: List[List[Any]] = []
+    total = 1
+    for column in index.columns:
+        exprs = candidates[column]
+        total *= len(exprs)
+        if total > _MAX_PROBE_KEYS:
+            return AccessPlan(SEQ_SCAN, table)
+        column_type = table.column(column).type
+        values = []
+        for expr in exprs:
+            try:
+                value = coerce(evaluate_value(expr, ctx), column_type)
+            except SQLError:
+                return AccessPlan(SEQ_SCAN, table)
+            # `col = NULL` / `col IN (..., NULL)` never matches under SQL
+            # semantics; dropping the key keeps the probe a superset.
+            if value is not None:
+                values.append(value)
+        per_column_values.append(values)
+
+    keys = [tuple(key) for key in itertools.product(*per_column_values)]
+    return AccessPlan(INDEX_PROBE, table, index, keys)
+
+
+def evaluate_value(expr: ast.Expression, ctx):
+    """Evaluate a row-independent value expression at plan time."""
+    from .expressions import evaluate
+    return evaluate(expr, ctx)

@@ -7,6 +7,14 @@ increasing commit timestamps.  Snapshot visibility (``mvcc.py``) is
 evaluated against these stamps, which gives the engine MVCC semantics for
 snapshot isolation and read-committed, and lets rollback simply unlink the
 versions a transaction created.
+
+Indexes are *maintained* hash structures (:class:`IndexDef`): every row
+version is entered under its key tuple on insert and removed on
+unlink/GC, so equality probes touch only the versions carrying the
+probed key instead of the whole table.  Primary keys and unique columns
+get an index automatically; ``CREATE INDEX`` adds more.  Index entries
+carry versions, not rows — visibility filtering stays the reader's job,
+exactly as for a scan.
 """
 
 from __future__ import annotations
@@ -65,19 +73,21 @@ class Table:
         # duplicate auto keys: replica k of n hands out k, k+n, k+2n, ...
         self.auto_step = 1
         self.auto_offset = 1
+        # All indexes are maintained hash maps (key tuple -> versions).
+        # Constraint-backed ones (primary key, UNIQUE columns) are created
+        # here with ``auto=True`` and cannot be dropped by DROP INDEX.
         self.indexes: Dict[str, "IndexDef"] = {}
         self.last_inserted_id: Optional[int] = None
-        # Unique key maps: column tuple -> key tuple -> versions having that
-        # key.  Uniqueness checks are then O(1) per candidate instead of a
-        # table scan.
-        self._unique_maps: Dict[tuple, Dict[tuple, set]] = {}
         pk_columns = tuple(
             c.name.lower() for c in self.columns if c.primary_key)
         if pk_columns:
-            self._unique_maps[pk_columns] = {}
+            self.attach_index(IndexDef(
+                f"{name.lower()}_pkey", pk_columns, unique=True, auto=True))
         for c in self.columns:
             if c.unique and not c.primary_key:
-                self._unique_maps[(c.name.lower(),)] = {}
+                self.attach_index(IndexDef(
+                    f"{name.lower()}_{c.name.lower()}_key",
+                    (c.name.lower(),), unique=True, auto=True))
 
     # -- schema ------------------------------------------------------------
 
@@ -149,9 +159,8 @@ class Table:
             row_id = self.new_row_id()
         version = RowVersion(row_id, values, creator_txn)
         self._rows.setdefault(row_id, []).append(version)
-        for columns, key_map in self._unique_maps.items():
-            key = tuple(values.get(c) for c in columns)
-            key_map.setdefault(key, set()).add(version)
+        for index in self.indexes.values():
+            index.add(version)
         return version
 
     def versions(self) -> Iterable[RowVersion]:
@@ -171,35 +180,87 @@ class Table:
             pass
         if not chain:
             del self._rows[version.row_id]
-        for columns, key_map in self._unique_maps.items():
-            key = tuple(version.values.get(c) for c in columns)
-            versions = key_map.get(key)
-            if versions is not None:
-                versions.discard(version)
-                if not versions:
-                    del key_map[key]
+        for index in self.indexes.values():
+            index.discard(version)
 
-    # -- unique constraints ---------------------------------------------------
+    def gc_versions(self, horizon_ts: int) -> int:
+        """Garbage-collect versions whose deletion committed at or before
+        ``horizon_ts`` (no snapshot that old remains).  Unlinks them from
+        the chains *and* from every index."""
+        removed = 0
+        for row_id in list(self._rows.keys()):
+            dead = [v for v in self._rows[row_id]
+                    if v.deleted_ts is not None and v.deleted_ts <= horizon_ts]
+            for version in dead:
+                self.remove_version(version)
+                removed += 1
+        return removed
+
+    # -- indexes & unique constraints -----------------------------------------
+
+    def attach_index(self, index: "IndexDef") -> "IndexDef":
+        """Attach ``index`` and populate it from the existing versions."""
+        index.rebuild(self.versions())
+        self.indexes[index.name.lower()] = index
+        return index
+
+    def create_index(self, name: str, columns: Sequence[str],
+                     unique: bool = False) -> "IndexDef":
+        """CREATE INDEX entry point: build, populate and attach."""
+        return self.attach_index(IndexDef(name, columns, unique))
+
+    def drop_index(self, name: str) -> bool:
+        """Drop a non-constraint index by name; returns True if dropped."""
+        index = self.indexes.get(name.lower())
+        if index is None or index.auto:
+            return False
+        del self.indexes[name.lower()]
+        return True
+
+    def index_for_columns(self, columns: Sequence[str]) -> Optional["IndexDef"]:
+        """The first index whose key is exactly ``columns`` (unique indexes
+        preferred), or None."""
+        key_columns = tuple(c.lower() for c in columns)
+        best = None
+        for index in self.indexes.values():
+            if index.key_columns == key_columns:
+                if index.unique:
+                    return index
+                best = best or index
+        return best
+
+    @property
+    def primary_key_index(self) -> Optional["IndexDef"]:
+        pk_columns = tuple(c.name.lower() for c in self.primary_key_columns)
+        if not pk_columns:
+            return None
+        return self.index_for_columns(pk_columns)
 
     def register_unique(self, columns: Sequence[str]) -> None:
         """Start enforcing uniqueness on a column tuple (CREATE UNIQUE
         INDEX).  Existing versions are indexed immediately."""
         key_columns = tuple(c.lower() for c in columns)
-        if key_columns in self._unique_maps:
-            return
-        key_map: Dict[tuple, set] = {}
-        for version in self.versions():
-            key = tuple(version.values.get(c) for c in key_columns)
-            key_map.setdefault(key, set()).add(version)
-        self._unique_maps[key_columns] = key_map
+        for index in self.indexes.values():
+            if index.unique and index.key_columns == key_columns:
+                return
+        self.attach_index(IndexDef(
+            f"{self.name.lower()}_{'_'.join(key_columns)}_key",
+            key_columns, unique=True, auto=True))
 
     def unique_column_sets(self) -> List[tuple]:
-        return list(self._unique_maps.keys())
+        seen = []
+        for index in self.indexes.values():
+            if index.unique and index.key_columns not in seen:
+                seen.append(index.key_columns)
+        return seen
 
     def unique_candidates(self, columns: tuple, key: tuple) -> set:
         """Versions sharing ``key`` on the unique column tuple ``columns``
         (uniqueness/visibility filtering is the executor's job)."""
-        return self._unique_maps.get(columns, {}).get(key, set())
+        index = self.index_for_columns(columns)
+        if index is None:
+            return set()
+        return index.probe(key)
 
     def coerce_row(self, values: Dict[str, Any]) -> Dict[str, Any]:
         """Validate and coerce a column->value mapping into a full row dict
@@ -222,25 +283,81 @@ class Table:
     def version_count(self) -> int:
         return sum(len(chain) for chain in self._rows.values())
 
+    def logical_row_count(self) -> int:
+        """Number of row chains — what a sequential scan has to visit."""
+        return len(self._rows)
+
     def clone_schema(self) -> "Table":
+        """An empty table with the same columns *and live indexes*.
+
+        The clone's indexes are fresh maintained structures: constraint
+        indexes come from the column flags, the rest are re-attached here,
+        and all of them repopulate as rows are inserted — a replica rebuilt
+        from this clone enforces uniqueness and serves index probes, it
+        does not carry dead metadata shells.
+        """
         table = Table(self.name, [c.clone() for c in self.columns], self.temporary)
         for index in self.indexes.values():
-            table.indexes[index.name.lower()] = IndexDef(
-                index.name, index.columns, index.unique)
+            if index.name.lower() in table.indexes:
+                continue  # constraint index already created from the schema
+            table.attach_index(IndexDef(
+                index.name, index.columns, index.unique, auto=index.auto))
         return table
 
 
+_EMPTY_SET: frozenset = frozenset()
+
+
 class IndexDef:
-    """Index metadata.  Uniqueness is the semantically relevant part; the
-    engine enforces unique indexes and treats non-unique indexes as advisory
-    (scans are in-memory and small in this reproduction)."""
+    """A maintained hash index: key tuple -> set of row versions.
 
-    __slots__ = ("name", "columns", "unique")
+    Every version of every row is entered under its key; readers probe
+    with a full key tuple and apply MVCC visibility to the candidates,
+    exactly as they would while scanning.  Unique indexes double as the
+    enforcement structure for uniqueness checks."""
 
-    def __init__(self, name: str, columns: Sequence[str], unique: bool = False):
+    __slots__ = ("name", "columns", "unique", "auto", "entries")
+
+    def __init__(self, name: str, columns: Sequence[str], unique: bool = False,
+                 auto: bool = False):
         self.name = name
         self.columns = [c.lower() for c in columns]
         self.unique = unique
+        # auto=True marks constraint-backed indexes (primary key / UNIQUE
+        # column); they are created with the table and survive DROP INDEX.
+        self.auto = auto
+        self.entries: Dict[tuple, set] = {}
+
+    @property
+    def key_columns(self) -> tuple:
+        return tuple(self.columns)
 
     def key_for(self, row: Dict[str, Any]) -> tuple:
         return tuple(row.get(c) for c in self.columns)
+
+    def add(self, version: RowVersion) -> None:
+        self.entries.setdefault(self.key_for(version.values), set()).add(version)
+
+    def discard(self, version: RowVersion) -> None:
+        key = self.key_for(version.values)
+        versions = self.entries.get(key)
+        if versions is not None:
+            versions.discard(version)
+            if not versions:
+                del self.entries[key]
+
+    def probe(self, key: Sequence[Any]):
+        """All versions carrying ``key`` (no visibility filtering)."""
+        return self.entries.get(tuple(key), _EMPTY_SET)
+
+    def rebuild(self, versions: Iterable[RowVersion]) -> None:
+        self.entries.clear()
+        for version in versions:
+            self.add(version)
+
+    def entry_count(self) -> int:
+        return sum(len(versions) for versions in self.entries.values())
+
+    def __repr__(self) -> str:
+        return (f"IndexDef({self.name!r}, columns={self.columns}, "
+                f"unique={self.unique}, keys={len(self.entries)})")

@@ -44,6 +44,7 @@ KEYWORDS = frozenset("""
     NEXTVAL CURRVAL SETVAL
     CASCADE RESTRICT
     INCREMENT CACHE
+    EXPLAIN
 """.split())
 
 

@@ -1,0 +1,186 @@
+"""Index correctness under MVCC, DDL and replica rebuild.
+
+The hash indexes of ``storage.py`` hold *versions*, not rows, so every
+reader must still apply snapshot visibility to what a probe returns.
+These tests pin the properties that make that safe: indexed reads respect
+snapshots, rollback leaves no index garbage, DDL and temp-table teardown
+clean up, and a rebuilt replica carries live (repopulating) indexes
+rather than empty metadata shells.
+"""
+
+import pytest
+
+from repro.sqlengine import (
+    BackupOptions, Engine, IntegrityError, NameError_, dump_engine,
+    restore_engine,
+)
+
+
+def items_table(engine):
+    return engine.database("shop").table("items")
+
+
+@pytest.fixture
+def indexed_conn(conn):
+    conn.execute(
+        "CREATE TABLE items (id INT PRIMARY KEY AUTO_INCREMENT, "
+        "sku VARCHAR, qty INT)")
+    conn.execute("CREATE INDEX idx_sku ON items (sku)")
+    for i in range(20):
+        conn.execute("INSERT INTO items (sku, qty) VALUES (?, ?)",
+                     [f"sku{i}", i])
+    return conn
+
+
+class TestIndexMaintenance:
+    def test_auto_indexes_created_for_constraints(self, conn):
+        conn.execute("CREATE TABLE t (a INT PRIMARY KEY, b INT UNIQUE, c INT)")
+        table = conn.engine.database("shop").table("t")
+        assert table.primary_key_index is not None
+        assert table.index_for_columns(("b",)).unique
+        assert table.index_for_columns(("c",)) is None
+
+    def test_create_index_populates_existing_rows(self, indexed_conn):
+        table = items_table(indexed_conn.engine)
+        index = table.indexes["idx_sku"]
+        assert index.entry_count() == 20
+        assert len(index.probe(("sku7",))) == 1
+
+    def test_probe_served_point_lookup(self, indexed_conn):
+        engine = indexed_conn.engine
+        before = engine.stats["rows_scanned"]
+        result = indexed_conn.execute("SELECT qty FROM items WHERE sku = ?",
+                                      ["sku3"])
+        assert result.scalar() == 3
+        assert engine.stats["rows_scanned"] - before == 1
+        assert any("index-probe" in p
+                   for p in engine.executor.last_access_paths)
+
+    def test_update_moves_index_entries(self, indexed_conn):
+        indexed_conn.execute("UPDATE items SET sku = 'moved' WHERE sku = 'sku4'")
+        assert indexed_conn.execute(
+            "SELECT qty FROM items WHERE sku = 'moved'").scalar() == 4
+        assert indexed_conn.execute(
+            "SELECT COUNT(*) FROM items WHERE sku = 'sku4'").scalar() == 0
+
+    def test_delete_then_vacuum_empties_index(self, indexed_conn):
+        engine = indexed_conn.engine
+        indexed_conn.execute("DELETE FROM items")
+        assert engine.vacuum() > 0
+        table = items_table(engine)
+        for index in table.indexes.values():
+            assert index.entry_count() == 0
+        assert table.version_count() == 0
+
+
+class TestIndexMVCC:
+    def test_indexed_read_respects_snapshot(self, pg_engine):
+        writer = pg_engine.connect(database="shop")
+        writer.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+        writer.execute("INSERT INTO t VALUES (1, 10)")
+        reader = pg_engine.connect(database="shop")
+        reader.execute("BEGIN ISOLATION LEVEL REPEATABLE READ")
+        assert reader.execute("SELECT v FROM t WHERE id = 1").scalar() == 10
+        writer.execute("UPDATE t SET v = 20 WHERE id = 1")
+        # the repeatable-read snapshot must keep seeing the old version
+        # even though the probe now returns both versions of the chain
+        assert reader.execute("SELECT v FROM t WHERE id = 1").scalar() == 10
+        reader.execute("COMMIT")
+        assert reader.execute("SELECT v FROM t WHERE id = 1").scalar() == 20
+
+    def test_uncommitted_insert_invisible_through_index(self, engine):
+        writer = engine.connect(database="shop")
+        writer.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+        writer.execute("BEGIN")
+        writer.execute("INSERT INTO t VALUES (1, 10)")
+        reader = engine.connect(database="shop")
+        assert reader.execute(
+            "SELECT COUNT(*) FROM t WHERE id = 1").scalar() == 0
+        writer.execute("COMMIT")
+        assert reader.execute(
+            "SELECT COUNT(*) FROM t WHERE id = 1").scalar() == 1
+
+    def test_rollback_leaves_no_index_garbage(self, conn):
+        conn.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+        conn.execute("INSERT INTO t VALUES (1, 10)")
+        table = conn.engine.database("shop").table("t")
+        pk_index = table.primary_key_index
+        conn.execute("BEGIN")
+        conn.execute("INSERT INTO t VALUES (2, 20)")
+        conn.execute("UPDATE t SET v = 11 WHERE id = 1")
+        assert pk_index.entry_count() == 3  # 2 rows + superseded version
+        conn.execute("ROLLBACK")
+        assert pk_index.entry_count() == 1
+        assert not pk_index.probe((2,))
+        assert conn.execute("SELECT v FROM t WHERE id = 1").scalar() == 10
+
+    def test_unique_check_still_enforced_through_index(self, conn):
+        conn.execute("CREATE TABLE t (id INT PRIMARY KEY, v INT)")
+        conn.execute("INSERT INTO t VALUES (1, 10)")
+        with pytest.raises(IntegrityError):
+            conn.execute("INSERT INTO t VALUES (1, 99)")
+
+
+class TestIndexDDL:
+    def test_drop_table_discards_indexes(self, indexed_conn):
+        database = indexed_conn.engine.database("shop")
+        indexed_conn.execute("DROP TABLE items")
+        assert not database.has_table("items")
+        # the index name is gone with the table: DROP INDEX cannot find it
+        with pytest.raises(NameError_):
+            indexed_conn.execute("DROP INDEX idx_sku")
+
+    def test_drop_index_removes_structure(self, indexed_conn):
+        table = items_table(indexed_conn.engine)
+        indexed_conn.execute("DROP INDEX idx_sku")
+        assert "idx_sku" not in table.indexes
+        # queries still answer, now via scan
+        assert indexed_conn.execute(
+            "SELECT qty FROM items WHERE sku = 'sku3'").scalar() == 3
+
+    def test_constraint_indexes_not_droppable(self, conn):
+        conn.execute("CREATE TABLE t (id INT PRIMARY KEY)")
+        with pytest.raises(NameError_):
+            conn.execute("DROP INDEX t_pkey")
+        assert conn.engine.database("shop").table("t").primary_key_index
+
+    def test_temp_table_indexes_die_with_session(self, engine):
+        conn = engine.connect(database="shop")
+        conn.execute("CREATE TEMPORARY TABLE scratch (id INT PRIMARY KEY)")
+        conn.execute("INSERT INTO scratch VALUES (1)")
+        table = conn.temp_space.get("scratch")
+        assert table.primary_key_index.entry_count() == 1
+        conn.close()
+        assert conn.temp_space.get("scratch") is None
+        # the shared database namespace never saw the temp table's index
+        assert not engine.database("shop").has_table("scratch")
+
+
+class TestReplicaRebuild:
+    def test_clone_schema_carries_live_indexes(self, indexed_conn):
+        table = items_table(indexed_conn.engine)
+        clone = table.clone_schema()
+        assert set(clone.indexes) == set(table.indexes)
+        assert clone.indexes["idx_sku"].entry_count() == 0
+        clone.insert_version({"id": 1, "sku": "a", "qty": 1}, creator_txn=0)
+        assert clone.indexes["idx_sku"].entry_count() == 1
+        assert clone.primary_key_index.entry_count() == 1
+
+    def test_restored_replica_repopulates_and_enforces(self, indexed_conn):
+        indexed_conn.execute("CREATE UNIQUE INDEX uq_qty ON items (qty)")
+        dump = dump_engine(indexed_conn.engine,
+                           options=BackupOptions.full_clone())
+        replica = Engine("replica")
+        restore_engine(replica, dump)
+        table = replica.database("shop").table("items")
+        # indexes repopulated, not empty shells
+        assert table.indexes["idx_sku"].entry_count() == 20
+        assert table.primary_key_index.entry_count() == 20
+        conn = replica.connect(database="shop")
+        before = replica.stats["rows_scanned"]
+        assert conn.execute(
+            "SELECT qty FROM items WHERE sku = 'sku5'").scalar() == 5
+        assert replica.stats["rows_scanned"] - before == 1
+        # the re-created unique index enforces on the replica
+        with pytest.raises(IntegrityError):
+            conn.execute("INSERT INTO items (sku, qty) VALUES ('dup', 5)")

@@ -1,0 +1,201 @@
+"""Planner, EXPLAIN and parse-cache behavior.
+
+The planner's contract is superset-safety: it may only turn a WHERE
+clause into probe keys when the probe result provably contains every row
+the full predicate accepts.  These tests pin the extraction rules
+(equality and IN conjuncts only, OR and inequality fall back to scans),
+the index-choice ranking, the EXPLAIN surface, and the LRU eviction of
+the parse cache.
+"""
+
+import pytest
+
+from repro.sqlengine import Engine, ParseError, generic, parse
+from repro.sqlengine.expressions import EvalContext
+from repro.sqlengine.planner import (
+    INDEX_PROBE, SEQ_SCAN, equality_candidates, plan_table_access,
+)
+
+
+@pytest.fixture
+def table(conn):
+    conn.execute(
+        "CREATE TABLE items (id INT PRIMARY KEY, sku VARCHAR UNIQUE, "
+        "qty INT, region VARCHAR)")
+    conn.execute("CREATE INDEX idx_region ON items (region)")
+    for i in range(10):
+        conn.execute("INSERT INTO items VALUES (?, ?, ?, ?)",
+                     [i, f"sku{i}", i, f"r{i % 3}"])
+    return conn.engine.database("shop").table("items")
+
+
+def where_of(sql: str):
+    return parse(sql).where
+
+
+def plan(table, sql: str, params=None):
+    ctx = EvalContext(None, None, params=params or [])
+    return plan_table_access(table, "items", where_of(sql), ctx)
+
+
+class TestConjunctExtraction:
+    def test_simple_equality(self, table):
+        candidates = equality_candidates(
+            where_of("SELECT * FROM items WHERE id = 3"), "items", table)
+        assert set(candidates) == {"id"}
+
+    def test_reversed_and_qualified_equality(self, table):
+        candidates = equality_candidates(
+            where_of("SELECT * FROM items WHERE 3 = items.id"),
+            "items", table)
+        assert set(candidates) == {"id"}
+
+    def test_in_list_and_and_chain(self, table):
+        candidates = equality_candidates(
+            where_of("SELECT * FROM items WHERE region IN ('r0', 'r1') "
+                     "AND qty > 2 AND id = 1"), "items", table)
+        assert set(candidates) == {"region", "id"}
+        assert len(candidates["region"]) == 2
+
+    def test_or_is_not_extracted(self, table):
+        candidates = equality_candidates(
+            where_of("SELECT * FROM items WHERE id = 1 OR id = 2"),
+            "items", table)
+        assert candidates == {}
+
+    def test_column_to_column_equality_ignored(self, table):
+        candidates = equality_candidates(
+            where_of("SELECT * FROM items WHERE id = qty"), "items", table)
+        assert candidates == {}
+
+    def test_negated_in_ignored(self, table):
+        candidates = equality_candidates(
+            where_of("SELECT * FROM items WHERE id NOT IN (1, 2)"),
+            "items", table)
+        assert candidates == {}
+
+    def test_other_binding_ignored(self, table):
+        candidates = equality_candidates(
+            where_of("SELECT * FROM items WHERE other.id = 1"),
+            "items", table)
+        assert candidates == {}
+
+
+class TestPlanChoice:
+    def test_pk_equality_plans_unique_probe(self, table):
+        p = plan(table, "SELECT * FROM items WHERE id = 3")
+        assert p.kind == INDEX_PROBE
+        assert p.index.name == "items_pkey"
+        assert p.keys == [(3,)]
+
+    def test_param_value_probes(self, table):
+        p = plan(table, "SELECT * FROM items WHERE id = ?", params=[7])
+        assert p.kind == INDEX_PROBE
+        assert p.keys == [(7,)]
+
+    def test_unique_index_preferred_over_secondary(self, table):
+        p = plan(table, "SELECT * FROM items "
+                        "WHERE sku = 'sku1' AND region = 'r1'")
+        assert p.kind == INDEX_PROBE
+        assert p.index.unique
+
+    def test_in_list_expands_to_keys(self, table):
+        p = plan(table, "SELECT * FROM items WHERE id IN (1, 2, 3)")
+        assert p.kind == INDEX_PROBE
+        assert sorted(p.keys) == [(1,), (2,), (3,)]
+
+    def test_unindexed_column_scans(self, table):
+        p = plan(table, "SELECT * FROM items WHERE qty = 5")
+        assert p.kind == SEQ_SCAN
+
+    def test_inequality_scans(self, table):
+        p = plan(table, "SELECT * FROM items WHERE id > 5")
+        assert p.kind == SEQ_SCAN
+
+    def test_value_coerced_to_column_type(self, table):
+        p = plan(table, "SELECT * FROM items WHERE id = '3'")
+        assert p.kind == INDEX_PROBE
+        assert p.keys == [(3,)]
+
+    def test_uncoercible_value_scans(self, table):
+        p = plan(table, "SELECT * FROM items WHERE id = 'nope'")
+        assert p.kind == SEQ_SCAN
+
+    def test_null_key_dropped(self, table):
+        p = plan(table, "SELECT * FROM items WHERE id IN (1, NULL)")
+        assert p.kind == INDEX_PROBE
+        assert p.keys == [(1,)]
+
+    def test_oversized_in_list_scans(self, table):
+        values = ", ".join(str(i) for i in range(100))
+        p = plan(table, f"SELECT * FROM items WHERE id IN ({values})")
+        assert p.kind == SEQ_SCAN
+
+    def test_probe_is_superset_residual_filters(self, conn, table):
+        # the probe binds only `id`; the residual predicate on qty must
+        # still be applied to the candidate rows
+        result = conn.execute(
+            "SELECT id FROM items WHERE id IN (1, 2, 3) AND qty >= 2")
+        assert sorted(r[0] for r in result.rows) == [2, 3]
+
+
+class TestExplain:
+    def test_explain_select_does_not_execute(self, conn, table):
+        before = conn.engine.stats["rows_scanned"]
+        result = conn.execute("EXPLAIN SELECT * FROM items WHERE id = 1")
+        assert result.columns == ["operation", "table", "access_path", "keys"]
+        op, tbl, path, keys = result.rows[0]
+        assert (op, tbl) == ("SELECT", "items")
+        assert path.startswith("index-probe")
+        assert keys == 1
+        assert conn.engine.stats["rows_scanned"] == before
+
+    def test_explain_scan_and_update(self, conn, table):
+        scan = conn.execute("EXPLAIN SELECT * FROM items WHERE qty > 1")
+        assert scan.rows[0][2] == "seq-scan"
+        update = conn.execute(
+            "EXPLAIN UPDATE items SET qty = 0 WHERE id = 1")
+        assert update.rows[0][0] == "UPDATE"
+        assert update.rows[0][2].startswith("index-probe")
+        # nothing was updated
+        assert conn.execute(
+            "SELECT qty FROM items WHERE id = 1").scalar() == 1
+
+    def test_explain_rejects_ddl(self, conn, table):
+        with pytest.raises(ParseError):
+            conn.execute("EXPLAIN DROP TABLE items")
+
+    def test_disabling_indexes_forces_scans(self, conn, table):
+        conn.engine.use_indexes = False
+        result = conn.execute("EXPLAIN SELECT * FROM items WHERE id = 1")
+        assert result.rows[0][2] == "seq-scan"
+        assert conn.execute(
+            "SELECT qty FROM items WHERE id = 1").scalar() == 1
+
+
+class TestParseCacheLRU:
+    def test_hit_and_miss_accounting(self):
+        engine = Engine("lru", dialect=generic())
+        engine.parse("SELECT 1")
+        engine.parse("SELECT 1")
+        assert engine.stats["parse_cache_misses"] == 1
+        assert engine.stats["parse_cache_hits"] == 1
+
+    def test_capacity_evicts_least_recently_used(self):
+        engine = Engine("lru", dialect=generic(), parse_cache_capacity=3)
+        for n in range(3):
+            engine.parse(f"SELECT {n}")
+        engine.parse("SELECT 0")       # refresh 0: now 1 is the LRU entry
+        engine.parse("SELECT 99")      # evicts 1
+        assert "SELECT 1" not in engine._parse_cache
+        assert "SELECT 0" in engine._parse_cache
+        assert len(engine._parse_cache) == 3
+        hits = engine.stats["parse_cache_hits"]
+        engine.parse("SELECT 1")       # re-parse, not a hit
+        assert engine.stats["parse_cache_hits"] == hits
+
+    def test_cache_never_exceeds_capacity(self):
+        engine = Engine("lru", dialect=generic(), parse_cache_capacity=8)
+        for n in range(50):
+            engine.parse(f"SELECT {n}")
+        assert len(engine._parse_cache) == 8
