@@ -9,6 +9,7 @@ from __future__ import annotations
 
 from typing import Callable, List, Optional, Sequence
 
+from ..cache import ResultCacheConfig
 from ..cluster.nodes import Node
 from ..cluster.sim import Environment
 from ..core.consistency import ConsistencyProtocol, protocol_by_name
@@ -65,6 +66,7 @@ def build_cluster(count: int = 3,
                   compensate_counters: bool = True,
                   monitor: Optional[Monitor] = None,
                   resilience: Optional["ResiliencePolicy"] = None,
+                  result_cache: Optional["ResultCacheConfig"] = None,
                   name: str = "mw") -> ReplicationMiddleware:
     """Build a ready-to-use middleware cluster."""
     replicas = build_replicas(count, dialect_factory, database, env=env,
@@ -81,6 +83,7 @@ def build_cluster(count: int = 3,
         nondeterminism=nondeterminism,
         compensate_counters=compensate_counters,
         resilience=resilience,
+        result_cache=result_cache,
     )
     if monitor is None and env is not None:
         monitor = Monitor(time_source=lambda: env.now)

@@ -1,0 +1,55 @@
+"""``repro.cache`` — middleware-resident query result caching.
+
+The paper's surveyed middleware (C-JDBC/Sequoia-style JDBC proxies) pairs
+read routing with a middleware-level result cache — most of their low-load
+win comes from answering repeated reads without touching a replica at all.
+This package is that subsystem, modernised along the lines of Hihooi
+(PAPERS.md): the middleware tracks exactly which cached state is still
+fresh enough to answer a query under the session's consistency protocol.
+
+Three pieces:
+
+* :mod:`repro.cache.resultcache` — a bounded LRU+TTL store keyed by
+  normalized (user, database, statement, params) with per-entry read-
+  dependency sets at table and ``(table, pk)`` granularity;
+* :mod:`repro.cache.invalidation` — a subscriber on the middleware's
+  certified-write stream that invalidates entries at key granularity,
+  falling back to whole-table invalidation for non-keyed writes and a
+  full flush for DDL / opaque procedures (the paper's §4 pitfalls: those
+  must bypass or flush, never serve stale);
+* :mod:`repro.cache.gate` — the per-protocol consistency gate deciding
+  whether a hit may be served to a given session (1SR bypasses, the SI
+  family serves entries whose effective version is visible, degraded
+  clusters may serve explicitly-labelled bounded-staleness hits).
+
+Read-dependency extraction lives in :mod:`repro.cache.dependencies`,
+built on the planner's index-probe proofs.
+"""
+
+from .dependencies import ReadDependencies, extract_read_dependencies
+from .gate import (
+    GATE_BYPASS_PROTOCOL, GATE_HIT, GATE_REJECT, GATE_STALE, ConsistencyGate,
+)
+from .invalidation import CertifiedWrite, WritesetInvalidator
+from .resultcache import (
+    CachedResult, CacheEntry, ResultCache, ResultCacheConfig, cache_key,
+    normalize_statement,
+)
+
+__all__ = [
+    "CacheEntry",
+    "CachedResult",
+    "CertifiedWrite",
+    "ConsistencyGate",
+    "GATE_BYPASS_PROTOCOL",
+    "GATE_HIT",
+    "GATE_REJECT",
+    "GATE_STALE",
+    "ReadDependencies",
+    "ResultCache",
+    "ResultCacheConfig",
+    "WritesetInvalidator",
+    "cache_key",
+    "extract_read_dependencies",
+    "normalize_statement",
+]

@@ -1,0 +1,136 @@
+"""Read-dependency extraction for cacheable statements.
+
+The planner already proves when an index probe covers a statement
+(:func:`repro.sqlengine.planner.plan_table_access`); this module reuses
+that proof to classify a read as a *point* dependency — the result draws
+only from rows whose primary key is in a known set — or a *broad* one
+that depends on whole tables.  Point entries survive unrelated writes to
+the same table, which is where most of the hit rate under mixed traffic
+comes from.
+
+Uncacheable reads return ``None``: non-deterministic calls (``NOW()``,
+``RAND()``, ``NEXTVAL``), ``information_schema`` (catalog state moves
+outside the certified-write stream), temporary tables (per-session state
+that must never be served across sessions, paper §4.1.4), and statements
+whose tables cannot be resolved against the replica's schema.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Optional, Set, Tuple
+
+from ..sqlengine import ast_nodes as ast
+from ..sqlengine.errors import SQLError
+from ..sqlengine.expressions import EvalContext
+from ..sqlengine.planner import plan_table_access, select_has_subquery
+
+TableKey = Tuple[str, str]
+PointKey = Tuple[str, str, tuple]
+
+
+class ReadDependencies:
+    """The invalidation footprint of one cached result.
+
+    ``tables`` — every ``(db, table)`` the result depends on;
+    ``point_keys`` — ``(db, table, pk)`` triples when the planner proved
+    the result draws only from those rows; ``point_tables`` — the tables
+    covered by that proof (a table in ``tables`` but not here is *broad*:
+    any write to it invalidates the entry).
+    """
+
+    __slots__ = ("tables", "point_keys", "point_tables")
+
+    def __init__(self, tables: FrozenSet[TableKey],
+                 point_keys: FrozenSet[PointKey] = frozenset(),
+                 point_tables: FrozenSet[TableKey] = frozenset()):
+        self.tables = tables
+        self.point_keys = point_keys
+        self.point_tables = point_tables
+
+    @property
+    def is_point(self) -> bool:
+        return bool(self.point_tables) and self.point_tables == self.tables
+
+    def __repr__(self) -> str:
+        kind = "point" if self.is_point else "broad"
+        return f"ReadDependencies({kind}, tables={sorted(self.tables)})"
+
+
+def split_table_name(name: str,
+                     default_database: Optional[str]) -> Optional[TableKey]:
+    """``db.table`` or bare ``table`` -> ``(db, table)`` lowercase."""
+    name = name.lower()
+    if "." in name:
+        database, _, table = name.partition(".")
+        return (database, table)
+    if default_database is None:
+        return None
+    return (default_database.lower(), name)
+
+
+def extract_read_dependencies(statement: ast.Statement, info, engine,
+                              default_database: Optional[str],
+                              params) -> Optional[ReadDependencies]:
+    """The dependency footprint of a read, resolved against ``engine``'s
+    schema (the replica the read executed on), or ``None`` when the read
+    must not be cached.  ``info`` is the middleware's ``StatementInfo``.
+    """
+    if info.nondeterministic_calls or not info.is_read_only:
+        return None
+    table_keys: Set[TableKey] = set()
+    resolved = {}
+    for name in info.all_tables():
+        table_key = split_table_name(name, default_database)
+        if table_key is None or table_key[0] == "information_schema" \
+                or table_key[1].startswith("information_schema"):
+            return None
+        try:
+            table = engine.database(table_key[0]).table(table_key[1])
+        except SQLError:
+            return None
+        if table.temporary:
+            return None
+        table_keys.add(table_key)
+        resolved[table_key] = table
+    if not table_keys:
+        # table-less reads (SELECT 1) depend on nothing and never go stale
+        return ReadDependencies(frozenset())
+
+    point = _point_lookup_keys(statement, table_keys, resolved, params)
+    if point is not None:
+        table_key, keys = point
+        return ReadDependencies(
+            frozenset(table_keys),
+            point_keys=frozenset((table_key[0], table_key[1], key)
+                                 for key in keys),
+            point_tables=frozenset({table_key}))
+    return ReadDependencies(frozenset(table_keys))
+
+
+def _point_lookup_keys(statement, table_keys, resolved, params):
+    """Prove the read draws only from specific primary keys: a single-
+    table SELECT with no subqueries whose WHERE the planner turns into a
+    probe of the *primary-key* index.  The probe is a superset of the
+    matching rows, so any write that could change the result necessarily
+    carries one of the probed keys in its certification footprint."""
+    if not isinstance(statement, ast.SelectStatement):
+        return None
+    if len(table_keys) != 1 or not isinstance(statement.source,
+                                              ast.TableRef):
+        return None
+    if select_has_subquery(statement):
+        return None
+    table_key = next(iter(table_keys))
+    table = resolved[table_key]
+    pk_index = table.primary_key_index
+    if pk_index is None:
+        return None
+    binding = (statement.source.alias or statement.source.name.name).lower()
+    ctx = EvalContext(None, None, params=list(params or []))
+    try:
+        plan = plan_table_access(table, binding, statement.where, ctx)
+    except SQLError:
+        return None
+    if not plan.is_index or plan.index is not pk_index:
+        return None
+    return table_key, list(plan.keys)

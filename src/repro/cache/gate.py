@@ -1,0 +1,76 @@
+"""The per-protocol consistency gate.
+
+A cache entry is not stale or fresh in the absolute — it is fresh *for a
+session under a protocol*.  The gate reduces that question to sequence
+arithmetic:
+
+* a live entry is valid **as of the invalidator's watermark**: every
+  certified write up to ``invalidator.applied_seq`` that touched the
+  entry's dependencies would have removed it, so serving the entry is
+  indistinguishable from reading a replica whose applied sequence equals
+  that watermark (for the entry's read set);
+* the protocol already states, via ``min_read_seq``, the watermark a
+  *replica* must have applied before this session may read from it — the
+  same bound applies verbatim to the cache.
+
+So: 1SR (statement broadcast) bypasses the cache entirely — its reads
+take middleware table locks and must observe in-flight write broadcasts,
+which no result cache can witness.  The SI family compares the
+watermark against ``min_read_seq``: GSI accepts any prefix (always a
+hit), strong session SI demands the session's own observed prefix,
+strong SI demands the global sequence.  When the watermark falls short,
+a degraded cluster may still serve the entry as an explicitly-labelled
+bounded-staleness hit through PR 1's ``serve_stale`` budget — the same
+policy knob that governs lagging-replica reads.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+GATE_HIT = "hit"
+GATE_STALE = "stale"
+GATE_REJECT = "reject"
+GATE_BYPASS_PROTOCOL = "bypass-protocol"
+
+
+class ConsistencyGate:
+    """Decides whether a cached entry may be served to a session."""
+
+    def __init__(self, middleware, cache, invalidator):
+        self.middleware = middleware
+        self.cache = cache
+        self.invalidator = invalidator
+
+    @property
+    def protocol_allows_caching(self) -> bool:
+        """Broadcast-mode (1SR) protocols never read from the cache."""
+        return self.middleware.config.consistency.write_mode != "broadcast"
+
+    def decide(self, session) -> Tuple[str, int]:
+        """(decision, lag) for serving a live cache entry to ``session``.
+
+        ``lag`` is how many sequence numbers the cache's effective
+        watermark trails the protocol's requirement — 0 for fresh hits,
+        positive for ``GATE_STALE``/``GATE_REJECT``.
+        """
+        middleware = self.middleware
+        protocol = middleware.config.consistency
+        if protocol.write_mode == "broadcast":
+            return GATE_BYPASS_PROTOCOL, 0
+        needed = protocol.min_read_seq(session.view, middleware.cluster_view())
+        effective = self.invalidator.applied_seq
+        if effective >= needed:
+            return GATE_HIT, 0
+        lag = needed - effective
+        resilience = middleware.resilience
+        if resilience is not None and resilience.serve_stale(lag):
+            return GATE_STALE, lag
+        return GATE_REJECT, lag
+
+    def note_served(self, session, decision: str) -> None:
+        """Bookkeeping after a hit: the session has observed state
+        consistent with the invalidator's watermark, which feeds the
+        monotonic-reads guarantees exactly like a replica read."""
+        self.middleware.config.consistency.note_read(
+            session.view, self.invalidator.applied_seq)

@@ -120,6 +120,14 @@ def analyze(statement: ast.Statement) -> StatementInfo:
                                 ast.GrantStatement,
                                 ast.RevokeStatement)):
         info.is_ddl = True
+    elif isinstance(statement, ast.ExplainStatement):
+        # EXPLAIN never executes its inner statement: it is a read that
+        # *references* the inner statement's tables (the planner needs
+        # their schema), whatever the inner statement would have done.
+        inner = analyze(statement.statement)
+        info.tables_read |= inner.tables_read | inner.tables_written
+        info.databases |= inner.databases
+        info.touches_temp_names |= inner.touches_temp_names
     elif isinstance(statement, (ast.SetStatement, ast.UseStatement,
                                 ast.BeginStatement, ast.CommitStatement,
                                 ast.RollbackStatement,

@@ -101,13 +101,17 @@ class Certifier:
                     return seq
         return None
 
-    def assign_seq(self) -> int:
-        """Order-only mode (no conflict check) — used by master-slave and
-        eventual-consistency paths that still need a global order."""
+    def assign_seq(self, keys: FrozenSet = frozenset()) -> int:
+        """Order-only mode (no conflict check) — used by master-slave,
+        eventual-consistency and statement-broadcast paths that still need
+        a global order.  ``keys`` optionally records the write's derived
+        ``(db, table, pk)`` footprint in the log, so downstream consumers
+        (cache invalidation, log inspection) see statement-mode commits at
+        the same granularity as certified writesets."""
         if self.failed:
             raise CertifierDown("certifier is down")
         self._seq += 1
-        entry = (self._seq, frozenset())
+        entry = (self._seq, keys)
         self._log.append(entry)
         if self._standby_log is not None:
             self._standby_log.append(entry)

@@ -167,6 +167,15 @@ class LoadBalancer:
         # requests faster than any failure detector would notice.
         self._health_filter: Optional[Callable[[str], bool]] = None
         self.health_rejections = 0
+        # Reads answered by the result cache never reach `choose`: they
+        # add zero replica load.  Counted so load accounting (decisions vs
+        # actual traffic) stays explainable in experiments.
+        self.cache_bypasses = 0
+
+    def note_cache_hit(self) -> None:
+        """A read was served from the middleware result cache instead of
+        being balanced onto a replica."""
+        self.cache_bypasses += 1
 
     def set_health_filter(self,
                           health: Optional[Callable[[str], bool]]) -> None:

@@ -29,6 +29,11 @@ from __future__ import annotations
 import itertools
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
+from ..cache import (
+    GATE_BYPASS_PROTOCOL, GATE_HIT, GATE_REJECT, GATE_STALE,
+    CertifiedWrite, ConsistencyGate, ResultCache, ResultCacheConfig,
+    WritesetInvalidator, cache_key, extract_read_dependencies,
+)
 from ..sqlengine import ast_nodes as ast
 from ..sqlengine import (
     Connection, SQLError, SerializationError, UnsupportedFeatureError,
@@ -53,7 +58,10 @@ from .monitoring import Monitor
 from .recoverylog import RecoveryLog
 from .replica import ApplyItem, Replica, ReplicaState
 from .resilience import Deadline, ResilienceCoordinator, ResiliencePolicy
-from .writesets import apply_writeset, conflict_keys, extract_writeset_engine
+from .writesets import (
+    apply_writeset, conflict_keys, extract_writeset_engine,
+    invalidation_keys, statement_footprint,
+)
 
 
 class MiddlewareConfig:
@@ -82,6 +90,10 @@ class MiddlewareConfig:
             per-replica circuit breaking, admission control and
             degraded-mode serving (``None`` = the brittle happy-path
             behaviour the paper complains about).
+        result_cache: a :class:`~repro.cache.ResultCacheConfig`; when set,
+            autocommit reads are answered from a middleware-resident
+            result cache with writeset-driven invalidation, gated by the
+            consistency protocol (``None`` = every read hits a replica).
     """
 
     def __init__(self,
@@ -93,7 +105,8 @@ class MiddlewareConfig:
                  compensate_counters: bool = True,
                  table_locking: bool = True,
                  detect_divergence: bool = False,
-                 resilience: Optional[ResiliencePolicy] = None):
+                 resilience: Optional[ResiliencePolicy] = None,
+                 result_cache: Optional[ResultCacheConfig] = None):
         if replication not in ("statement", "writeset"):
             raise ValueError(f"unknown replication mode {replication!r}")
         if propagation not in ("sync", "async"):
@@ -113,6 +126,7 @@ class MiddlewareConfig:
         self.table_locking = table_locking
         self.detect_divergence = detect_divergence
         self.resilience = resilience
+        self.result_cache = result_cache
 
 
 class ReplicationMiddleware:
@@ -153,6 +167,22 @@ class ReplicationMiddleware:
                 self, self.config.resilience)
             self.config.balancer.set_health_filter(
                 self.resilience.allow_replica)
+        # Certified-write stream: every committed update unit is published
+        # as a CertifiedWrite to the registered listeners (the cache
+        # invalidator; tests and tools may subscribe too).
+        self._certified_listeners: List[Any] = []
+        # Result cache (repro.cache): lookup before balancer dispatch,
+        # fill after replica reads, invalidation off the certified stream.
+        self.result_cache: Optional[ResultCache] = None
+        self.cache_invalidator: Optional[WritesetInvalidator] = None
+        self.cache_gate: Optional[ConsistencyGate] = None
+        if self.config.result_cache is not None:
+            self.result_cache = ResultCache(
+                self.config.result_cache, clock=self.monitor.peek)
+            self.cache_invalidator = WritesetInvalidator(self.result_cache)
+            self.cache_invalidator.attach(self)
+            self.cache_gate = ConsistencyGate(
+                self, self.result_cache, self.cache_invalidator)
         for replica in self.replicas:
             replica.on_state_change(self._replica_state_changed)
 
@@ -166,6 +196,37 @@ class ReplicationMiddleware:
 
     def cluster_view(self) -> ClusterView:
         return ClusterView(self.global_seq, self._master_name)
+
+    # ------------------------------------------------------------------
+    # certified-write stream (cache invalidation)
+    # ------------------------------------------------------------------
+
+    def on_certified(self, listener) -> None:
+        """Subscribe ``listener(event: CertifiedWrite)`` to the stream of
+        committed update units."""
+        self._certified_listeners.append(listener)
+
+    def publish_certified(self, seq: int, keys=frozenset(), tables=(),
+                          kind: str = "writeset",
+                          database: Optional[str] = None,
+                          entries=None) -> None:
+        if not self._certified_listeners:
+            return
+        event = CertifiedWrite(seq, keys=frozenset(keys),
+                               tables=frozenset(tables), kind=kind,
+                               database=database, entries=entries)
+        for listener in list(self._certified_listeners):
+            listener(event)
+
+    def cache_snapshot(self) -> Optional[Dict[str, float]]:
+        """The result cache's counters + derived rates (hit rate, stale
+        fraction, occupancy), recorded into the monitor for dashboards.
+        ``None`` when no cache is configured."""
+        if self.result_cache is None:
+            return None
+        snapshot = self.result_cache.snapshot()
+        self.monitor.record("cache_snapshot", self.name, **snapshot)
+        return snapshot
 
     def replica_by_name(self, name: str) -> Replica:
         for replica in self.replicas:
@@ -248,6 +309,10 @@ class ReplicationMiddleware:
         highest = max((r.applied_seq for r in self.replicas), default=0)
         self.certifier.recover(rebuild_from_replicas=highest)
         self.failed = False
+        if self.cache_invalidator is not None:
+            # the certified stream gapped across the crash: anything cached
+            # before it may be stale without us knowing — start over
+            self.cache_invalidator.reset(self.global_seq)
         self.monitor.record("middleware_recovered", self.name)
 
     # ------------------------------------------------------------------
@@ -448,6 +513,18 @@ class MiddlewareSession:
         # already holds an admission slot for this session.
         self.deadline: Optional[Deadline] = None
         self._admission_held = False
+        # Result-cache state.  A session that issued USE/SET through the
+        # middleware has connection-local state the cache key cannot see;
+        # it stops using the cache for its lifetime.  ``_single_statement``
+        # marks requests whose sql text is exactly one statement — only
+        # those may be keyed (a multi-statement script's text must never
+        # map to just its last result).
+        self._cache_ineligible = False
+        self._single_statement = False
+        # statement-mode invalidation footprint of the open transaction
+        self._txn_footprints: set = set()
+        self._txn_had_opaque = False
+        self._txn_had_ddl = False
 
     # ------------------------------------------------------------------
     # public API
@@ -462,7 +539,11 @@ class MiddlewareSession:
         (:class:`~repro.core.errors.RequestTimeout`), and transient
         replica failures are retried per the policy."""
         self._check_open()
+        cached = self._cached_fast_path(sql, params)
+        if cached is not None:
+            return cached
         statements = parse_script(sql)
+        self._single_statement = len(statements) == 1
         resilience = self.middleware.resilience
         if resilience is None or resilience._replaying:
             result = Result()
@@ -497,6 +578,10 @@ class MiddlewareSession:
                            params: Optional[List[Any]] = None) -> Result:
         """Execute one pre-parsed statement (timed-driver fast path)."""
         self._check_open()
+        cached = self._cached_fast_path(sql_text, params)
+        if cached is not None:
+            return cached
+        self._single_statement = True
         return self._execute_one(statement, sql_text, list(params or []))
 
     def begin(self, isolation: Optional[str] = None) -> None:
@@ -562,6 +647,9 @@ class MiddlewareSession:
 
         info = analyze(statement)
         self._track_temp_tables(info)
+        if isinstance(statement, (ast.UseStatement, ast.SetStatement)):
+            # connection-local state the cache key cannot witness
+            self._cache_ineligible = True
 
         if info.is_read_only and not self._statement_touches_temp(info):
             return self._execute_read(statement, sql_text, params, info)
@@ -578,6 +666,147 @@ class MiddlewareSession:
             return False
         return bool(
             {t.split(".")[-1] for t in info.all_tables()} & self.temp_tables)
+
+    # ------------------------------------------------------------------
+    # result cache
+    # ------------------------------------------------------------------
+
+    def _cached_fast_path(self, sql: str, params) -> Optional[Result]:
+        """Serve an autocommit read from the result cache, before parsing
+        and before the balancer sees it (a hit costs no replica load, no
+        admission slot and no parse).  ``None`` = proceed normally."""
+        middleware = self.middleware
+        cache = middleware.result_cache
+        if cache is None or self.in_transaction or self._cache_ineligible:
+            return None
+        key = cache_key(self.user, self.database, sql, params)
+        if key is None:
+            return None
+        entry = cache.peek(key)
+        if entry is None:
+            return None
+        if self.temp_tables and (self.temp_tables & entry.table_names()):
+            # a session temp table shadows a cached base table (4.1.4)
+            return None
+        middleware._check_up()
+        gate = middleware.cache_gate
+        decision, lag = gate.decide(self)
+        if decision == GATE_BYPASS_PROTOCOL:
+            cache.stats["bypass_protocol"] += 1
+            return None
+        if decision == GATE_REJECT:
+            cache.stats["gate_rejections"] += 1
+            return None
+        if decision == GATE_STALE:
+            cache.stats["stale_hits"] += 1
+            if middleware.resilience is not None:
+                middleware.resilience.note_stale_cache_served()
+        else:
+            cache.stats["hits"] += 1
+        middleware.config.balancer.note_cache_hit()
+        gate.note_served(self, decision)
+        return entry.to_result(stale=(decision == GATE_STALE), lag=lag)
+
+    def _maybe_fill_cache(self, statement: ast.Statement, sql_text: str,
+                          params: List[Any], info: StatementInfo,
+                          replica: Replica, result: Result) -> None:
+        """After an autocommit replica read: remember the result if the
+        statement is cacheable and the replica was provably current for
+        the statement's dependencies (the fill guard — a lagging replica
+        must not launder stale rows into a fresh-looking entry)."""
+        middleware = self.middleware
+        cache = middleware.result_cache
+        if not isinstance(statement, ast.SelectStatement):
+            return  # only SELECT results are cached (EXPLAIN/USE/SET...)
+        if middleware.config.consistency.write_mode == "broadcast":
+            cache.stats["bypass_protocol"] += 1
+            return
+        key = cache_key(self.user, self.database, sql_text, params)
+        if key is None:
+            cache.stats["bypass_uncacheable"] += 1
+            return
+        deps = extract_read_dependencies(
+            statement, info, replica.engine, self.database, params)
+        if deps is None:
+            cache.stats["bypass_uncacheable"] += 1
+            return
+        cache.stats["misses"] += 1
+        invalidator = middleware.cache_invalidator
+        conflicts = invalidator.conflicts_since(replica.applied_seq, deps)
+        if conflicts is not False:  # True, or None = unknowable window
+            cache.stats["fill_rejected"] += 1
+            return
+        cache.put(key, result, deps, fill_seq=invalidator.applied_seq)
+
+    def _stale_cache_fallback(self, sql_text: str,
+                              params: List[Any]) -> Optional[Result]:
+        """Degraded-mode last resort: with no replica able to serve the
+        read, a labelled bounded-staleness cache hit beats an error."""
+        middleware = self.middleware
+        cache = middleware.result_cache
+        resilience = middleware.resilience
+        if cache is None or resilience is None or self.in_transaction \
+                or self._cache_ineligible:
+            return None
+        key = cache_key(self.user, self.database, sql_text, params)
+        if key is None:
+            return None
+        entry = cache.peek(key)
+        if entry is None:
+            return None
+        if self.temp_tables and (self.temp_tables & entry.table_names()):
+            return None
+        if middleware.config.consistency.write_mode == "broadcast":
+            return None
+        protocol = middleware.config.consistency
+        needed = protocol.min_read_seq(self.view, middleware.cluster_view())
+        lag = max(0, needed - middleware.cache_invalidator.applied_seq)
+        if lag == 0:
+            # actually fresh — the replicas are gone but the entry is fine
+            cache.stats["hits"] += 1
+            middleware.cache_gate.note_served(self, GATE_HIT)
+            return entry.to_result()
+        if not resilience.serve_stale(lag):
+            return None
+        cache.stats["stale_hits"] += 1
+        resilience.note_stale_cache_served()
+        middleware.cache_gate.note_served(self, GATE_STALE)
+        return entry.to_result(stale=True, lag=lag)
+
+    def _explain_cache_decision(self, statement: ast.ExplainStatement,
+                                sql_text: str, params: List[Any]) -> str:
+        """What the cache would do with the inner statement right now —
+        reported by EXPLAIN next to the access path."""
+        import re
+
+        middleware = self.middleware
+        cache = middleware.result_cache
+        if self.in_transaction:
+            return "cache bypass (transaction)"
+        if self._cache_ineligible:
+            return "cache bypass (session)"
+        if middleware.config.consistency.write_mode == "broadcast":
+            return "cache bypass (protocol)"
+        if not isinstance(statement.statement, ast.SelectStatement):
+            return "cache bypass (uncacheable)"
+        inner_sql = re.sub(r"^\s*EXPLAIN\s+", "", sql_text,
+                           flags=re.IGNORECASE)
+        key = cache_key(self.user, self.database, inner_sql, params)
+        if key is None:
+            return "cache bypass (uncacheable)"
+        entry = cache.peek(key)
+        if entry is not None:
+            decision, _lag = middleware.cache_gate.decide(self)
+            if decision in (GATE_HIT, GATE_STALE):
+                return "cache hit"
+            return "cache miss"
+        inner_info = analyze(statement.statement)
+        replica = next(iter(middleware.online_replicas()), None)
+        if replica is not None and extract_read_dependencies(
+                statement.statement, inner_info, replica.engine,
+                self.database, params) is None:
+            return "cache bypass (uncacheable)"
+        return "cache miss"
 
     # ------------------------------------------------------------------
     # reads
@@ -615,10 +844,25 @@ class MiddlewareSession:
             connection = self._txn_connection(replica)
             result = connection.execute_statement(statement, sql_text, params)
         else:
-            replica = middleware.choose_read_replica(self, info)
-            connection = self._read_connection(replica)
-            result = self._run_with_failover(
-                replica, connection, statement, sql_text, params, info)
+            try:
+                replica = middleware.choose_read_replica(self, info)
+                connection = self._read_connection(replica)
+                replays_before = self.failover_replays
+                result = self._run_with_failover(
+                    replica, connection, statement, sql_text, params, info)
+            except (NoReplicaAvailable, ReplicaUnavailable,
+                    ConnectionError_):
+                # degraded mode prefers a labelled-stale cache hit over an
+                # error surfaced to the client
+                stale = self._stale_cache_fallback(sql_text, params)
+                if stale is not None:
+                    return stale
+                raise
+            if middleware.result_cache is not None \
+                    and self._single_statement and not self._cache_ineligible \
+                    and self.failover_replays == replays_before:
+                self._maybe_fill_cache(
+                    statement, sql_text, params, info, replica, result)
         replica.stats["served_reads"] += 1
         replica.note_hot_tables(sorted(info.all_tables()))
         if middleware.resilience is not None:
@@ -628,6 +872,14 @@ class MiddlewareSession:
             # an autocommit statement is its own transaction: transaction-
             # level balancing re-chooses for the next one
             middleware.config.balancer.end_transaction(self.id)
+        if middleware.result_cache is not None \
+                and isinstance(statement, ast.ExplainStatement) \
+                and result.columns:
+            result.rows.append((
+                "CACHE", "*",
+                self._explain_cache_decision(statement, sql_text, params),
+                0))
+            result.rowcount = len(result.rows)
         return result
 
     def _pick_txn_read_replica(self, info: StatementInfo) -> Replica:
@@ -788,6 +1040,17 @@ class MiddlewareSession:
         self._txn_statements.append((sql_text, list(params)))
         self._txn_tables_written |= info.tables_written
         self._txn_is_write = True
+        if info.is_ddl:
+            self._txn_had_ddl = True
+        elif middleware._certified_listeners:
+            # derive the invalidation footprint from the statement itself
+            # (no writeset exists in this mode) against a surviving replica
+            keys, opaque = statement_footprint(
+                statement, info, results[0][0].engine, self.database, params)
+            if opaque:
+                self._txn_had_opaque = True
+            else:
+                self._txn_footprints |= keys
         for replica, _result in results:
             replica.stats["served_writes"] += 1
         return results[0][1]
@@ -891,6 +1154,9 @@ class MiddlewareSession:
             database=self.database)
         for replica in middleware.online_replicas():
             replica.applied_seq = max(replica.applied_seq, seq)
+        middleware.publish_certified(
+            seq, tables=self._published_tables(info.tables_written),
+            kind="ddl", database=self.database)
         return result
 
     def _ensure_local_replica(self) -> Replica:
@@ -944,6 +1210,9 @@ class MiddlewareSession:
         self._txn_start_seq = self.middleware.global_seq
         self._txn_connections = {}
         self._local_replica = None
+        self._txn_footprints = set()
+        self._txn_had_opaque = False
+        self._txn_had_ddl = False
 
     def _txn_connection(self, replica: Replica) -> Connection:
         connection = self._txn_connections.get(replica.name)
@@ -1002,7 +1271,8 @@ class MiddlewareSession:
         if not committed:
             middleware.stats["aborts"] += 1
             raise NoReplicaAvailable("commit failed on every replica")
-        seq = middleware.certifier.assign_seq()
+        footprints = frozenset(self._txn_footprints)
+        seq = middleware.certifier.assign_seq(footprints)
         middleware.recovery_log.append(
             seq, "statements", list(self._txn_statements),
             tables=sorted(self._txn_tables_written), user=self.user,
@@ -1011,6 +1281,18 @@ class MiddlewareSession:
             replica = middleware.replica_by_name(name)
             replica.applied_seq = max(replica.applied_seq, seq)
         middleware.config.consistency.note_commit(self.view, seq)
+        if self._txn_had_ddl:
+            kind = "ddl"
+        elif self._txn_had_opaque:
+            kind = "opaque"
+        else:
+            kind = "statements"
+        # empty-footprint commits (e.g. SELECT FOR UPDATE only) still
+        # publish: the event advances the invalidator's freshness watermark
+        middleware.publish_certified(
+            seq, keys=footprints,
+            tables=self._published_tables(self._txn_tables_written),
+            kind=kind, database=self.database)
 
     def _commit_writeset_mode(self) -> None:
         middleware = self.middleware
@@ -1057,6 +1339,23 @@ class MiddlewareSession:
             database=self.database)
         middleware.propagate_writeset(replica, seq, entries, tables)
         middleware.config.consistency.note_commit(self.view, seq)
+        middleware.publish_certified(
+            seq, keys=invalidation_keys(entries, replica.engine),
+            tables={(e["database"], e["table"]) for e in entries},
+            kind="writeset", database=self.database, entries=entries)
+
+    def _published_tables(self, names) -> set:
+        """Raw ``table`` / ``db.table`` strings -> ``(db, table)`` pairs
+        against this session's default database."""
+        keys = set()
+        for name in names:
+            name = str(name).lower()
+            if "." in name:
+                database, _, table = name.partition(".")
+                keys.add((database, table))
+            elif self.database is not None:
+                keys.add((self.database.lower(), name))
+        return keys
 
     def _rollback_transaction(self) -> None:
         if not self.in_transaction:

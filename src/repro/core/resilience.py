@@ -359,7 +359,7 @@ class ResilienceCoordinator:
         self.stats = {
             "retries": 0, "replays": 0, "timeouts": 0,
             "retry_exhausted": 0, "degraded_reads": 0, "shed": 0,
-            "breaker_rejections": 0,
+            "breaker_rejections": 0, "stale_cache_served": 0,
         }
 
     # -- breakers -----------------------------------------------------------
@@ -433,6 +433,12 @@ class ResilienceCoordinator:
         self.middleware.monitor.record("degraded_read",
                                        self.middleware.name, lag=lag)
         return True
+
+    def note_stale_cache_served(self) -> None:
+        """A degraded read was answered from the result cache (with an
+        explicit staleness label) instead of a lagging replica — or
+        instead of an error, when no replica could serve at all."""
+        self.stats["stale_cache_served"] += 1
 
     # -- backoff accounting --------------------------------------------------
 

@@ -44,6 +44,167 @@ def conflict_keys(entries: List[Dict]) -> FrozenSet:
     return frozenset(keys)
 
 
+def invalidation_keys(entries: List[Dict],
+                      engine: Optional[Engine] = None) -> FrozenSet:
+    """The *invalidation* footprint of a writeset: :func:`conflict_keys`
+    plus, for pk-changing UPDATEs, the key the row moved *to*.  The
+    certification footprint only carries the OLD primary key (that is what
+    first-committer-wins conflicts on), but a cached read of the new key's
+    row is just as dead.  Needs ``engine`` to learn pk column names."""
+    keys = set(conflict_keys(entries))
+    if engine is None:
+        return frozenset(keys)
+    for entry in entries:
+        if entry["op"] != "UPDATE" or entry["primary_key"] is None \
+                or not entry.get("new_values"):
+            continue
+        try:
+            table = engine.database(entry["database"]).table(entry["table"])
+        except NameError_:
+            continue
+        pk_columns = [c.name.lower() for c in table.primary_key_columns]
+        if not pk_columns:
+            continue
+        new_values = entry["new_values"]
+        new_pk = tuple(new_values.get(c) for c in pk_columns)
+        if new_pk != tuple(entry["primary_key"]):
+            keys.add((entry["database"], entry["table"], new_pk))
+    return frozenset(keys)
+
+
+def statement_footprint(statement, info, engine: Engine,
+                        default_database: Optional[str],
+                        params) -> Tuple[FrozenSet, bool]:
+    """Derive a ``(db, table, pk)`` invalidation footprint for one
+    statement-mode write, "through simple query parsing" (section 4.3.2).
+
+    Returns ``(keys, opaque)``.  ``opaque=True`` means the statement's
+    effects cannot be bounded by analysis — DDL, stored procedures,
+    trigger-bearing tables (the trigger body writes rows the parser never
+    sees), unknown statement shapes — and the caller must treat the whole
+    commit as invalidate-everything.  Otherwise ``keys`` carries point
+    keys where the planner proves the written rows (pk-equality WHERE,
+    explicit-pk INSERT) and table-level ``pk=None`` keys for the rest.
+    """
+    from ..sqlengine import ast_nodes as ast
+    from ..sqlengine.errors import SQLError
+    from ..sqlengine.expressions import EvalContext
+
+    if info.is_ddl or info.is_procedure_call:
+        return frozenset(), True
+    if not isinstance(statement, (ast.SelectStatement, ast.InsertStatement,
+                                  ast.UpdateStatement, ast.DeleteStatement)):
+        # unknown write shapes (section 4.3.2's "simple parsing" limit)
+        return frozenset(), True
+    keys: set = set()
+    ctx = EvalContext(None, None, params=list(params or []))
+    for name in info.tables_written:
+        name = name.lower()
+        if "." in name:
+            database_name, _, table_name = name.partition(".")
+        elif default_database is not None:
+            database_name, table_name = default_database.lower(), name
+        else:
+            return frozenset(), True
+        try:
+            database = engine.database(database_name)
+            table = database.table(table_name)
+        except SQLError:
+            keys.add((database_name, table_name, None))
+            continue
+        if any(t.table == table_name for t in database.triggers.values()):
+            return frozenset(), True
+        point = _statement_point_keys(statement, table, database_name,
+                                      table_name, ctx)
+        if point is None:
+            keys.add((database_name, table_name, None))
+        else:
+            keys.update(point)
+    return frozenset(keys), False
+
+
+def _statement_point_keys(statement, table: Table, database_name: str,
+                          table_name: str, ctx) -> Optional[set]:
+    """Point keys for one written table, or ``None`` when the rows cannot
+    be proven — the caller then falls back to a table-level key."""
+    from ..sqlengine import ast_nodes as ast
+    from ..sqlengine.errors import SQLError
+    from ..sqlengine.planner import (
+        _is_value_expr, evaluate_value, plan_table_access,
+    )
+    from ..sqlengine.types import coerce
+
+    pk_index = table.primary_key_index
+    if pk_index is None:
+        return None
+    pk_columns = [c.name.lower() for c in table.primary_key_columns]
+
+    if isinstance(statement, (ast.UpdateStatement, ast.DeleteStatement)):
+        if statement.table.name.lower() != table_name:
+            return None
+        binding = statement.table.name.lower()
+        try:
+            plan = plan_table_access(table, binding, statement.where, ctx)
+        except SQLError:
+            return None
+        if not plan.is_index or plan.index is not pk_index:
+            return None
+        keys = {(database_name, table_name, key) for key in plan.keys}
+        if isinstance(statement, ast.UpdateStatement):
+            assigned = {}
+            for column, expr in statement.assignments:
+                column = column.lower()
+                if column in pk_columns:
+                    if not _is_value_expr(expr):
+                        return None
+                    try:
+                        assigned[column] = coerce(
+                            evaluate_value(expr, ctx),
+                            table.column(column).type)
+                    except SQLError:
+                        return None
+            if assigned:
+                # the rows move: the destination keys die too
+                positions = {c: i for i, c in enumerate(pk_columns)}
+                for old in plan.keys:
+                    new = list(old)
+                    for column, value in assigned.items():
+                        new[positions[column]] = value
+                    keys.add((database_name, table_name, tuple(new)))
+        return keys
+
+    if isinstance(statement, ast.InsertStatement):
+        if statement.table.name.lower() != table_name \
+                or statement.select is not None or not statement.rows:
+            return None
+        columns = ([c.lower() for c in statement.columns]
+                   if statement.columns
+                   else [c.name.lower() for c in table.columns])
+        positions = {}
+        for pk_column in pk_columns:
+            if pk_column not in columns:
+                return None  # auto-increment fills it; value unknowable
+            positions[pk_column] = columns.index(pk_column)
+        if len(statement.rows) > 64:
+            return None
+        keys = set()
+        for row in statement.rows:
+            values = []
+            for pk_column in pk_columns:
+                index = positions[pk_column]
+                if index >= len(row) or not _is_value_expr(row[index]):
+                    return None
+                try:
+                    values.append(coerce(evaluate_value(row[index], ctx),
+                                         table.column(pk_column).type))
+                except SQLError:
+                    return None
+            keys.add((database_name, table_name, tuple(values)))
+        return keys
+
+    return None
+
+
 class TriggerBasedExtractor:
     """Writeset extraction through per-table triggers.
 

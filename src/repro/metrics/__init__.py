@@ -4,10 +4,12 @@ from .availability import (
     FIVE_NINES_BUDGET_SECONDS, SECONDS_PER_YEAR, AvailabilityTracker,
     availability_from_mtbf, downtime_budget, nines,
 )
+from .cache import hit_rate, stale_fraction, summarize
 from .perf import LatencyRecorder, ThroughputMeter, TimeSeries
 
 __all__ = [
     "AvailabilityTracker", "FIVE_NINES_BUDGET_SECONDS", "LatencyRecorder",
     "SECONDS_PER_YEAR", "ThroughputMeter", "TimeSeries",
-    "availability_from_mtbf", "downtime_budget", "nines",
+    "availability_from_mtbf", "downtime_budget", "hit_rate", "nines",
+    "stale_fraction", "summarize",
 ]

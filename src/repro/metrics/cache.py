@@ -1,0 +1,45 @@
+"""Result-cache metrics: counter roll-ups and derived rates.
+
+The raw counters live on :class:`repro.cache.resultcache.ResultCache`;
+this module turns them into the quantities monitoring dashboards (and
+benchmark E24) actually plot — hit rate, stale-served fraction, fill
+efficiency, occupancy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+
+def hit_rate(stats: Dict[str, int]) -> float:
+    """Served-from-cache fraction of all lookups that could have hit:
+    (hits + stale hits) / (hits + stale hits + misses + gate rejections).
+    Protocol/uncacheable bypasses are excluded — those reads never had a
+    cacheable answer to miss."""
+    served = stats.get("hits", 0) + stats.get("stale_hits", 0)
+    lookups = (served + stats.get("misses", 0)
+               + stats.get("gate_rejections", 0))
+    if lookups == 0:
+        return 0.0
+    return served / lookups
+
+
+def stale_fraction(stats: Dict[str, int]) -> float:
+    """Fraction of served hits that were labelled bounded-staleness."""
+    served = stats.get("hits", 0) + stats.get("stale_hits", 0)
+    if served == 0:
+        return 0.0
+    return stats.get("stale_hits", 0) / served
+
+
+def summarize(stats: Dict[str, int], size: int = 0,
+              capacity: int = 0) -> Dict[str, float]:
+    """One flat dict for monitoring snapshots: every raw counter plus the
+    derived rates and current occupancy."""
+    summary: Dict[str, float] = dict(stats)
+    summary["size"] = size
+    summary["capacity"] = capacity
+    summary["occupancy"] = (size / capacity) if capacity else 0.0
+    summary["hit_rate"] = hit_rate(stats)
+    summary["stale_fraction"] = stale_fraction(stats)
+    return summary

@@ -185,3 +185,65 @@ def evaluate_value(expr: ast.Expression, ctx):
     """Evaluate a row-independent value expression at plan time."""
     from .expressions import evaluate
     return evaluate(expr, ctx)
+
+
+def select_has_subquery(select: ast.SelectStatement) -> bool:
+    """Whether any part of ``select`` contains a subquery (scalar, EXISTS,
+    ``IN (SELECT ...)`` or a derived table).  Read-dependency extraction
+    (``repro.cache``) uses this: a probe proof only covers the outer
+    table, so a statement with subqueries must fall back to broad
+    table-level dependencies on everything it reads."""
+    if isinstance(select.source, (ast.SubquerySource, ast.Join)):
+        if _source_has_subquery(select.source):
+            return True
+    exprs = [expr for expr, _alias in select.columns]
+    exprs.append(select.where)
+    exprs.extend(select.group_by)
+    exprs.append(select.having)
+    exprs.extend(expr for expr, _asc in select.order_by)
+    return any(_expr_has_subquery(expr) for expr in exprs)
+
+
+def _source_has_subquery(source) -> bool:
+    if isinstance(source, ast.SubquerySource):
+        return True
+    if isinstance(source, ast.Join):
+        return (_source_has_subquery(source.left)
+                or _source_has_subquery(source.right)
+                or _expr_has_subquery(source.condition))
+    return False
+
+
+def _expr_has_subquery(expr) -> bool:
+    if expr is None or isinstance(expr, (ast.Literal, ast.ColumnRef,
+                                         ast.Param, ast.Star)):
+        return False
+    if isinstance(expr, (ast.ScalarSubquery, ast.ExistsSubquery)):
+        return True
+    if isinstance(expr, ast.InList):
+        if expr.subquery is not None:
+            return True
+        return (_expr_has_subquery(expr.expr)
+                or any(_expr_has_subquery(item)
+                       for item in expr.items or []))
+    if isinstance(expr, ast.FunctionCall):
+        return any(_expr_has_subquery(arg) for arg in expr.args)
+    if isinstance(expr, ast.BinaryOp):
+        return (_expr_has_subquery(expr.left)
+                or _expr_has_subquery(expr.right))
+    if isinstance(expr, ast.UnaryOp):
+        return _expr_has_subquery(expr.operand)
+    if isinstance(expr, ast.Between):
+        return any(_expr_has_subquery(sub)
+                   for sub in (expr.expr, expr.low, expr.high))
+    if isinstance(expr, ast.Like):
+        return (_expr_has_subquery(expr.expr)
+                or _expr_has_subquery(expr.pattern))
+    if isinstance(expr, ast.IsNull):
+        return _expr_has_subquery(expr.expr)
+    if isinstance(expr, ast.Case):
+        if _expr_has_subquery(expr.default):
+            return True
+        return any(_expr_has_subquery(c) or _expr_has_subquery(r)
+                   for c, r in expr.whens)
+    return False

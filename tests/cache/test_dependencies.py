@@ -1,0 +1,156 @@
+"""Dependency-extraction edge cases: what may be cached, at what
+granularity, and what must never be (joins, IN-lists, subqueries,
+``information_schema``, temporary tables, nondeterminism)."""
+
+import pytest
+
+from repro.cache import ReadDependencies, extract_read_dependencies
+from repro.core.analysis import analyze
+from repro.sqlengine import Engine, generic
+from repro.sqlengine.parser import parse
+
+
+@pytest.fixture
+def schema_engine():
+    e = Engine("deps", dialect=generic(), seed=7)
+    e.create_database("shop")
+    conn = e.connect(database="shop")
+    conn.execute("CREATE TABLE kv (k INT PRIMARY KEY, v INT)")
+    conn.execute("CREATE TABLE other (id INT PRIMARY KEY, x INT)")
+    for i in range(5):
+        conn.execute(f"INSERT INTO kv (k, v) VALUES ({i}, {i * 10})")
+        conn.execute(f"INSERT INTO other (id, x) VALUES ({i}, {i})")
+    conn.close()
+    return e
+
+
+def extract(engine, sql, params=None, database="shop"):
+    statement = parse(sql)
+    info = analyze(statement)
+    return extract_read_dependencies(statement, info, engine, database,
+                                     params)
+
+
+class TestPointProof:
+    def test_pk_equality_is_a_point_dependency(self, schema_engine):
+        deps = extract(schema_engine, "SELECT v FROM kv WHERE k = 2")
+        assert deps is not None and deps.is_point
+        assert deps.point_keys == {("shop", "kv", (2,))}
+        assert deps.tables == {("shop", "kv")}
+
+    def test_parameterized_pk_equality(self, schema_engine):
+        deps = extract(schema_engine, "SELECT v FROM kv WHERE k = ?",
+                       params=[3])
+        assert deps.is_point
+        assert deps.point_keys == {("shop", "kv", (3,))}
+
+    def test_in_list_yields_one_key_per_member(self, schema_engine):
+        deps = extract(schema_engine,
+                       "SELECT v FROM kv WHERE k IN (1, 2, 4)")
+        assert deps.is_point
+        assert deps.point_keys == {("shop", "kv", (1,)),
+                                   ("shop", "kv", (2,)),
+                                   ("shop", "kv", (4,))}
+
+    def test_aggregate_over_pk_probe_stays_point(self, schema_engine):
+        deps = extract(schema_engine,
+                       "SELECT COUNT(*) FROM kv WHERE k = 1")
+        assert deps.is_point
+
+    def test_table_alias_is_resolved(self, schema_engine):
+        deps = extract(schema_engine,
+                       "SELECT t.v FROM kv t WHERE t.k = 1")
+        assert deps.is_point
+
+
+class TestBroadFallback:
+    def test_range_predicate_is_broad(self, schema_engine):
+        deps = extract(schema_engine, "SELECT v FROM kv WHERE k > 1")
+        assert deps is not None and not deps.is_point
+        assert deps.tables == {("shop", "kv")}
+        assert not deps.point_keys
+
+    def test_non_key_predicate_is_broad(self, schema_engine):
+        deps = extract(schema_engine, "SELECT k FROM kv WHERE v = 10")
+        assert not deps.is_point
+
+    def test_full_scan_is_broad(self, schema_engine):
+        deps = extract(schema_engine, "SELECT COUNT(*) FROM kv")
+        assert not deps.is_point
+        assert deps.tables == {("shop", "kv")}
+
+    def test_join_depends_broadly_on_both_tables(self, schema_engine):
+        deps = extract(
+            schema_engine,
+            "SELECT kv.v, other.x FROM kv JOIN other ON kv.k = other.id "
+            "WHERE kv.k = 1")
+        assert deps is not None and not deps.is_point
+        assert deps.tables == {("shop", "kv"), ("shop", "other")}
+        assert not deps.point_keys
+
+    def test_scalar_subquery_defeats_the_point_proof(self, schema_engine):
+        deps = extract(
+            schema_engine,
+            "SELECT v FROM kv WHERE k = (SELECT MAX(id) FROM other)")
+        assert deps is not None and not deps.is_point
+        assert deps.tables == {("shop", "kv"), ("shop", "other")}
+
+    def test_in_subquery_defeats_the_point_proof(self, schema_engine):
+        deps = extract(
+            schema_engine,
+            "SELECT v FROM kv WHERE k IN (SELECT id FROM other)")
+        assert deps is not None and not deps.is_point
+
+    def test_exists_subquery_defeats_the_point_proof(self, schema_engine):
+        deps = extract(
+            schema_engine,
+            "SELECT v FROM kv WHERE EXISTS "
+            "(SELECT 1 FROM other WHERE other.id = kv.k)")
+        assert deps is not None and not deps.is_point
+
+    def test_derived_table_source_is_broad(self, schema_engine):
+        deps = extract(
+            schema_engine,
+            "SELECT s.v FROM (SELECT v FROM kv WHERE k = 1) s")
+        assert deps is not None and not deps.is_point
+        assert ("shop", "kv") in deps.tables
+
+
+class TestUncacheable:
+    def test_nondeterministic_call_is_uncacheable(self, schema_engine):
+        assert extract(schema_engine,
+                       "SELECT v, NOW() FROM kv WHERE k = 1") is None
+
+    def test_writes_are_uncacheable(self, schema_engine):
+        assert extract(schema_engine,
+                       "UPDATE kv SET v = 1 WHERE k = 1") is None
+
+    def test_information_schema_is_uncacheable(self, schema_engine):
+        assert extract(schema_engine,
+                       "SELECT * FROM information_schema.tables") is None
+
+    def test_unknown_table_is_uncacheable(self, schema_engine):
+        assert extract(schema_engine, "SELECT * FROM ghost") is None
+
+    def test_temp_table_read_is_uncacheable(self, schema_engine):
+        conn = schema_engine.connect(database="shop")
+        conn.execute("CREATE TEMPORARY TABLE scratch (id INT PRIMARY KEY)")
+        try:
+            # temp tables live in per-session space: unresolvable against
+            # the shared schema, hence never cacheable across sessions
+            assert extract(schema_engine,
+                           "SELECT * FROM scratch") is None
+        finally:
+            conn.close()
+
+    def test_no_default_database_is_uncacheable(self, schema_engine):
+        assert extract(schema_engine, "SELECT v FROM kv WHERE k = 1",
+                       database=None) is None
+
+
+class TestTableless:
+    def test_select_one_has_empty_dependencies(self, schema_engine):
+        deps = extract(schema_engine, "SELECT 1")
+        assert isinstance(deps, ReadDependencies)
+        assert deps.tables == frozenset()
+        assert not deps.is_point

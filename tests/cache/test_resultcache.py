@@ -1,0 +1,172 @@
+"""Unit tests for the bounded LRU+TTL result store."""
+
+from repro.cache import (
+    CacheEntry, ReadDependencies, ResultCache, ResultCacheConfig,
+    cache_key, normalize_statement,
+)
+from repro.sqlengine.executor import Result
+
+
+def deps_broad(*tables):
+    return ReadDependencies(frozenset(tables))
+
+
+def deps_point(table, *pks):
+    return ReadDependencies(
+        frozenset({table}),
+        point_keys=frozenset((table[0], table[1], pk) for pk in pks),
+        point_tables=frozenset({table}))
+
+
+def result(rows=((1,),)):
+    return Result(columns=["v"], rows=list(rows), rowcount=len(rows))
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestKeying:
+    def test_normalize_collapses_whitespace_and_semicolon(self):
+        assert normalize_statement("  SELECT  1\n ; ") == "SELECT 1"
+
+    def test_equivalent_spellings_share_a_key(self):
+        a = cache_key("u", "shop", "SELECT * FROM kv WHERE k = 1", None)
+        b = cache_key("u", "shop", "SELECT *  FROM kv\nWHERE k = 1;", ())
+        assert a == b
+
+    def test_case_is_preserved(self):
+        a = cache_key("u", "shop", "SELECT 'A'", None)
+        b = cache_key("u", "shop", "SELECT 'a'", None)
+        assert a != b
+
+    def test_params_distinguish_keys(self):
+        a = cache_key("u", "shop", "SELECT v FROM kv WHERE k = ?", [1])
+        b = cache_key("u", "shop", "SELECT v FROM kv WHERE k = ?", [2])
+        assert a != b
+
+    def test_unhashable_params_are_unkeyable(self):
+        assert cache_key("u", "shop", "SELECT 1", [[1, 2]]) is None
+
+
+class TestStore:
+    def test_fill_then_peek_round_trips_the_result(self):
+        cache = ResultCache(ResultCacheConfig(capacity=4))
+        key = ("u", "shop", "q", ())
+        entry = cache.put(key, result(), deps_broad(("shop", "kv")),
+                          fill_seq=7)
+        assert isinstance(entry, CacheEntry)
+        got = cache.peek(key)
+        assert got is entry
+        served = got.to_result()
+        assert served.from_cache and not served.stale
+        assert served.rows == [(1,)]
+        assert got.fill_seq == 7
+
+    def test_served_rows_are_copies(self):
+        cache = ResultCache(ResultCacheConfig(capacity=4))
+        key = ("u", "shop", "q", ())
+        cache.put(key, result(), deps_broad(("shop", "kv")), fill_seq=1)
+        served = cache.peek(key).to_result()
+        served.rows.append(("junk",))
+        assert cache.peek(key).to_result().rows == [(1,)]
+
+    def test_lru_eviction_prefers_stale_end(self):
+        cache = ResultCache(ResultCacheConfig(capacity=2))
+        d = deps_broad(("shop", "kv"))
+        cache.put(("k1",), result(), d, 1)
+        cache.put(("k2",), result(), d, 1)
+        cache.peek(("k1",))  # touch k1 -> k2 is now LRU
+        cache.put(("k3",), result(), d, 1)
+        assert cache.peek(("k2",)) is None
+        assert cache.peek(("k1",)) is not None
+        assert cache.stats["evictions"] == 1
+
+    def test_ttl_expiry_uses_injected_clock(self):
+        clock = FakeClock()
+        cache = ResultCache(ResultCacheConfig(capacity=4, ttl=10.0),
+                            clock=clock)
+        cache.put(("k",), result(), deps_broad(("shop", "kv")), 1)
+        clock.now = 9.9
+        assert cache.peek(("k",)) is not None
+        clock.now = 10.0
+        assert cache.peek(("k",)) is None
+        assert cache.stats["expirations"] == 1
+
+    def test_oversized_results_are_not_cached(self):
+        cache = ResultCache(ResultCacheConfig(capacity=4, max_rows=2))
+        big = result(rows=[(i,) for i in range(3)])
+        assert cache.put(("k",), big, deps_broad(("shop", "kv")), 1) is None
+        assert len(cache) == 0
+        assert cache.stats["fill_rejected"] == 1
+
+
+class TestInvalidation:
+    TABLE = ("shop", "kv")
+
+    def test_point_write_spares_unrelated_point_entries(self):
+        cache = ResultCache()
+        cache.put(("a",), result(), deps_point(self.TABLE, (1,)), 1)
+        cache.put(("b",), result(), deps_point(self.TABLE, (2,)), 1)
+        killed = cache.invalidate_point(("shop", "kv", (1,)))
+        assert killed == 1
+        assert cache.peek(("a",)) is None
+        assert cache.peek(("b",)) is not None
+
+    def test_point_write_kills_broad_entries_on_the_table(self):
+        cache = ResultCache()
+        cache.put(("scan",), result(), deps_broad(self.TABLE), 1)
+        cache.invalidate_point(("shop", "kv", (99,)))
+        assert cache.peek(("scan",)) is None
+
+    def test_table_write_kills_point_entries_too(self):
+        cache = ResultCache()
+        cache.put(("a",), result(), deps_point(self.TABLE, (1,)), 1)
+        cache.invalidate_table(self.TABLE)
+        assert cache.peek(("a",)) is None
+
+    def test_other_tables_are_untouched(self):
+        cache = ResultCache()
+        cache.put(("a",), result(), deps_broad(("shop", "other")), 1)
+        cache.invalidate_table(self.TABLE)
+        cache.invalidate_point(("shop", "kv", (1,)))
+        assert cache.peek(("a",)) is not None
+
+    def test_multi_table_entry_dies_with_any_of_its_tables(self):
+        cache = ResultCache()
+        cache.put(("join",), result(),
+                  deps_broad(("shop", "kv"), ("shop", "other")), 1)
+        cache.invalidate_table(("shop", "other"))
+        assert cache.peek(("join",)) is None
+
+    def test_flush_drops_everything_and_indexes(self):
+        cache = ResultCache()
+        cache.put(("a",), result(), deps_point(self.TABLE, (1,)), 1)
+        cache.put(("b",), result(), deps_broad(self.TABLE), 1)
+        assert cache.flush() == 2
+        assert len(cache) == 0
+        assert not cache._by_point and not cache._by_table_all
+
+    def test_refill_replaces_index_entries(self):
+        cache = ResultCache()
+        key = ("k",)
+        cache.put(key, result(), deps_point(self.TABLE, (1,)), 1)
+        cache.put(key, result(), deps_point(self.TABLE, (2,)), 2)
+        # the old footprint must no longer resurrect the key
+        cache.invalidate_point(("shop", "kv", (1,)))
+        assert cache.peek(key) is not None
+        cache.invalidate_point(("shop", "kv", (2,)))
+        assert cache.peek(key) is None
+
+    def test_snapshot_reports_rates(self):
+        cache = ResultCache(ResultCacheConfig(capacity=10))
+        cache.put(("k",), result(), deps_broad(self.TABLE), 1)
+        cache.stats["hits"] = 3
+        cache.stats["misses"] = 1
+        snap = cache.snapshot()
+        assert snap["size"] == 1
+        assert snap["hit_rate"] == 0.75

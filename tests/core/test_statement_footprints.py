@@ -1,0 +1,222 @@
+"""Statement-mode invalidation footprints: ``(db, table, pk)`` keys
+derived "through simple query parsing" (section 4.3.2), published on the
+certified-write stream at commit."""
+
+import pytest
+
+from repro.cache import ResultCacheConfig
+from repro.core import (
+    MiddlewareConfig, ReplicationMiddleware, protocol_by_name,
+)
+from repro.core.analysis import analyze
+from repro.core.certifier import Certifier
+from repro.core.writesets import statement_footprint
+from repro.sqlengine import Engine, generic
+from repro.sqlengine.parser import parse
+from tests.conftest import KV_SCHEMA, make_replicas, seed_kv
+
+
+@pytest.fixture
+def schema_engine():
+    e = Engine("fp", dialect=generic(), seed=3)
+    e.create_database("shop")
+    conn = e.connect(database="shop")
+    conn.execute("CREATE TABLE kv (k INT PRIMARY KEY, v INT)")
+    for i in range(5):
+        conn.execute(f"INSERT INTO kv (k, v) VALUES ({i}, 0)")
+    conn.close()
+    return e
+
+
+def footprint(engine, sql, params=None):
+    statement = parse(sql)
+    info = analyze(statement)
+    return statement_footprint(statement, info, engine, "shop", params)
+
+
+class TestPointFootprints:
+    def test_update_with_pk_where_is_keyed(self, schema_engine):
+        keys, opaque = footprint(
+            schema_engine, "UPDATE kv SET v = 1 WHERE k = 2")
+        assert not opaque
+        assert keys == {("shop", "kv", (2,))}
+
+    def test_update_in_list_keys_every_member(self, schema_engine):
+        keys, opaque = footprint(
+            schema_engine, "UPDATE kv SET v = 1 WHERE k IN (1, 3)")
+        assert not opaque
+        assert keys == {("shop", "kv", (1,)), ("shop", "kv", (3,))}
+
+    def test_pk_changing_update_keys_source_and_destination(
+            self, schema_engine):
+        keys, opaque = footprint(
+            schema_engine, "UPDATE kv SET k = 9 WHERE k = 2")
+        assert not opaque
+        assert keys == {("shop", "kv", (2,)), ("shop", "kv", (9,))}
+
+    def test_delete_with_pk_where_is_keyed(self, schema_engine):
+        keys, opaque = footprint(
+            schema_engine, "DELETE FROM kv WHERE k = ?", params=[4])
+        assert not opaque
+        assert keys == {("shop", "kv", (4,))}
+
+    def test_insert_with_explicit_pks_is_keyed(self, schema_engine):
+        keys, opaque = footprint(
+            schema_engine,
+            "INSERT INTO kv (k, v) VALUES (10, 1), (11, 2)")
+        assert not opaque
+        assert keys == {("shop", "kv", (10,)), ("shop", "kv", (11,))}
+
+
+class TestTableFallback:
+    def test_range_update_falls_back_to_table_key(self, schema_engine):
+        keys, opaque = footprint(
+            schema_engine, "UPDATE kv SET v = 1 WHERE k > 2")
+        assert not opaque
+        assert keys == {("shop", "kv", None)}
+
+    def test_non_key_predicate_falls_back(self, schema_engine):
+        keys, opaque = footprint(
+            schema_engine, "DELETE FROM kv WHERE v = 0")
+        assert not opaque
+        assert keys == {("shop", "kv", None)}
+
+    def test_insert_without_pk_column_falls_back(self, schema_engine):
+        keys, opaque = footprint(
+            schema_engine, "INSERT INTO kv (v) VALUES (1)")
+        assert not opaque
+        assert keys == {("shop", "kv", None)}
+
+    def test_insert_select_falls_back(self, schema_engine):
+        keys, opaque = footprint(
+            schema_engine,
+            "INSERT INTO kv (k, v) SELECT k + 100, v FROM kv")
+        assert not opaque
+        assert keys == {("shop", "kv", None)}
+
+    def test_pk_assigned_from_expression_falls_back(self, schema_engine):
+        keys, opaque = footprint(
+            schema_engine, "UPDATE kv SET k = k + 1 WHERE k = 2")
+        assert not opaque
+        assert keys == {("shop", "kv", None)}
+
+    def test_unknown_table_falls_back_to_table_key(self, schema_engine):
+        keys, opaque = footprint(
+            schema_engine, "UPDATE ghost SET v = 1 WHERE k = 1")
+        assert not opaque
+        assert keys == {("shop", "ghost", None)}
+
+
+class TestOpaqueFootprints:
+    def test_ddl_is_opaque(self, schema_engine):
+        keys, opaque = footprint(
+            schema_engine, "CREATE TABLE extra (id INT PRIMARY KEY)")
+        assert opaque and keys == frozenset()
+
+    def test_procedure_call_is_opaque(self, schema_engine):
+        keys, opaque = footprint(schema_engine, "CALL do_things()")
+        assert opaque
+
+    def test_trigger_bearing_table_is_opaque(self, schema_engine):
+        conn = schema_engine.connect(database="shop")
+        conn.execute(
+            "CREATE TRIGGER trg AFTER UPDATE ON kv FOR EACH ROW "
+            "BEGIN UPDATE kv SET v = 0 WHERE k = 0; END")
+        conn.close()
+        keys, opaque = footprint(
+            schema_engine, "UPDATE kv SET v = 1 WHERE k = 2")
+        assert opaque
+
+
+class TestCertifierLog:
+    def test_assign_seq_records_the_footprint(self):
+        certifier = Certifier()
+        keys = frozenset({("shop", "kv", (1,))})
+        seq = certifier.assign_seq(keys)
+        assert certifier._log[-1] == (seq, keys)
+
+    def test_assign_seq_defaults_to_empty_footprint(self):
+        certifier = Certifier()
+        seq = certifier.assign_seq()
+        assert certifier._log[-1] == (seq, frozenset())
+
+
+class TestPublishedStream:
+    def make_cluster(self):
+        replicas = make_replicas(3, schema=KV_SCHEMA)
+        middleware = ReplicationMiddleware(
+            replicas,
+            MiddlewareConfig(replication="statement",
+                             consistency=protocol_by_name("gsi"),
+                             result_cache=ResultCacheConfig()))
+        seed_kv(middleware)
+        return middleware
+
+    def collect(self, middleware):
+        events = []
+        middleware.on_certified(events.append)
+        return events
+
+    def test_keyed_write_publishes_point_footprint(self):
+        mw = self.make_cluster()
+        events = self.collect(mw)
+        s = mw.connect(database="shop")
+        s.execute("UPDATE kv SET v = 1 WHERE k = 3")
+        s.close()
+        assert len(events) == 1
+        event = events[0]
+        assert event.kind == "statements"
+        assert event.keys == {("shop", "kv", (3,))}
+        assert event.seq == mw.global_seq
+
+    def test_transaction_unions_statement_footprints(self):
+        mw = self.make_cluster()
+        events = self.collect(mw)
+        s = mw.connect(database="shop")
+        s.execute("BEGIN")
+        s.execute("UPDATE kv SET v = 1 WHERE k = 1")
+        s.execute("DELETE FROM kv WHERE k = 2")
+        s.execute("COMMIT")
+        s.close()
+        assert len(events) == 1
+        assert events[0].keys == {("shop", "kv", (1,)),
+                                  ("shop", "kv", (2,))}
+
+    def test_ddl_publishes_an_opaque_event(self):
+        mw = self.make_cluster()
+        events = self.collect(mw)
+        s = mw.connect(database="shop")
+        s.execute("CREATE TABLE extra (id INT PRIMARY KEY)")
+        s.close()
+        assert any(e.kind == "ddl" for e in events)
+
+    def test_read_only_commit_leaves_no_watermark_gap(self):
+        mw = self.make_cluster()
+        events = self.collect(mw)
+        before = mw.global_seq
+        s = mw.connect(database="shop")
+        s.execute("BEGIN")
+        s.execute("SELECT v FROM kv WHERE k = 1")
+        s.execute("COMMIT")
+        s.close()
+        # read-only commits assign no sequence, so the silent stream is
+        # consistent: the watermark still matches the global sequence
+        assert events == []
+        assert mw.global_seq == before
+        assert mw.cache_invalidator.applied_seq == mw.global_seq
+
+    def test_locking_write_commit_publishes_even_when_empty(self):
+        mw = self.make_cluster()
+        events = self.collect(mw)
+        s = mw.connect(database="shop")
+        s.execute("BEGIN")
+        s.execute("SELECT v FROM kv WHERE k = 1 FOR UPDATE")
+        s.execute("COMMIT")
+        s.close()
+        # the commit was certified (a sequence was assigned): it must
+        # publish, or the cache watermark would lag the global sequence
+        assert len(events) == 1
+        assert events[0].kind == "statements"
+        assert events[0].keys == frozenset()
+        assert events[0].seq == mw.global_seq
+        assert mw.cache_invalidator.applied_seq == mw.global_seq
