@@ -93,6 +93,11 @@ def test_e22_chaos_resilience(benchmark):
         # the resilience machinery actually did work
         assert resilient.resilience_stats.get("retries", 0) > 0, \
             f"seed {seed}: no retries — the fault schedule was too gentle"
+        # every request produced an exportable trace (E25 digs deeper)
+        for run in (base, resilient):
+            assert all(r.trace_id is not None for r in run.records), \
+                f"seed {seed}: a request resolved without a trace"
+            assert run.trace_stats.get("spans_finished", 0) > 0
 
     first_base, first_res = results[SEEDS[0]]
     benchmark.extra_info["baseline_goodput"] = first_base.goodput()

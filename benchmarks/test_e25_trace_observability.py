@@ -1,0 +1,316 @@
+"""E25 — section 5.1: end-to-end request tracing under chaos.
+
+The paper's gray-failure discussion (section 5.1) argues that aggregate
+percentiles cannot explain *why* a request was slow during a partial
+failure — was it retried, backed off, bounced off an ejected replica,
+served stale?  E25 drives the E22 chaos configuration (seeded fault
+schedule, open-loop Poisson load, resilience enabled) and validates
+that the span traces collected by ``repro.obs`` are a faithful,
+exportable explanation of what happened:
+
+* **fidelity** — for every client request, the per-stage latency
+  breakdown derived from its trace sums to within 5% of the measured
+  end-to-end latency (and aggregate stage coverage is >= 95%);
+* **fault timeline** — retry / failover / backoff span events only
+  occur inside injected fault windows, so the fault schedule can be
+  reconstructed from the traces alone;
+* **degraded modes** — deterministic scenarios confirm circuit-breaker
+  ejections (``circuit_open``) and bounded-staleness degraded reads
+  (``degraded_read``) surface as span events;
+* **export** — the whole run round-trips through the JSON-lines
+  exporter without loss.
+
+Results land in ``BENCH_e25.json``.
+"""
+
+import io
+import json
+from pathlib import Path
+
+from repro.bench import Report, build_cluster
+from repro.bench.chaos import (
+    ChaosConfig, default_resilience_policy, run_chaos,
+)
+from repro.core import ResiliencePolicy, RetryPolicy, RetryExhausted
+from repro.metrics.breakdown import (
+    BreakdownAggregator, explain_trace, trace_breakdown, trace_root,
+)
+from repro.obs import group_by_trace, read_jsonl, write_jsonl
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_e25.json"
+
+SEED = 1
+DURATION = 30.0
+RATE_TPS = 30.0
+N_FAULTS = 5
+
+#: error names that only a down / recovering replica can produce —
+#: serialization conflicts and shedding are excluded so the timeline
+#: reconstruction below is built from fault evidence alone
+FAULT_ERRORS = {"NodeDown", "ConnectionError", "ReplicaUnavailable",
+                "NoReplicaAvailable", "CircuitOpen"}
+#: slack appended to each fault window: detection + failback delays plus
+#: one in-flight backoff that straddles the repair instant
+WINDOW_PAD = 3.0
+
+
+# ---------------------------------------------------------------------------
+# trace-side reconstruction helpers
+# ---------------------------------------------------------------------------
+
+def fault_windows(result):
+    """[(start, end)] downtime intervals per target, from the injected
+    schedule (crash/flap opens a window, repair closes it)."""
+    open_at = {}
+    windows = []
+    for event in sorted(result.fault_events, key=lambda e: e.time):
+        if event.kind in ("crash", "flap"):
+            open_at.setdefault(event.target, event.time)
+        elif event.kind == "repair" and event.target in open_at:
+            windows.append((open_at.pop(event.target), event.time))
+    horizon = result.elapsed + result.config.drain_grace
+    windows.extend((start, horizon) for start in open_at.values())
+    return sorted(windows)
+
+
+def fault_evidence(traces):
+    """Timestamps of span events that only a fault can produce."""
+    times = []
+    for spans in traces:
+        for span in spans:
+            for time, name, attrs in span.events:
+                if name == "failover_retry":
+                    times.append(time)
+                elif name in ("retry", "backoff", "retry_exhausted",
+                              "circuit_open"):
+                    error = attrs.get("error", "")
+                    if any(error.startswith(e) for e in FAULT_ERRORS):
+                        times.append(time)
+    return sorted(times)
+
+
+def within_windows(times, windows, pad):
+    hits = sum(1 for t in times
+               if any(s <= t <= e + pad for s, e in windows))
+    return hits / len(times) if times else 1.0
+
+
+# ---------------------------------------------------------------------------
+# scenario A: chaos run — breakdown fidelity + timeline reconstruction
+# ---------------------------------------------------------------------------
+
+def run_chaos_fidelity():
+    result = run_chaos(ChaosConfig(
+        seed=SEED, duration=DURATION, rate_tps=RATE_TPS,
+        n_faults=N_FAULTS, resilience=default_resilience_policy(seed=SEED)))
+    assert result.all_invariants_hold, result.violations
+
+    by_trace = {}
+    for spans in result.traces:
+        root = trace_root(spans)
+        if root is not None:
+            by_trace[root.trace_id] = spans
+
+    aggregator = BreakdownAggregator()
+    checked = 0
+    worst_rel = 0.0
+    for record in result.records:
+        if record.trace_id is None or record.end is None:
+            continue
+        spans = by_trace.get(record.trace_id)
+        assert spans is not None, \
+            f"request {record.id} has no retained trace"
+        aggregator.add_trace(spans)
+        latency = record.end - record.start
+        staged = sum(trace_breakdown(spans).values())
+        checked += 1
+        if latency > 1e-9:
+            rel = abs(staged - latency) / latency
+            worst_rel = max(worst_rel, rel)
+        else:
+            assert staged <= 1e-9
+
+    windows = fault_windows(result)
+    evidence = fault_evidence(result.traces)
+    return {
+        "result": result,
+        "aggregator": aggregator,
+        "checked": checked,
+        "worst_rel_error": worst_rel,
+        "windows": windows,
+        "evidence": evidence,
+        "evidence_in_windows": within_windows(evidence, windows,
+                                              WINDOW_PAD),
+    }
+
+
+# ---------------------------------------------------------------------------
+# scenarios B + C: deterministic degraded-mode events
+# ---------------------------------------------------------------------------
+
+def _seeded_cluster(**kwargs):
+    middleware = build_cluster(2, replication="writeset", **kwargs)
+    session = middleware.connect(database="shop")
+    session.execute("CREATE TABLE kv (k INT PRIMARY KEY, v INT)")
+    session.execute("INSERT INTO kv (k, v) VALUES (0, 0)")
+    session.close()
+    middleware.pump()
+    return middleware
+
+
+def _kill(replica):
+    replica.engine.crash()
+    replica.mark_failed()
+
+
+def _events(middleware, name):
+    return [(span, time, attrs)
+            for span in middleware.tracer.finished_spans()
+            for time, event, attrs in span.events if event == name]
+
+
+def run_degraded_read():
+    """Master down + lagging slave: the bounded-staleness read carries a
+    ``degraded_read`` span event (paper section 5.1 degraded modes)."""
+    middleware = _seeded_cluster(
+        consistency="rsi-pc", propagation="async",
+        resilience=ResiliencePolicy(retry=RetryPolicy(jitter=0.0)))
+    session = middleware.connect(database="shop")
+    session.execute("UPDATE kv SET v = 7 WHERE k = 0")
+    _kill(middleware.replicas[0])  # master dies before the slave applies
+    value = session.execute("SELECT v FROM kv WHERE k = 0").scalar()
+    session.close()
+    assert value == 0  # stale by design
+    events = _events(middleware, "degraded_read")
+    assert events, "no degraded_read span event was recorded"
+    span = events[0][0]
+    return {
+        "stale_value": value,
+        "events": len(events),
+        "lag": events[0][2].get("lag"),
+        "explain": explain_trace(
+            middleware.tracer.trace(span.trace_id)),
+    }
+
+
+def run_circuit_open():
+    """Every breaker forced open: the rejection surfaces as a
+    ``circuit_open`` span event before the request fails."""
+    middleware = _seeded_cluster(
+        consistency="gsi", propagation="sync",
+        resilience=ResiliencePolicy(
+            retry=RetryPolicy(max_attempts=2, jitter=0.0)))
+    for replica in middleware.replicas:
+        middleware.resilience.breaker(replica.name).force_open()
+    session = middleware.connect(database="shop")
+    failed = False
+    try:
+        session.execute("SELECT v FROM kv WHERE k = 0")
+    except RetryExhausted:
+        failed = True
+    session.close()
+    assert failed, "request succeeded with every breaker open"
+    events = _events(middleware, "circuit_open")
+    assert events, "no circuit_open span event was recorded"
+    return {"events": len(events)}
+
+
+# ---------------------------------------------------------------------------
+# the experiment
+# ---------------------------------------------------------------------------
+
+def test_e25_trace_observability(benchmark):
+    def experiment():
+        return {
+            "chaos": run_chaos_fidelity(),
+            "degraded": run_degraded_read(),
+            "breaker": run_circuit_open(),
+        }
+
+    results = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    chaos = results["chaos"]
+    result = chaos["result"]
+    summary = chaos["aggregator"].summary()
+
+    report = Report(
+        "E25  Trace observability under chaos (section 5.1)",
+        ["metric", "value"])
+    report.add_row("requests traced", chaos["checked"])
+    report.add_row("stage coverage", f"{summary['coverage']:.4f}")
+    report.add_row("worst breakdown error",
+                   f"{chaos['worst_rel_error']:.4%}")
+    report.add_row("fault windows", len(chaos["windows"]))
+    report.add_row("fault evidence events", len(chaos["evidence"]))
+    report.add_row("evidence inside windows",
+                   f"{chaos['evidence_in_windows']:.2%}")
+    report.add_row("degraded_read events", results["degraded"]["events"])
+    report.add_row("circuit_open events", results["breaker"]["events"])
+    report.note(f"E22 chaos config: seed {SEED}, {RATE_TPS} tps for "
+                f"{DURATION}s, {N_FAULTS} faults, resilience on")
+    report.note("breakdown: per-request stage sum vs measured latency")
+    report.show()
+
+    # -- acceptance: breakdown fidelity (the 5% bar) ------------------------
+    assert chaos["checked"] == len(result.records), \
+        "some requests were not traced"
+    assert chaos["worst_rel_error"] <= 0.05, \
+        f"worst per-request breakdown error {chaos['worst_rel_error']:.2%}"
+    assert summary["coverage"] >= 0.95, \
+        f"stages explain only {summary['coverage']:.2%} of latency"
+
+    # -- acceptance: resilience machinery visible as span events ------------
+    all_events = {name for spans in result.traces for span in spans
+                  for _t, name, _a in span.events}
+    assert "retry" in all_events, "no retry span events under chaos"
+    assert "backoff" in all_events, "no backoff span events under chaos"
+
+    # -- acceptance: the fault timeline is reconstructible from traces ------
+    assert chaos["windows"], "the fault schedule injected nothing"
+    assert chaos["evidence"], "no fault evidence in any trace"
+    first_fault = min(start for start, _end in chaos["windows"])
+    assert chaos["evidence"][0] >= first_fault, \
+        "trace shows fault evidence before the first injected fault"
+    assert chaos["evidence_in_windows"] >= 0.9, \
+        (f"only {chaos['evidence_in_windows']:.0%} of fault evidence "
+         f"falls inside injected fault windows")
+
+    # -- acceptance: lossless JSON-lines export -----------------------------
+    flat = [span for spans in result.traces for span in spans]
+    buffer = io.StringIO()
+    written = write_jsonl(flat, buffer)
+    restored = read_jsonl(io.StringIO(buffer.getvalue()))
+    assert written == len(flat) == len(restored)
+    assert len(group_by_trace(restored)) == len(result.traces)
+    sample = restored[0]
+    assert sample.to_dict() == flat[0].to_dict()
+
+    # -- acceptance: degraded-mode events -----------------------------------
+    assert results["degraded"]["events"] >= 1
+    assert "degraded_read" in results["degraded"]["explain"]
+    assert results["breaker"]["events"] >= 1
+
+    payload = {
+        "experiment": "e25_trace_observability",
+        "seed": SEED,
+        "duration_s": DURATION,
+        "rate_tps": RATE_TPS,
+        "n_faults": N_FAULTS,
+        "requests_traced": chaos["checked"],
+        "stage_coverage": summary["coverage"],
+        "worst_breakdown_rel_error": chaos["worst_rel_error"],
+        "stage_seconds": summary["stage_seconds"],
+        "trace_stats": result.trace_stats,
+        "fault_windows": len(chaos["windows"]),
+        "fault_evidence_events": len(chaos["evidence"]),
+        "evidence_in_windows": chaos["evidence_in_windows"],
+        "degraded_read_events": results["degraded"]["events"],
+        "circuit_open_events": results["breaker"]["events"],
+        "exported_spans": written,
+    }
+    BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    benchmark.extra_info["stage_coverage"] = summary["coverage"]
+    benchmark.extra_info["worst_breakdown_rel_error"] = \
+        chaos["worst_rel_error"]
+    benchmark.extra_info["evidence_in_windows"] = \
+        chaos["evidence_in_windows"]

@@ -79,7 +79,9 @@ class ChaosConfig:
                  detection_delay: float = 0.5,
                  failback_delay: float = 0.5,
                  probe_interval: float = 0.25,
-                 drain_grace: float = 30.0):
+                 drain_grace: float = 30.0,
+                 tracing: bool = True,
+                 trace_retention: int = 2048):
         self.replicas = replicas
         self.seed = seed
         self.duration = duration
@@ -99,6 +101,11 @@ class ChaosConfig:
         # extra simulated time after the load stops for in-flight
         # requests and repairs to resolve
         self.drain_grace = drain_grace
+        # per-request tracing (repro.obs): every client request gets a
+        # root span; retention is raised above the middleware default so
+        # a whole run's requests survive for fault-timeline analysis
+        self.tracing = tracing
+        self.trace_retention = trace_retention
 
     def resolved_fault_spec(self, node_names: List[str]) -> dict:
         if self.fault_spec is not None:
@@ -111,7 +118,8 @@ class ChaosConfig:
 class RequestRecord:
     """One client request's fate."""
 
-    __slots__ = ("id", "kind", "start", "end", "ok", "error", "write_id")
+    __slots__ = ("id", "kind", "start", "end", "ok", "error", "write_id",
+                 "trace_id")
 
     def __init__(self, id: int, kind: str, start: float,
                  write_id: Optional[int] = None):
@@ -122,6 +130,7 @@ class RequestRecord:
         self.ok = False
         self.error = ""
         self.write_id = write_id    # unique id INSERTed by this request
+        self.trace_id: Optional[int] = None  # the request's trace
 
     @property
     def resolved(self) -> bool:
@@ -149,6 +158,10 @@ class ChaosResult:
         self.elapsed = 0.0
         self.resilience_stats: Dict[str, int] = {}
         self.middleware_stats: Dict[str, float] = {}
+        # retained span traces (list of span lists) + tracer counters,
+        # captured at run end for fault-timeline reconstruction (E25)
+        self.traces: List[list] = []
+        self.trace_stats: Dict[str, int] = {}
 
     # -- headline numbers ----------------------------------------------------
 
@@ -201,6 +214,8 @@ class ChaosRun:
             propagation="sync", env=self.env, resilience=config.resilience,
             name="chaos")
         self.cluster = TimedCluster(self.env, self.middleware)
+        self.middleware.tracer.enabled = config.tracing
+        self.middleware.tracer.max_traces = config.trace_retention
         self.result = ChaosResult(config)
         self.tracker = AvailabilityTracker(start_time=0.0)
         self._next_write_id = 0
@@ -310,12 +325,20 @@ class ChaosRun:
         statements = self._request_sql(record, rng)
         is_write = record.kind != "read"
 
+        # One root span per client request; child spans (timed.statement,
+        # mw.statement, ...) hang off it via session.trace_context.
+        root = self.middleware.tracer.start_span(
+            "request", kind=record.kind, request=record.id)
+        if root:
+            record.trace_id = root.trace_id
+
         session = None
         admitted = False
         try:
             if resilience is not None:
                 if not resilience.admission.try_acquire(is_write):
                     self.result.shed += 1
+                    root.event("admission_shed")
                     self._resolve(record, ok=False, error="Overloaded")
                     return
                 admitted = True
@@ -324,6 +347,7 @@ class ChaosRun:
             except Exception as exc:  # noqa: BLE001 — middleware down
                 self._resolve(record, ok=False, error=type(exc).__name__)
                 return
+            session.trace_context = root
             if resilience is not None:
                 session.deadline = resilience.deadline()
 
@@ -335,7 +359,7 @@ class ChaosRun:
                     for sql in statements:
                         yield from self.cluster._timed_statement(
                             session, sql, [])
-                        yield from self._charge_backoff(resilience)
+                        yield from self._charge_backoff(resilience, root)
                     self._resolve(record, ok=True)
                     return
                 except (RequestTimeout, Overloaded) as exc:
@@ -345,7 +369,7 @@ class ChaosRun:
                     return
                 except self.TIMED_RETRYABLE as exc:
                     self._abort_quietly(session)
-                    yield from self._charge_backoff(resilience)
+                    yield from self._charge_backoff(resilience, root)
                     deadline = (session.deadline if resilience is not None
                                 else None)
                     if resilience is None \
@@ -367,6 +391,9 @@ class ChaosRun:
                         self._resolve(record, ok=False,
                                       error="RequestTimeout")
                         return
+                    root.event("backoff", duration=round(backoff, 9),
+                               attempt=attempt, source="timed",
+                               error=type(exc).__name__)
                     yield self.env.timeout(backoff)
                     attempt += 1
                 except Exception as exc:  # noqa: BLE001 — terminal
@@ -377,18 +404,28 @@ class ChaosRun:
         finally:
             if session is not None:
                 session.deadline = None
+                session.trace_context = None
                 if not session.closed:
                     session.close()
             if admitted:
                 resilience.admission.release()
+            root.set_tag("ok", record.ok)
+            if record.error:
+                root.set_tag("error", record.error)
+            root.end()
 
-    def _charge_backoff(self, resilience):
+    def _charge_backoff(self, resilience, span=None):
         """Synchronous in-session retries accumulate their backoff; the
-        timed layer charges it here as simulated delay."""
+        timed layer charges it here as simulated delay.  The `backoff`
+        event carries a `duration` attr because this is where the wait
+        actually costs simulated time (breakdowns count it as a stage)."""
         if resilience is None:
             return
         delay = resilience.consume_backoff()
         if delay > 0:
+            if span:
+                span.event("backoff", duration=round(delay, 9),
+                           source="resilience")
             yield self.env.timeout(delay)
 
     def _abort_quietly(self, session) -> None:
@@ -457,6 +494,8 @@ class ChaosRun:
                 self.middleware.resilience.stats)
         self.result.middleware_stats = dict(self.middleware.stats)
         self._heal_cluster()
+        self.result.trace_stats = self.middleware.tracer.snapshot()
+        self.result.traces = self.middleware.tracer.traces()
         self._check_invariants()
         return self.result
 

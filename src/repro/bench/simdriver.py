@@ -152,6 +152,29 @@ class TimedCluster:
 
     def _timed_statement(self, session: MiddlewareSession, sql: str,
                          params: list):
+        """One SQL string with simulated timing.  Inside a traced request
+        (the driver set ``session.trace_context``, e.g. the chaos
+        harness) the whole charge window runs under a ``timed.statement``
+        span, and middleware spans nest beneath it."""
+        parent = session.trace_context
+        if parent is None or not parent:
+            yield from self._timed_statement_inner(session, sql, params)
+            return
+        span = self.middleware.tracer.child_span(
+            "timed.statement", parent, sql=sql[:80])
+        session.trace_context = span if span else parent
+        try:
+            yield from self._timed_statement_inner(session, sql, params)
+        except Exception as exc:
+            if span:
+                span.set_tag("error", type(exc).__name__)
+            raise
+        finally:
+            session.trace_context = parent
+            span.end()
+
+    def _timed_statement_inner(self, session: MiddlewareSession, sql: str,
+                               params: list):
         middleware = self.middleware
         # client -> middleware hop + middleware processing
         yield self.env.timeout(self.client_latency

@@ -6,6 +6,15 @@ is that analysis: read/write classification, accessed tables, detection of
 the non-determinism hazards the paper enumerates (time macros, RAND,
 LIMIT without ORDER BY feeding an update), and rewriting of the rewritable
 ones (``NOW()`` -> a constant chosen once by the middleware).
+
+The resulting :class:`StatementInfo` is the routing currency of the
+whole request path: the load balancer consumes its table set (section
+3.2's memory-aware policies), the certifier derives conflict footprints
+from it (section 3.3), the result cache decides cacheability on its
+determinism verdict (section 4.1 gaps), and the tracer's
+``balancer.choose``/``mw.statement`` spans tag their decisions with what
+was parsed here — so a trace shows not just *where* a statement went but
+*why* the analysis sent it there.
 """
 
 from __future__ import annotations

@@ -171,6 +171,9 @@ class LoadBalancer:
         # add zero replica load.  Counted so load accounting (decisions vs
         # actual traffic) stays explainable in experiments.
         self.cache_bypasses = 0
+        # Why the last `choose` picked what it picked — read by the
+        # tracing layer to tag the balancer.choose span (repro.obs).
+        self.last_decision: Optional[dict] = None
 
     def note_cache_hit(self) -> None:
         """A read was served from the middleware result cache instead of
@@ -201,16 +204,29 @@ class LoadBalancer:
         self.decisions += 1
 
         if self.level is BalancingLevel.QUERY or context.session_id is None:
-            return self.policy.choose(candidates, context)
+            chosen = self.policy.choose(candidates, context)
+            self._note_decision(chosen, candidates, sticky=False)
+            return chosen
 
         sticky_name = self._sticky.get(context.session_id)
         if sticky_name is not None:
             for replica in candidates:
                 if replica.name == sticky_name:
+                    self._note_decision(replica, candidates, sticky=True)
                     return replica
         chosen = self.policy.choose(candidates, context)
         self._sticky[context.session_id] = chosen.name
+        self._note_decision(chosen, candidates, sticky=False)
         return chosen
+
+    def _note_decision(self, chosen: Replica, candidates: List[Replica],
+                       sticky: bool) -> None:
+        self.last_decision = {
+            "policy": self.policy.name,
+            "replica": chosen.name,
+            "candidates": len(candidates),
+            "sticky": sticky,
+        }
 
     def end_transaction(self, session_id: int) -> None:
         """Transaction-level balancing drops stickiness at commit."""

@@ -54,6 +54,7 @@ from .errors import (
 from .loadbalancer import (
     BalancingLevel, LoadBalancer, NoReplicaAvailable, RoutingContext,
 )
+from ..obs.tracing import Tracer
 from .monitoring import Monitor
 from .recoverylog import RecoveryLog
 from .replica import ApplyItem, Replica, ReplicaState
@@ -94,6 +95,11 @@ class MiddlewareConfig:
             autocommit reads are answered from a middleware-resident
             result cache with writeset-driven invalidation, gated by the
             consistency protocol (``None`` = every read hits a replica).
+        tracing: per-request span tracing (:mod:`repro.obs`) — on by
+            default; spans ride the simulated clock and cost nothing in
+            simulated time.
+        trace_retention: how many finished traces the tracer retains
+            in memory (oldest evicted whole, see docs/OBSERVABILITY.md).
     """
 
     def __init__(self,
@@ -106,7 +112,9 @@ class MiddlewareConfig:
                  table_locking: bool = True,
                  detect_divergence: bool = False,
                  resilience: Optional[ResiliencePolicy] = None,
-                 result_cache: Optional[ResultCacheConfig] = None):
+                 result_cache: Optional[ResultCacheConfig] = None,
+                 tracing: bool = True,
+                 trace_retention: int = 512):
         if replication not in ("statement", "writeset"):
             raise ValueError(f"unknown replication mode {replication!r}")
         if propagation not in ("sync", "async"):
@@ -127,6 +135,8 @@ class MiddlewareConfig:
         self.detect_divergence = detect_divergence
         self.resilience = resilience
         self.result_cache = result_cache
+        self.tracing = tracing
+        self.trace_retention = trace_retention
 
 
 class ReplicationMiddleware:
@@ -141,6 +151,12 @@ class ReplicationMiddleware:
         self.replicas: List[Replica] = list(replicas)
         self.config = config or MiddlewareConfig()
         self.monitor = monitor or Monitor()
+        # Request tracing (repro.obs): spans are timestamped off the
+        # monitor's non-advancing clock, so they ride simulated time in
+        # timed runs and the logical clock in unit tests.
+        self.tracer = Tracer(clock=self.monitor.peek,
+                             enabled=self.config.tracing,
+                             max_traces=self.config.trace_retention)
         self.certifier = Certifier(
             first_committer_wins=self.config.consistency.first_committer_wins)
         self.recovery_log = RecoveryLog()
@@ -227,6 +243,26 @@ class ReplicationMiddleware:
         snapshot = self.result_cache.snapshot()
         self.monitor.record("cache_snapshot", self.name, **snapshot)
         return snapshot
+
+    def trace_snapshot(self) -> Dict[str, int]:
+        """The tracer's counters (spans started/finished/dropped, traces
+        retained/evicted), recorded into the monitor for dashboards —
+        the obs sibling of :meth:`cache_snapshot`."""
+        snapshot = self.tracer.snapshot()
+        self.monitor.record("trace_snapshot", self.name, **snapshot)
+        return snapshot
+
+    def export_traces(self) -> str:
+        """All retained finished spans as JSON lines (one span per
+        line); see docs/OBSERVABILITY.md for the format."""
+        from ..obs.export import export_tracer
+        return export_tracer(self.tracer)
+
+    def explain_request(self, trace_id: int) -> str:
+        """EXPLAIN ANALYZE-style per-request report: the retained trace
+        rendered as an indented span tree with latencies and events."""
+        from ..metrics.breakdown import explain_trace
+        return explain_trace(self.tracer.trace(trace_id))
 
     def replica_by_name(self, name: str) -> Replica:
         for replica in self.replicas:
@@ -323,16 +359,33 @@ class ReplicationMiddleware:
                             info: Optional[StatementInfo]) -> Replica:
         """Pick a read replica honouring pinning, consistency eligibility
         and the balancer; waits (drains) for freshness when required."""
+        parent = session.active_span or session.trace_context
+        span = self.tracer.child_span("balancer.choose", parent)
+        try:
+            replica = self._choose_read_replica(session, info, span)
+        except Exception as exc:
+            span.set_tag("error", type(exc).__name__)
+            span.end()
+            raise
+        span.set_tag("replica", replica.name)
+        span.end()
+        return replica
+
+    def _choose_read_replica(self, session: "MiddlewareSession",
+                             info: Optional[StatementInfo],
+                             span) -> Replica:
         if session.pinned_replica is not None:
             replica = self.replica_by_name(session.pinned_replica)
             if not replica.can_serve:
                 raise ReplicaUnavailable(
                     f"session pinned to failed replica {replica.name!r} "
                     "(temporary tables are not replicated, section 4.1.4)")
+            span.set_tag("why", "pinned")
             return replica
         if session.route_override is not None:
             replica = self.replica_by_name(session.route_override)
             if replica.can_serve:
+                span.set_tag("why", "override")
                 return replica
 
         cluster = self.cluster_view()
@@ -344,7 +397,15 @@ class ReplicationMiddleware:
             if protocol.read_eligible(r, session.view, cluster)
         ]
         if candidates:
-            return self.config.balancer.choose(candidates, context)
+            chosen = self.config.balancer.choose(candidates, context)
+            if span:
+                decision = self.config.balancer.last_decision or {}
+                span.set_tag("why", "sticky" if decision.get("sticky")
+                             else "balanced")
+                span.set_tag("policy", decision.get("policy"))
+                span.set_tag("candidates", decision.get(
+                    "candidates", len(candidates)))
+            return chosen
 
         # Nobody fresh enough: wait for the most caught-up replica.
         online = self.online_replicas()
@@ -358,8 +419,12 @@ class ReplicationMiddleware:
             # lagging slave beats queueing behind a freshness wait.
             lag = max(0, needed - best.applied_seq)
             if self.resilience.serve_stale(lag):
+                span.set_tag("why", "degraded_stale")
+                span.event("degraded_read", lag=lag, replica=best.name)
                 return best
         self.stats["freshness_waits"] += 1
+        span.set_tag("why", "freshness_wait")
+        span.set_tag("waited_for_seq", needed)
         self.drain_replica(best.name, up_to_seq=needed)
         return best
 
@@ -369,15 +434,20 @@ class ReplicationMiddleware:
 
     def propagate_writeset(self, origin: Replica, seq: int,
                            entries: List[Dict],
-                           tables: Sequence[str]) -> None:
+                           tables: Sequence[str],
+                           trace_ref: Optional[Tuple[int, int]] = None
+                           ) -> None:
         """Ship a certified writeset to every other replica (sync or
-        async per configuration)."""
+        async per configuration).  ``trace_ref`` links the apply-side
+        spans back into the originating commit's trace."""
         for replica in self.replicas:
             if replica.name == origin.name:
                 continue
             if not replica.is_online:
                 continue  # it will resynchronize from the recovery log
-            item = ApplyItem(seq, "writeset", entries, tuple(tables))
+            item = ApplyItem(seq, "writeset", entries, tuple(tables),
+                             enqueued_at=self.monitor.peek(),
+                             trace_ref=trace_ref)
             if self.config.propagation == "sync":
                 self._apply_item(replica, item)
             else:
@@ -386,19 +456,34 @@ class ReplicationMiddleware:
                     self.on_apply_enqueued(replica, item)
 
     def _apply_item(self, replica: Replica, item: ApplyItem) -> None:
-        if item.kind == "writeset":
-            report = apply_writeset(
-                replica.engine, item.payload,
-                compensate_counters=self.config.compensate_counters)
-            if not report.clean:
-                self.monitor.record("apply_divergence", replica.name,
-                                    seq=item.seq, issues=report.conflicts)
-        else:
-            connection = replica.apply_connection()
-            for sql, params in item.payload:
-                connection.execute(sql, params)
-        replica.applied_seq = max(replica.applied_seq, item.seq)
-        replica.stats["applied_items"] += 1
+        span = None
+        if item.trace_ref is not None:
+            # cross-node continuation: the commit's trace gains a span on
+            # the applying replica, so one timeline shows propagation lag
+            trace_id, parent_id = item.trace_ref
+            span = self.tracer.start_linked(
+                "replica.apply", trace_id, parent_id,
+                replica=replica.name, seq=item.seq)
+            span.set_tag("propagation_lag", round(
+                max(0.0, self.tracer.now() - item.enqueued_at), 9))
+        try:
+            if item.kind == "writeset":
+                report = apply_writeset(
+                    replica.engine, item.payload,
+                    compensate_counters=self.config.compensate_counters)
+                if not report.clean:
+                    self.monitor.record("apply_divergence", replica.name,
+                                        seq=item.seq,
+                                        issues=report.conflicts)
+            else:
+                connection = replica.apply_connection()
+                for sql, params in item.payload:
+                    connection.execute(sql, params)
+            replica.applied_seq = max(replica.applied_seq, item.seq)
+            replica.stats["applied_items"] += 1
+        finally:
+            if span is not None:
+                span.end()
 
     def pump(self, max_items: Optional[int] = None) -> int:
         """Drain asynchronous apply queues (round-robin across replicas).
@@ -525,6 +610,18 @@ class MiddlewareSession:
         self._txn_footprints: set = set()
         self._txn_had_opaque = False
         self._txn_had_ddl = False
+        # Tracing (repro.obs).  ``active_span`` is the mw.statement span
+        # currently executing on this session — explicit parenting, NOT a
+        # tracer-global stack, because concurrent simulated requests
+        # interleave at yields.  ``trace_context`` is an optional parent
+        # installed by a timed driver (the request/timed.statement span)
+        # so middleware spans join the request's trace instead of
+        # starting roots of their own.  ``_cache_note`` carries the
+        # result-cache decision (miss/bypass...) from the pre-parse fast
+        # path to the statement span that ends up executing.
+        self.active_span = None
+        self.trace_context = None
+        self._cache_note: Optional[str] = None
 
     # ------------------------------------------------------------------
     # public API
@@ -627,10 +724,33 @@ class MiddlewareSession:
 
     def _execute_one(self, statement: ast.Statement, sql_text: str,
                      params: List[Any]) -> Result:
-        resilience = self.middleware.resilience
-        if resilience is None:
-            return self._dispatch_one(statement, sql_text, params)
-        return resilience.execute_statement(self, statement, sql_text, params)
+        tracer = self.middleware.tracer
+        if self.active_span:
+            # nested execution (e.g. a transaction replay re-issuing
+            # statements): stay inside the outer statement's span
+            span = tracer.child_span("mw.statement", self.active_span)
+        else:
+            span = tracer.start_span("mw.statement",
+                                     parent=self.trace_context)
+        span.set_tag("session", self.id)
+        span.set_tag("sql", sql_text[:80])
+        if self._cache_note is not None:
+            span.set_tag("cache", self._cache_note)
+            self._cache_note = None
+        previous = self.active_span
+        self.active_span = span
+        try:
+            resilience = self.middleware.resilience
+            if resilience is None:
+                return self._dispatch_one(statement, sql_text, params)
+            return resilience.execute_statement(
+                self, statement, sql_text, params)
+        except Exception as exc:
+            span.set_tag("error", type(exc).__name__)
+            raise
+        finally:
+            self.active_span = previous
+            span.end()
 
     def _dispatch_one(self, statement: ast.Statement, sql_text: str,
                       params: List[Any]) -> Result:
@@ -681,22 +801,35 @@ class MiddlewareSession:
             return None
         key = cache_key(self.user, self.database, sql, params)
         if key is None:
+            self._cache_note = "uncacheable"
             return None
         entry = cache.peek(key)
         if entry is None:
+            self._cache_note = "miss"
             return None
         if self.temp_tables and (self.temp_tables & entry.table_names()):
             # a session temp table shadows a cached base table (4.1.4)
+            self._cache_note = "bypass_temp"
             return None
         middleware._check_up()
         gate = middleware.cache_gate
         decision, lag = gate.decide(self)
         if decision == GATE_BYPASS_PROTOCOL:
             cache.stats["bypass_protocol"] += 1
+            self._cache_note = "bypass_protocol"
             return None
         if decision == GATE_REJECT:
             cache.stats["gate_rejections"] += 1
+            self._cache_note = "reject"
             return None
+        # A hit never reaches _execute_one, so it gets its own statement
+        # span (zero-duration: no replica, no simulated cost).
+        span = middleware.tracer.start_span(
+            "mw.statement", parent=self.trace_context, session=self.id,
+            sql=sql[:80],
+            cache=("stale" if decision == GATE_STALE else "hit"))
+        if lag:
+            span.set_tag("cache_lag", lag)
         if decision == GATE_STALE:
             cache.stats["stale_hits"] += 1
             if middleware.resilience is not None:
@@ -705,6 +838,7 @@ class MiddlewareSession:
             cache.stats["hits"] += 1
         middleware.config.balancer.note_cache_hit()
         gate.note_served(self, decision)
+        span.end()
         return entry.to_result(stale=(decision == GATE_STALE), lag=lag)
 
     def _maybe_fill_cache(self, statement: ast.Statement, sql_text: str,
@@ -765,12 +899,18 @@ class MiddlewareSession:
             # actually fresh — the replicas are gone but the entry is fine
             cache.stats["hits"] += 1
             middleware.cache_gate.note_served(self, GATE_HIT)
+            if self.active_span:
+                self.active_span.set_tag("cache", "fallback_hit")
             return entry.to_result()
         if not resilience.serve_stale(lag):
             return None
         cache.stats["stale_hits"] += 1
         resilience.note_stale_cache_served()
         middleware.cache_gate.note_served(self, GATE_STALE)
+        if self.active_span:
+            self.active_span.set_tag("cache", "stale_fallback")
+            self.active_span.event("degraded_read", lag=lag,
+                                   source="result_cache")
         return entry.to_result(stale=True, lag=lag)
 
     def _explain_cache_decision(self, statement: ast.ExplainStatement,
@@ -809,6 +949,21 @@ class MiddlewareSession:
         return "cache miss"
 
     # ------------------------------------------------------------------
+    # traced replica execution
+    # ------------------------------------------------------------------
+
+    def _traced_execute(self, replica: Replica, connection: Connection,
+                        statement: ast.Statement, sql_text: str,
+                        params: List[Any]) -> Result:
+        """Run one statement on one replica under a replica.execute span
+        (a no-op span outside a traced request)."""
+        span = self.middleware.tracer.child_span(
+            "replica.execute", self.active_span, replica=replica.name)
+        with span:
+            return connection.execute_statement(statement, sql_text,
+                                                params)
+
+    # ------------------------------------------------------------------
     # reads
     # ------------------------------------------------------------------
 
@@ -834,7 +989,8 @@ class MiddlewareSession:
             else:
                 replica = self._ensure_local_replica()
                 connection = self._txn_connections[replica.name]
-            result = connection.execute_statement(statement, sql_text, params)
+            result = self._traced_execute(replica, connection, statement,
+                                          sql_text, params)
         elif self.in_transaction:
             # statement mode: read through a replica holding the txn
             if self._txn_connections:
@@ -842,7 +998,8 @@ class MiddlewareSession:
             else:
                 replica = middleware.choose_read_replica(self, info)
             connection = self._txn_connection(replica)
-            result = connection.execute_statement(statement, sql_text, params)
+            result = self._traced_execute(replica, connection, statement,
+                                          sql_text, params)
         else:
             try:
                 replica = middleware.choose_read_replica(self, info)
@@ -896,14 +1053,18 @@ class MiddlewareSession:
         """Autocommit read with transparent retry on another replica when
         the chosen one dies mid-request (section 4.3.3)."""
         try:
-            return connection.execute_statement(statement, sql_text, params)
+            return self._traced_execute(replica, connection, statement,
+                                        sql_text, params)
         except ConnectionError_:
             self._note_replica_failure(replica)
+            if self.active_span:
+                self.active_span.event("failover_retry",
+                                       failed=replica.name)
             retry = self.middleware.choose_read_replica(self, info)
             retry_connection = self._read_connection(retry)
             self.failover_replays += 1
-            return retry_connection.execute_statement(
-                statement, sql_text, params)
+            return self._traced_execute(retry, retry_connection,
+                                        statement, sql_text, params)
 
     def _read_connection(self, replica: Replica) -> Connection:
         connection = self._read_connections.get(replica.name)
@@ -979,7 +1140,8 @@ class MiddlewareSession:
         if self.in_transaction and not connection.in_transaction:
             connection.begin(getattr(self, "_txn_isolation", None))
             self._txn_connections[replica.name] = connection
-        return connection.execute_statement(statement, sql_text, params)
+        return self._traced_execute(replica, connection, statement,
+                                    sql_text, params)
 
     def _pinned_connection_for(self, replica: Replica) -> Connection:
         if self._pinned_connection is None or self._pinned_connection.closed:
@@ -1012,8 +1174,8 @@ class MiddlewareSession:
         for replica in live_targets:
             connection = self._txn_connection(replica)
             try:
-                result = connection.execute_statement(
-                    statement, sql_text, params)
+                result = self._traced_execute(
+                    replica, connection, statement, sql_text, params)
                 results.append((replica, result))
             except ConnectionError_:
                 # Replica died mid-broadcast: statement replication keeps
@@ -1128,7 +1290,8 @@ class MiddlewareSession:
             return self._broadcast_ddl(statement, sql_text, params, info)
         replica = self._ensure_local_replica()
         connection = self._txn_connections[replica.name]
-        result = connection.execute_statement(statement, sql_text, params)
+        result = self._traced_execute(replica, connection, statement,
+                                      sql_text, params)
         self._txn_statements.append((sql_text, list(params)))
         self._txn_tables_written |= info.tables_written
         self._txn_is_write = True
@@ -1146,8 +1309,13 @@ class MiddlewareSession:
             connection = self._txn_connection(replica) \
                 if replica.name in self._txn_connections \
                 else self._read_connection(replica)
-            result = connection.execute_statement(statement, sql_text, params)
+            result = self._traced_execute(replica, connection, statement,
+                                          sql_text, params)
+        span = middleware.tracer.child_span("certify", self.active_span,
+                                            kind="ddl")
         seq = middleware.certifier.assign_seq()
+        span.set_tag("seq", seq)
+        span.end()
         middleware.recovery_log.append(
             seq, "statements", [(sql_text, list(params))],
             tables=sorted(info.tables_written), user=self.user,
@@ -1272,7 +1440,12 @@ class MiddlewareSession:
             middleware.stats["aborts"] += 1
             raise NoReplicaAvailable("commit failed on every replica")
         footprints = frozenset(self._txn_footprints)
+        span = middleware.tracer.child_span(
+            "certify", self.active_span, kind="statements",
+            keys=len(footprints))
         seq = middleware.certifier.assign_seq(footprints)
+        span.set_tag("seq", seq)
+        span.end()
         middleware.recovery_log.append(
             seq, "statements", list(self._txn_statements),
             tables=sorted(self._txn_tables_written), user=self.user,
@@ -1311,13 +1484,21 @@ class MiddlewareSession:
             connection.commit()
             return
         keys = conflict_keys(entries)
+        span = middleware.tracer.child_span(
+            "certify", self.active_span, kind="writeset", keys=len(keys),
+            start_seq=self._txn_start_seq)
         try:
             outcome = middleware.certifier.certify(self._txn_start_seq, keys)
         except CertifierDown:
+            span.set_tag("error", "CertifierDown")
+            span.end()
             connection.rollback()
             middleware.stats["aborts"] += 1
             raise
+        span.set_tag("ok", outcome.ok)
         if not outcome.ok:
+            span.set_tag("conflict_seq", outcome.conflict_seq)
+            span.end()
             connection.rollback()
             middleware.stats["aborts"] += 1
             middleware.stats["certification_aborts"] += 1
@@ -1325,19 +1506,31 @@ class MiddlewareSession:
             raise SerializationError(
                 f"certification failed: conflicts with global seq "
                 f"{outcome.conflict_seq} (first-committer-wins)")
+        span.set_tag("seq", outcome.seq)
+        span.end()
         # Prefix discipline: the replica must apply every earlier-certified
         # writeset before this commit lands, or its applied watermark would
         # skip updates it never saw.  Certification already guarantees the
         # pending items are disjoint from this transaction's writeset.
         seq = outcome.seq
         middleware.drain_replica(replica.name, up_to_seq=seq - 1)
-        connection.commit()
+        commit_span = middleware.tracer.child_span(
+            "replica.commit", self.active_span, replica=replica.name)
+        with commit_span:
+            connection.commit()
         replica.applied_seq = max(replica.applied_seq, seq)
         tables = sorted(self._txn_tables_written)
         middleware.recovery_log.append(
             seq, "writeset", entries, tables=tables, user=self.user,
             database=self.database)
-        middleware.propagate_writeset(replica, seq, entries, tables)
+        prop_span = middleware.tracer.child_span(
+            "propagate", self.active_span, seq=seq,
+            mode=middleware.config.propagation)
+        middleware.propagate_writeset(
+            replica, seq, entries, tables,
+            trace_ref=((prop_span.trace_id, prop_span.span_id)
+                       if prop_span else None))
+        prop_span.end()
         middleware.config.consistency.note_commit(self.view, seq)
         middleware.publish_certified(
             seq, keys=invalidation_keys(entries, replica.engine),

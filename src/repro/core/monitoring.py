@@ -5,6 +5,18 @@ infrastructure" and the paper asks what the replication layer should feed
 it.  Our answer: every state-changing middleware event lands on a single
 timestamped timeline, from which ``repro.metrics.availability`` computes
 MTTF/MTTR/nines and benchmarks build their reports.
+
+The monitor is also the system's clock authority: its injected
+``time_source`` (``Monitor.peek`` reads it without advancing the logical
+fallback) drives the result cache's TTLs, the resilience layer's
+deadlines and the request tracer in :mod:`repro.obs` — one clock, so
+monitor events, cache decisions and span timestamps are mutually
+comparable and seeded runs reproduce all three identically.  The two
+views are complementary: the monitor answers *what happened to the
+cluster* (aggregate, per-component), a trace answers *what happened to
+this request* (section 5.1's degraded-mode question); summary counters
+cross over via ``ReplicationMiddleware.trace_snapshot()``, which records
+the tracer's totals as a ``trace_snapshot`` monitor event.
 """
 
 from __future__ import annotations

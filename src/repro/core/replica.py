@@ -26,15 +26,21 @@ class ReplicaState(enum.Enum):
 class ApplyItem:
     """One unit of pending replication work for this replica."""
 
-    __slots__ = ("seq", "kind", "payload", "tables", "enqueued_at")
+    __slots__ = ("seq", "kind", "payload", "tables", "enqueued_at",
+                 "trace_ref")
 
     def __init__(self, seq: int, kind: str, payload: Any,
-                 tables: Tuple[str, ...] = (), enqueued_at: float = 0.0):
+                 tables: Tuple[str, ...] = (), enqueued_at: float = 0.0,
+                 trace_ref: Optional[Tuple[int, int]] = None):
         self.seq = seq
         self.kind = kind          # "statements" | "writeset"
         self.payload = payload
         self.tables = tables
         self.enqueued_at = enqueued_at
+        # (trace_id, span_id) of the originating commit's propagate span:
+        # the apply side opens a *linked* span into that trace, so one
+        # trace shows the cross-node propagation lag (repro.obs).
+        self.trace_ref = trace_ref
 
 
 class Replica:

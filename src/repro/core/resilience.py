@@ -472,17 +472,27 @@ class ResilienceCoordinator:
             if is_commit and session.in_transaction and session._txn_is_write:
                 snapshot = (list(session._txn_statements),
                             getattr(session, "_txn_isolation", None))
+            # the mw.statement span opened by _execute_one — retry /
+            # breaker / deadline decisions land on it as span events
+            span = getattr(session, "active_span", None)
             try:
                 return session._dispatch_one(statement, sql_text, params)
             except RequestTimeout:
                 self.stats["timeouts"] += 1
+                if span:
+                    span.event("deadline_exceeded", attempt=attempt)
                 raise
             except self.RETRYABLE as exc:
+                if span and isinstance(exc, CircuitOpen):
+                    span.event("circuit_open", error=str(exc)[:120])
                 mode = self._classify(session, statement, snapshot, exc)
                 if mode == "fail":
                     raise
                 if mode == "exhaust":
                     self.stats["retry_exhausted"] += 1
+                    if span:
+                        span.event("retry_exhausted",
+                                   reason="ambiguous_commit")
                     error = RetryExhausted(
                         "commit outcome is ambiguous; refusing a non-"
                         "idempotent retry (set RetryPolicy.retry_commits "
@@ -493,17 +503,30 @@ class ResilienceCoordinator:
                     raise error from exc
                 if retry.spent(attempt):
                     self.stats["retry_exhausted"] += 1
+                    if span:
+                        span.event("retry_exhausted", attempts=attempt)
                     raise RetryExhausted(
                         f"request failed after {attempt} attempts: "
                         f"{exc}") from exc
                 backoff = retry.backoff(attempt, key=session.id)
                 if deadline is not None and deadline.remaining() <= backoff:
                     self.stats["timeouts"] += 1
+                    if span:
+                        span.event("deadline_exceeded", attempt=attempt,
+                                   backoff=round(backoff, 6))
                     raise RequestTimeout(
                         f"deadline would expire during the {backoff:.3f}s "
                         f"retry backoff (attempt {attempt})") from exc
                 self.pending_backoff += backoff
                 self.stats["retries"] += 1
+                if span:
+                    # NOTE: the backoff here is *accumulated*, not yet
+                    # charged — the attr is named ``backoff`` (not
+                    # ``duration``) so latency breakdowns do not double-
+                    # count it against the timed layer's charge
+                    span.event("retry", attempt=attempt,
+                               error=type(exc).__name__,
+                               backoff=round(backoff, 6))
                 self.middleware.monitor.record(
                     "retry", self.middleware.name, attempt=attempt,
                     error=type(exc).__name__, backoff=backoff)
@@ -556,6 +579,9 @@ class ResilienceCoordinator:
             self._replaying = False
         self.stats["replays"] += 1
         session.failover_replays += 1
+        span = getattr(session, "active_span", None)
+        if span:
+            span.event("txn_replayed", statements=len(statements))
         self.middleware.monitor.record(
             "txn_replayed", self.middleware.name,
             statements=len(statements))

@@ -4,12 +4,15 @@ from .availability import (
     FIVE_NINES_BUDGET_SECONDS, SECONDS_PER_YEAR, AvailabilityTracker,
     availability_from_mtbf, downtime_budget, nines,
 )
+from .breakdown import (BreakdownAggregator, explain_trace,
+                        trace_breakdown, trace_root)
 from .cache import hit_rate, stale_fraction, summarize
 from .perf import LatencyRecorder, ThroughputMeter, TimeSeries
 
 __all__ = [
-    "AvailabilityTracker", "FIVE_NINES_BUDGET_SECONDS", "LatencyRecorder",
-    "SECONDS_PER_YEAR", "ThroughputMeter", "TimeSeries",
-    "availability_from_mtbf", "downtime_budget", "hit_rate", "nines",
-    "stale_fraction", "summarize",
+    "AvailabilityTracker", "BreakdownAggregator",
+    "FIVE_NINES_BUDGET_SECONDS", "LatencyRecorder", "SECONDS_PER_YEAR",
+    "ThroughputMeter", "TimeSeries", "availability_from_mtbf",
+    "downtime_budget", "explain_trace", "hit_rate", "nines",
+    "stale_fraction", "summarize", "trace_breakdown", "trace_root",
 ]

@@ -1,0 +1,21 @@
+"""Observability subsystem: per-request tracing for the middleware.
+
+See ``docs/OBSERVABILITY.md`` for the user guide and
+:mod:`repro.obs.tracing` for the design rationale (paper section 5.1,
+Dapper, gray failures).
+"""
+
+from .export import (export_tracer, group_by_trace, read_jsonl,
+                     spans_to_jsonl, write_jsonl)
+from .tracing import NULL_SPAN, Span, Tracer
+
+__all__ = [
+    "NULL_SPAN",
+    "Span",
+    "Tracer",
+    "export_tracer",
+    "group_by_trace",
+    "read_jsonl",
+    "spans_to_jsonl",
+    "write_jsonl",
+]

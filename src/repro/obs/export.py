@@ -1,0 +1,68 @@
+"""Trace export/import as JSON lines — one span per line.
+
+Traces must leave the process to be useful: CI uploads them next to the
+``BENCH_*.json`` artifacts, and a human (or the E25 benchmark) reads
+them back to reconstruct a fault timeline.  JSON lines is the format of
+choice because it needs no framing, appends cheaply, greps cleanly, and
+the standard library covers it — no dependency, per the repo rule.
+
+Round-trip contract (tested in ``tests/obs/test_tracing.py``): for any
+finished span, ``from_dict(json.loads(json.dumps(to_dict(s))))``
+preserves ids, parentage, timestamps, tags and events exactly, module
+floats' usual caveats aside (we only ever produce floats from the
+simulated clock, which are round-trip-exact in IEEE-754).
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from typing import Dict, Iterable, List, TextIO, Union
+
+from .tracing import Span, Tracer
+
+
+def spans_to_jsonl(spans: Iterable[Span]) -> str:
+    """Serialize spans to a JSON-lines string (one span per line)."""
+    out = io.StringIO()
+    write_jsonl(spans, out)
+    return out.getvalue()
+
+
+def write_jsonl(spans: Iterable[Span], fp: TextIO) -> int:
+    """Write spans to a text file object; returns the span count."""
+    count = 0
+    for span in spans:
+        fp.write(json.dumps(span.to_dict(), sort_keys=True))
+        fp.write("\n")
+        count += 1
+    return count
+
+
+def read_jsonl(source: Union[str, TextIO]) -> List[Span]:
+    """Parse JSON lines (string or file object) back into detached
+    spans, in file order.  Blank lines are skipped."""
+    if isinstance(source, str):
+        lines: Iterable[str] = source.splitlines()
+    else:
+        lines = source
+    spans: List[Span] = []
+    for line in lines:
+        line = line.strip()
+        if not line:
+            continue
+        spans.append(Span.from_dict(json.loads(line)))
+    return spans
+
+
+def group_by_trace(spans: Iterable[Span]) -> Dict[int, List[Span]]:
+    """Bucket spans by trace id, preserving input order per trace."""
+    traces: Dict[int, List[Span]] = {}
+    for span in spans:
+        traces.setdefault(span.trace_id, []).append(span)
+    return traces
+
+
+def export_tracer(tracer: Tracer) -> str:
+    """All retained finished spans of a tracer, as JSON lines."""
+    return spans_to_jsonl(tracer.finished_spans())

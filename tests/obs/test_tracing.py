@@ -1,0 +1,272 @@
+"""Tracer/span unit tests: nesting, clock monotonicity, bounded
+retention, JSON-lines round-trips and the no-op null span (the
+observability layer of paper section 5.1)."""
+
+import io
+
+import pytest
+
+from repro.metrics.breakdown import (
+    BreakdownAggregator, explain_trace, trace_breakdown, trace_root,
+)
+from repro.obs import (
+    NULL_SPAN, Span, Tracer, group_by_trace, read_jsonl, spans_to_jsonl,
+    write_jsonl,
+)
+
+
+class ManualClock:
+    def __init__(self):
+        self.now = 0.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, dt):
+        self.now += dt
+
+
+@pytest.fixture
+def clock():
+    return ManualClock()
+
+
+@pytest.fixture
+def tracer(clock):
+    return Tracer(clock=clock)
+
+
+# ---------------------------------------------------------------------------
+# span lifecycle + nesting
+# ---------------------------------------------------------------------------
+
+class TestSpanNesting:
+    def test_root_and_children_share_the_trace(self, tracer, clock):
+        root = tracer.start_span("request", kind="read")
+        child = tracer.child_span("balancer.choose", root)
+        grandchild = tracer.child_span("replica.execute", child)
+        assert child.trace_id == root.trace_id == grandchild.trace_id
+        assert child.parent_id == root.span_id
+        assert grandchild.parent_id == child.span_id
+        assert root.is_root() and not child.is_root()
+        for span in (grandchild, child, root):
+            span.end()
+        assert len(tracer.trace(root.trace_id)) == 3
+
+    def test_separate_roots_get_separate_traces(self, tracer):
+        a = tracer.start_span("request")
+        b = tracer.start_span("request")
+        assert a.trace_id != b.trace_id
+        assert a.span_id != b.span_id
+
+    def test_child_span_without_parent_is_null(self, tracer):
+        assert tracer.child_span("orphan", None) is NULL_SPAN
+        assert tracer.child_span("orphan", NULL_SPAN) is NULL_SPAN
+        # nothing recorded: orphan prevention, not silent roots
+        assert tracer.snapshot()["spans_started"] == 0
+
+    def test_linked_span_joins_a_foreign_trace(self, tracer):
+        root = tracer.start_span("propagate")
+        root.end()
+        linked = tracer.start_linked("replica.apply", root.trace_id,
+                                     root.span_id, replica="r1")
+        linked.end()
+        spans = tracer.trace(root.trace_id)
+        assert len(spans) == 2
+        assert linked.parent_id == root.span_id
+
+    def test_context_manager_tags_errors(self, tracer):
+        with pytest.raises(ValueError):
+            with tracer.start_span("request") as span:
+                raise ValueError("boom")
+        assert span.finished
+        assert span.tags["error"] == "ValueError"
+
+    def test_disabled_tracer_returns_null(self, clock):
+        tracer = Tracer(clock=clock, enabled=False)
+        assert tracer.start_span("request") is NULL_SPAN
+        assert not NULL_SPAN  # falsy: `if span:` guards stay cheap
+        # every null-span operation is a harmless no-op
+        NULL_SPAN.set_tag("k", 1)
+        NULL_SPAN.event("retry", attempt=1)
+        NULL_SPAN.end()
+        with NULL_SPAN:
+            pass
+        assert tracer.snapshot()["spans_started"] == 0
+
+
+# ---------------------------------------------------------------------------
+# clock behaviour
+# ---------------------------------------------------------------------------
+
+class TestClockMonotonicity:
+    def test_timestamps_never_regress(self, tracer, clock):
+        span = tracer.start_span("request")
+        clock.advance(2.0)
+        tracer.now()            # high-water mark at t=2
+        clock.now = 0.5         # the injected clock misbehaves
+        late = tracer.child_span("child", span)
+        assert late.start >= 2.0
+        late.end()
+        span.end()
+        assert late.end_time >= late.start
+        assert span.end_time >= span.start
+
+    def test_event_and_end_clamped_to_start(self, tracer, clock):
+        clock.advance(1.0)
+        span = tracer.start_span("request")
+        span.event("retry", attempt=1)
+        time, name, attrs = span.events[0]
+        assert time >= span.start
+        span.end(end_time=0.0)  # explicit end before start: clamped
+        assert span.end_time == span.start
+        assert span.duration == 0.0
+
+    def test_duration_tracks_the_injected_clock(self, tracer, clock):
+        span = tracer.start_span("request")
+        clock.advance(1.5)
+        span.end()
+        assert span.duration == pytest.approx(1.5)
+
+    def test_end_is_idempotent(self, tracer, clock):
+        span = tracer.start_span("request")
+        clock.advance(1.0)
+        span.end()
+        clock.advance(5.0)
+        span.end()
+        assert span.duration == pytest.approx(1.0)
+        assert tracer.snapshot()["spans_finished"] == 1
+
+
+# ---------------------------------------------------------------------------
+# bounded retention
+# ---------------------------------------------------------------------------
+
+class TestBoundedRetention:
+    def test_oldest_traces_evicted_whole(self, clock):
+        tracer = Tracer(clock=clock, max_traces=3)
+        roots = []
+        for index in range(5):
+            root = tracer.start_span("request", index=index)
+            tracer.child_span("child", root).end()
+            root.end()
+            roots.append(root)
+        stats = tracer.snapshot()
+        assert stats["retained_traces"] == 3
+        assert stats["traces_evicted"] == 2
+        assert tracer.trace(roots[0].trace_id) == []
+        assert tracer.trace(roots[-1].trace_id) != []
+        # eviction removes whole traces: no orphan children survive
+        for spans in tracer.traces():
+            ids = {span.span_id for span in spans}
+            assert all(span.parent_id in ids or span.is_root()
+                       for span in spans)
+
+    def test_late_finish_into_evicted_trace_is_dropped(self, clock):
+        tracer = Tracer(clock=clock, max_traces=1)
+        old = tracer.start_span("request")
+        tracer.start_span("request").end()  # evicts `old`'s trace
+        old.end()                           # finishes into the void
+        stats = tracer.snapshot()
+        assert stats["spans_dropped"] == 1
+        assert stats["retained_traces"] == 1
+
+    def test_clear_resets_retention_not_counters(self, tracer):
+        tracer.start_span("request").end()
+        tracer.clear()
+        stats = tracer.snapshot()
+        assert stats["retained_traces"] == 0
+        assert stats["spans_finished"] == 1
+
+
+# ---------------------------------------------------------------------------
+# JSON-lines export
+# ---------------------------------------------------------------------------
+
+class TestExportRoundTrip:
+    def test_spans_round_trip(self, tracer, clock):
+        root = tracer.start_span("request", kind="write")
+        child = tracer.child_span("replica.execute", root, replica="r0")
+        clock.advance(0.25)
+        child.event("retry", attempt=1, backoff=0.1)
+        child.end()
+        root.end()
+
+        buffer = io.StringIO()
+        written = write_jsonl(tracer.finished_spans(), buffer)
+        assert written == 2
+        restored = read_jsonl(io.StringIO(buffer.getvalue()))
+        assert [s.to_dict() for s in restored] == \
+            [s.to_dict() for s in tracer.finished_spans()]
+        grouped = group_by_trace(restored)
+        assert set(grouped) == {root.trace_id}
+
+    def test_read_skips_blank_lines(self):
+        span = Span(None, 1, 2, None, "request", 0.0)
+        span.end(end_time=1.0)
+        text = spans_to_jsonl([span]) + "\n\n"
+        assert len(read_jsonl(io.StringIO(text))) == 1
+
+    def test_detached_span_preserves_events_and_tags(self):
+        span = Span(None, 7, 8, 6, "certify", 1.0, {"seq": 3})
+        span.events.append((1.5, "conflict", {"seq": 2}))
+        span.end(end_time=2.0)
+        clone = Span.from_dict(span.to_dict())
+        assert clone.to_dict() == span.to_dict()
+        assert clone.duration == pytest.approx(1.0)
+
+
+# ---------------------------------------------------------------------------
+# breakdown arithmetic (the E25 fidelity bar, in miniature)
+# ---------------------------------------------------------------------------
+
+class TestBreakdown:
+    def test_self_time_and_timed_events(self, tracer, clock):
+        root = tracer.start_span("request")
+        clock.advance(1.0)                      # 1.0s of root self time
+        child = tracer.child_span("replica.execute", root)
+        clock.advance(2.0)
+        child.end()
+        root.event("backoff", duration=0.5)     # charged by the caller
+        clock.advance(0.5)
+        root.end()
+        stages = trace_breakdown(tracer.trace(root.trace_id))
+        assert stages["replica.execute"] == pytest.approx(2.0)
+        assert stages["backoff"] == pytest.approx(0.5)
+        assert stages["request"] == pytest.approx(1.0)
+        assert sum(stages.values()) == pytest.approx(root.duration)
+
+    def test_untimed_events_are_not_stages(self, tracer, clock):
+        root = tracer.start_span("request")
+        root.event("retry", attempt=1, backoff=0.3)  # no duration attr
+        clock.advance(1.0)
+        root.end()
+        stages = trace_breakdown(tracer.trace(root.trace_id))
+        assert "retry" not in stages
+        assert sum(stages.values()) == pytest.approx(1.0)
+
+    def test_aggregator_coverage(self, tracer, clock):
+        aggregator = BreakdownAggregator()
+        for _ in range(3):
+            root = tracer.start_span("request")
+            child = tracer.child_span("replica.execute", root)
+            clock.advance(1.0)
+            child.end()
+            root.end()
+            aggregator.add_trace(tracer.trace(root.trace_id))
+        summary = aggregator.summary()
+        assert summary["traces"] == 3
+        assert summary["coverage"] == pytest.approx(1.0)
+        assert summary["stages"]["replica.execute"]["count"] == 3
+
+    def test_explain_trace_renders_tree(self, tracer, clock):
+        root = tracer.start_span("request", kind="read")
+        child = tracer.child_span("balancer.choose", root, replica="r1")
+        child.event("degraded_read", lag=4)
+        clock.advance(0.01)
+        child.end()
+        root.end()
+        text = explain_trace(tracer.trace(root.trace_id))
+        assert "TRACE" in text and "balancer.choose" in text
+        assert "degraded_read" in text and "replica=r1" in text
+        assert trace_root(tracer.trace(root.trace_id)) is root

@@ -1,0 +1,111 @@
+#!/usr/bin/env python3
+"""Documentation consistency checks, run as a CI job.
+
+Three guarantees, all stdlib:
+
+1. every relative Markdown link in the repo's ``*.md`` files resolves
+   to an existing file or directory (external ``http(s)``/``mailto``
+   links and pure ``#anchor`` links are skipped);
+2. ``docs/ARCHITECTURE.md`` references every package under
+   ``src/repro/`` — the architecture guide may not silently fall
+   behind the tree;
+3. every experiment ``benchmarks/test_eNN_*.py`` has a ``| ENN |``
+   row in both ``EXPERIMENTS.md`` and ``DESIGN.md``'s per-experiment
+   index — the drift E24 once exhibited.
+
+Exit code 0 = all green; 1 = problems, printed one per line.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+#: [text](target) — good enough for this repo's plain Markdown; code
+#: spans are stripped first so `dict[str](x)` examples don't trip it
+LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+CODE_SPAN = re.compile(r"`[^`]*`")
+FENCE = re.compile(r"^(```|~~~)")
+EXPERIMENT = re.compile(r"test_(e\d{2})_\w+\.py$")
+
+SKIP_DIRS = {".git", "__pycache__", ".pytest_cache", "node_modules"}
+#: machine-generated inputs (paper digests, the PR driver's task file) —
+#: they carry extraction artifacts we don't maintain
+SKIP_FILES = {"PAPERS.md", "SNIPPETS.md", "ISSUE.md"}
+
+
+def markdown_files():
+    for path in sorted(REPO.rglob("*.md")):
+        if path.name in SKIP_FILES:
+            continue
+        if not SKIP_DIRS.intersection(p.name for p in path.parents):
+            yield path
+
+
+def check_links(problems):
+    for path in markdown_files():
+        in_fence = False
+        for number, line in enumerate(
+                path.read_text().splitlines(), start=1):
+            if FENCE.match(line.strip()):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for target in LINK.findall(CODE_SPAN.sub("", line)):
+                if target.startswith(("http://", "https://", "mailto:",
+                                      "#")):
+                    continue
+                resolved = (path.parent / target.split("#")[0]).resolve()
+                if not resolved.exists():
+                    problems.append(
+                        f"{path.relative_to(REPO)}:{number}: "
+                        f"broken link -> {target}")
+
+
+def check_architecture_coverage(problems):
+    guide = REPO / "docs" / "ARCHITECTURE.md"
+    if not guide.exists():
+        problems.append("docs/ARCHITECTURE.md is missing")
+        return
+    text = guide.read_text()
+    packages = sorted(p.name for p in (REPO / "src" / "repro").iterdir()
+                      if p.is_dir() and (p / "__init__.py").exists())
+    for package in packages:
+        if f"repro.{package}" not in text:
+            problems.append(
+                f"docs/ARCHITECTURE.md: package repro.{package} "
+                f"is never referenced")
+
+
+def check_experiment_rows(problems):
+    experiments = sorted(
+        match.group(1).upper()
+        for path in (REPO / "benchmarks").glob("test_e*.py")
+        if (match := EXPERIMENT.match(path.name)))
+    for doc in ("EXPERIMENTS.md", "DESIGN.md"):
+        text = (REPO / doc).read_text()
+        for experiment in experiments:
+            if f"| {experiment} |" not in text:
+                problems.append(
+                    f"{doc}: no table row for experiment {experiment}")
+
+
+def main() -> int:
+    problems: list = []
+    check_links(problems)
+    check_architecture_coverage(problems)
+    check_experiment_rows(problems)
+    for problem in problems:
+        print(problem)
+    count = len(problems)
+    print(f"check_docs: {count} problem(s)"
+          if count else "check_docs: all green")
+    return 1 if count else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
