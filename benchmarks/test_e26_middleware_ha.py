@@ -1,0 +1,195 @@
+"""E26 — middleware-tier HA: standby promotion vs cold restart.
+
+Section 3.2 again, but this time measuring the *remedy* instead of the
+disease (E09 measures the disease).  The same seeded middleware-kill
+schedules run twice under identical open-loop load:
+
+* **ha** — an active/standby :class:`repro.ha.HAPair` with synchronous
+  state shipping; each kill is followed by a fenced promotion after the
+  detection delay, and clients fail over exactly-once (commit ledger).
+* **cold** — no standby; each kill pays the paper's slow path: a cold
+  restart that retrieves state from every replica
+  (:func:`repro.ha.promotion.cold_restart_duration`).
+
+Claims checked:
+
+* zero acked-commit loss in *both* modes (2-safe propagation + replay
+  with ledger dedup — the ``no_lost_acked_commits`` invariant);
+* the standby-promotion outage window is strictly smaller than the cold
+  state-retrieval restart, for every seed;
+* goodput under faults is higher with the standby;
+* no split-brain: after a (false-positive) promotion the deposed leader
+  is refused with ``FencedOut`` while the new leader keeps committing.
+"""
+
+import json
+import random
+from pathlib import Path
+
+import pytest
+
+from repro.bench import Report
+from repro.bench.chaos import (
+    ChaosConfig, default_resilience_policy, run_chaos,
+)
+from repro.bench.harness import build_cluster
+from repro.core.errors import FencedOut
+from repro.ha import HAPair
+
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_e26.json"
+
+SEEDS = [11, 23, 37, 41, 53]
+DURATION = 20.0
+RATE_TPS = 30.0
+KILLS_PER_SCHEDULE = 2
+DETECTION_DELAY = 0.3
+
+
+def kill_schedule(seed: int) -> list:
+    """Two seeded kill times: one in the first half of the run, one in
+    the second, both clear of the drain window."""
+    rng = random.Random(seed * 7919 + 3)
+    return [round(rng.uniform(3.0, 7.0), 2),
+            round(rng.uniform(10.0, 14.0), 2)]
+
+
+def run_mode(seed: int, ha_standby: bool) -> dict:
+    config = ChaosConfig(
+        replicas=3, seed=seed, duration=DURATION, rate_tps=RATE_TPS,
+        n_faults=0, fault_spec={"faults": []},   # middleware faults only
+        resilience=default_resilience_policy(seed),
+        middleware_kills=kill_schedule(seed), ha_standby=ha_standby,
+        mw_detection_delay=DETECTION_DELAY, drain_grace=15.0)
+    result = run_chaos(config)
+    # each kill contributes exactly one (down_at, up_at) outage window;
+    # the kill/recovery timeline is exact (the probe only samples it)
+    outage_total = sum(rec - kill for kill, rec in
+                       zip(result.mw_kills, result.mw_recoveries))
+    recoveries = [round(rec - kill, 4) for kill, rec in
+                  zip(result.mw_kills, result.mw_recoveries)]
+    acked_lost = 0 if result.invariants["no_lost_acked_commits"] else 1
+    return {
+        "seed": seed,
+        "mode": "ha" if ha_standby else "cold",
+        "succeeded": result.succeeded,
+        "failed": result.failed,
+        "goodput_tps": round(result.goodput(), 3),
+        "availability": round(result.availability, 5),
+        "outage_total_s": round(outage_total, 4),
+        "recovery_times_s": recoveries,
+        "promotions": result.promotions,
+        "dedup_commits": result.dedup_commits,
+        "acked_commit_loss": acked_lost,
+        "invariants": result.invariants,
+        "violations": result.violations,
+    }
+
+
+def check_fencing() -> dict:
+    """False-positive promotion: the leader is *not* dead, but the
+    detector suspected it.  Fencing must refuse the deposed leader while
+    the new leader keeps working — no split-brain."""
+    middleware = build_cluster(3, replication="writeset",
+                               propagation="sync", consistency="gsi")
+    session = middleware.connect(database="shop")
+    session.execute("CREATE TABLE t (id INT PRIMARY KEY)")
+    pair = HAPair(middleware)
+    pair.promote()              # leader still alive: false positive
+    fenced = False
+    try:
+        session.execute("INSERT INTO t (id) VALUES (1)")
+    except FencedOut:
+        fenced = True
+    new_session = pair.connect(database="shop")
+    new_session.execute("INSERT INTO t (id) VALUES (2)")
+    new_session.close()
+    rows = {row[0] for row in middleware.replicas[0].engine.connect(
+        "admin", "", database="shop").execute("SELECT id FROM t").rows}
+    return {"deposed_leader_fenced": fenced,
+            "stale_write_blocked": 1 not in rows,
+            "new_leader_committed": 2 in rows,
+            "epoch": pair.fence.epoch}
+
+
+@pytest.mark.benchmark(group="e26")
+def test_e26_middleware_ha(benchmark):
+    def experiment():
+        rows = []
+        for seed in SEEDS:
+            rows.append(run_mode(seed, ha_standby=True))
+            rows.append(run_mode(seed, ha_standby=False))
+        return {"rows": rows, "fencing": check_fencing()}
+
+    results = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    rows, fencing = results["rows"], results["fencing"]
+    by_seed = {}
+    for row in rows:
+        by_seed.setdefault(row["seed"], {})[row["mode"]] = row
+
+    report = Report(
+        "E26  Middleware HA: standby promotion vs cold restart "
+        "(section 3.2)",
+        ["seed", "mode", "goodput (tps)", "availability", "outage (s)",
+         "recovery (s)", "promotions", "dedup", "acked loss"])
+    for row in rows:
+        report.add_row(row["seed"], row["mode"], row["goodput_tps"],
+                       row["availability"], row["outage_total_s"],
+                       row["recovery_times_s"], row["promotions"],
+                       row["dedup_commits"], row["acked_commit_loss"])
+    report.note("fencing: deposed leader refused="
+                f"{fencing['deposed_leader_fenced']}, "
+                f"new leader committed={fencing['new_leader_committed']}")
+    report.show()
+
+    for row in rows:
+        # RPO = 0 in both modes: no write the client saw acked is lost
+        assert row["acked_commit_loss"] == 0, row
+        assert all(row["invariants"].values()), row["violations"]
+    for seed, modes in by_seed.items():
+        ha, cold = modes["ha"], modes["cold"]
+        # the standby promotion outage is strictly smaller than the cold
+        # state-retrieval restart, on every schedule
+        assert ha["outage_total_s"] < cold["outage_total_s"], seed
+        assert max(ha["recovery_times_s"]) < min(cold["recovery_times_s"])
+        assert ha["goodput_tps"] > cold["goodput_tps"], seed
+        assert ha["promotions"] == KILLS_PER_SCHEDULE
+    # no split-brain after a false-positive promotion
+    assert fencing["deposed_leader_fenced"]
+    assert fencing["stale_write_blocked"]
+    assert fencing["new_leader_committed"]
+
+    ha_rows = [r for r in rows if r["mode"] == "ha"]
+    cold_rows = [r for r in rows if r["mode"] == "cold"]
+    payload = {
+        "experiment": "E26",
+        "title": "Middleware HA: standby promotion vs cold restart",
+        "seeds": SEEDS,
+        "kill_schedules": {seed: kill_schedule(seed) for seed in SEEDS},
+        "kills_per_schedule": KILLS_PER_SCHEDULE,
+        "detection_delay_s": DETECTION_DELAY,
+        "rows": rows,
+        "fencing": fencing,
+        "aggregate": {
+            "ha_mean_outage_s": round(
+                sum(r["outage_total_s"] for r in ha_rows) / len(ha_rows),
+                4),
+            "cold_mean_outage_s": round(
+                sum(r["outage_total_s"] for r in cold_rows)
+                / len(cold_rows), 4),
+            "ha_mean_goodput_tps": round(
+                sum(r["goodput_tps"] for r in ha_rows) / len(ha_rows), 3),
+            "cold_mean_goodput_tps": round(
+                sum(r["goodput_tps"] for r in cold_rows) / len(cold_rows),
+                3),
+            "total_dedup_commits": sum(r["dedup_commits"] for r in rows),
+            "total_acked_commit_loss": sum(
+                r["acked_commit_loss"] for r in rows),
+        },
+    }
+    BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    benchmark.extra_info["ha_mean_outage_s"] = \
+        payload["aggregate"]["ha_mean_outage_s"]
+    benchmark.extra_info["cold_mean_outage_s"] = \
+        payload["aggregate"]["cold_mean_outage_s"]
+    benchmark.extra_info["acked_commit_loss"] = \
+        payload["aggregate"]["total_acked_commit_loss"]

@@ -42,14 +42,15 @@ from ..cluster.failures import FaultInjector, random_schedule
 from ..cluster.nodes import NodeDown
 from ..cluster.sim import Environment
 from ..core.errors import (
-    CircuitOpen, Overloaded, ReplicaUnavailable, RequestTimeout,
-    RetryExhausted,
+    CircuitOpen, MiddlewareDown, Overloaded, ReplicaUnavailable,
+    RequestTimeout, RetryExhausted,
 )
 from ..core.failover import FailoverManager, VirtualIP
 from ..core.loadbalancer import NoReplicaAvailable
 from ..core.middleware import ReplicationMiddleware
 from ..core.replica import ReplicaState
 from ..core.resilience import ResiliencePolicy, RetryPolicy
+from ..ha import HAPair, cold_restart, cold_restart_duration
 from ..metrics.availability import AvailabilityTracker
 from ..sqlengine.errors import ConnectionError_
 from .harness import build_cluster
@@ -81,7 +82,12 @@ class ChaosConfig:
                  probe_interval: float = 0.25,
                  drain_grace: float = 30.0,
                  tracing: bool = True,
-                 trace_retention: int = 2048):
+                 trace_retention: int = 2048,
+                 middleware_kills: Optional[List[float]] = None,
+                 ha_standby: bool = False,
+                 mw_detection_delay: float = 0.3,
+                 cold_restart_base: float = 0.5,
+                 cold_restart_per_replica: float = 0.25):
         self.replicas = replicas
         self.seed = seed
         self.duration = duration
@@ -106,6 +112,16 @@ class ChaosConfig:
         # a whole run's requests survive for fault-timeline analysis
         self.tracing = tracing
         self.trace_retention = trace_retention
+        # middleware-tier faults (E26): simulated times at which the
+        # *active* middleware process is killed.  With ``ha_standby`` a
+        # fenced promotion follows after ``mw_detection_delay``; without
+        # one, a cold state-retrieval restart is charged via
+        # :func:`repro.ha.promotion.cold_restart_duration`.
+        self.middleware_kills = middleware_kills
+        self.ha_standby = ha_standby
+        self.mw_detection_delay = mw_detection_delay
+        self.cold_restart_base = cold_restart_base
+        self.cold_restart_per_replica = cold_restart_per_replica
 
     def resolved_fault_spec(self, node_names: List[str]) -> dict:
         if self.fault_spec is not None:
@@ -162,6 +178,11 @@ class ChaosResult:
         # captured at run end for fault-timeline reconstruction (E25)
         self.traces: List[list] = []
         self.trace_stats: Dict[str, int] = {}
+        # middleware-tier fault timeline (E26)
+        self.mw_kills: List[float] = []
+        self.mw_recoveries: List[float] = []
+        self.promotions = 0
+        self.dedup_commits = 0
 
     # -- headline numbers ----------------------------------------------------
 
@@ -202,17 +223,22 @@ class ChaosResult:
 class ChaosRun:
     """Drives one seeded chaos experiment to completion."""
 
-    #: failures the timed layer retries (resilient runs only)
+    #: failures the timed layer retries (resilient runs only).
+    #: ``MiddlewareDown`` is retryable because simulated time passing is
+    #: exactly what fixes it: a standby gets promoted or a cold restart
+    #: completes, and the session reconnects through the virtual IP.
     TIMED_RETRYABLE = (NodeDown, ConnectionError_, ReplicaUnavailable,
-                       NoReplicaAvailable, RetryExhausted, CircuitOpen)
+                       NoReplicaAvailable, RetryExhausted, CircuitOpen,
+                       MiddlewareDown)
 
     def __init__(self, config: ChaosConfig):
         self.config = config
         self.env = Environment()
-        self.middleware = build_cluster(
+        self._mw = build_cluster(
             config.replicas, replication="writeset", consistency="rsi-pc",
             propagation="sync", env=self.env, resilience=config.resilience,
             name="chaos")
+        self.pair: Optional[HAPair] = None
         self.cluster = TimedCluster(self.env, self.middleware)
         self.middleware.tracer.enabled = config.tracing
         self.middleware.tracer.max_traces = config.trace_retention
@@ -223,12 +249,32 @@ class ChaosRun:
         self._inflight = 0
         self._load_done = False
         self._setup_schema()
+        if config.ha_standby:
+            # built after the schema exists so the bootstrap transfer
+            # ships the setup DDL's certifier/recovery state too
+            self.pair = HAPair(self._mw)
+            self.pair.on_switch(self._middleware_switched)
         self.manager = FailoverManager(
             self.middleware, VirtualIP("vip", self.middleware.master.name))
         self._wire_failover_reaction()
         self.injector = FaultInjector(self.env, seed=config.seed)
         self.spec = config.resolved_fault_spec(
             [r.name for r in self.middleware.replicas])
+
+    @property
+    def middleware(self) -> ReplicationMiddleware:
+        """The instance the virtual IP resolves to right now — the HA
+        pair's active leader when a standby is configured."""
+        return self.pair.active if self.pair is not None else self._mw
+
+    def _middleware_switched(self, new_mw: ReplicationMiddleware) -> None:
+        """Promotion happened: repoint the timed cluster and the replica
+        failover manager at the new leader (replica callbacks are wired
+        on the shared replica objects, so they follow automatically)."""
+        new_mw.tracer.enabled = self.config.tracing
+        new_mw.tracer.max_traces = self.config.trace_retention
+        self.cluster.middleware = new_mw
+        self.manager = FailoverManager(new_mw, self.manager.virtual_ip)
 
     # -- setup ---------------------------------------------------------------
 
@@ -277,6 +323,41 @@ class ChaosRun:
         if not self.middleware.master.is_online:
             # the cluster was dark; the returning replica becomes master
             self.manager.handle_replica_failure(self.middleware.master.name)
+
+    # -- middleware-tier faults (E26) ----------------------------------------
+
+    def _middleware_faults(self):
+        """Kill the active middleware at each scheduled time; recover it
+        the way the configuration allows.  HA: after the detection
+        delay, fenced promotion to the standby (instant hydration), then
+        an operator rebuilds a fresh standby so later kills still have a
+        target.  No standby: the process restarts cold, paying one
+        state-retrieval scan per replica on top of the restart."""
+        for kill_at in sorted(self.config.middleware_kills or []):
+            delay = kill_at - self.env.now
+            if delay > 0:
+                yield self.env.timeout(delay)
+            if self.pair is not None:
+                self.pair.kill_active()
+            else:
+                self._mw.fail()
+            self.result.mw_kills.append(self.env.now)
+            yield self.env.timeout(self.config.mw_detection_delay)
+            if self.pair is not None:
+                self.pair.promote()
+                self.result.promotions += 1
+                # operator rebuilds a standby behind the new leader; the
+                # bootstrap transfer is state-copy only (instantaneous —
+                # it does not block the already-promoted leader)
+                self.pair = HAPair(self.middleware)
+                self.pair.on_switch(self._middleware_switched)
+            else:
+                yield self.env.timeout(cold_restart_duration(
+                    len(self._mw.replicas),
+                    base=self.config.cold_restart_base,
+                    per_replica=self.config.cold_restart_per_replica))
+                cold_restart(self._mw)
+            self.result.mw_recoveries.append(self.env.now)
 
     # -- load ----------------------------------------------------------------
 
@@ -347,14 +428,23 @@ class ChaosRun:
             except Exception as exc:  # noqa: BLE001 — middleware down
                 self._resolve(record, ok=False, error=type(exc).__name__)
                 return
-            session.trace_context = root
-            if resilience is not None:
-                session.deadline = resilience.deadline()
+            deadline = (resilience.deadline() if resilience is not None
+                        else None)
+            self._prepare_session(session, record, root, deadline)
 
             retry = (resilience.policy.retry if resilience is not None
                      else RetryPolicy(max_attempts=1))
             attempt = 1
             while True:
+                if attempt > 1 and is_write \
+                        and self._ledger_committed(record):
+                    # exactly-once replay: the ledger proves the earlier
+                    # attempt's commit landed — answer success without
+                    # re-applying anything (repro.ha)
+                    root.event("ha.dedup", txn=self._txn_key(record))
+                    self.result.dedup_commits += 1
+                    self._resolve(record, ok=True)
+                    return
                 try:
                     for sql in statements:
                         yield from self.cluster._timed_statement(
@@ -370,10 +460,15 @@ class ChaosRun:
                 except self.TIMED_RETRYABLE as exc:
                     self._abort_quietly(session)
                     yield from self._charge_backoff(resilience, root)
-                    deadline = (session.deadline if resilience is not None
-                                else None)
-                    if resilience is None \
-                            or getattr(exc, "ambiguous", False):
+                    ambiguous = getattr(exc, "ambiguous", False)
+                    # A commit ledger turns 'ambiguous' into 'resolvable':
+                    # COMMITTED dedups on replay, PENDING is settled at
+                    # promotion, and a commit that never reached prepare
+                    # is provably un-applied — so keep retrying.
+                    if ambiguous and is_write \
+                            and self.middleware.commit_ledger is not None:
+                        ambiguous = False
+                    if resilience is None or ambiguous:
                         self._resolve(record, ok=False,
                                       error=type(exc).__name__)
                         return
@@ -396,6 +491,21 @@ class ChaosRun:
                                error=type(exc).__name__)
                     yield self.env.timeout(backoff)
                     attempt += 1
+                    if session.closed \
+                            or session.middleware is not self.middleware:
+                        # the middleware died under us; re-resolve the
+                        # virtual IP (the promoted standby or the
+                        # restarted process) and check the commit ledger
+                        # before replaying a write
+                        try:
+                            session = self.middleware.connect(
+                                database=DATABASE)
+                        except Exception:  # noqa: BLE001 — still down
+                            continue  # next lap backs off again
+                        self._prepare_session(session, record, root,
+                                              deadline)
+                        root.event("mw_reconnect",
+                                   target=self.middleware.name)
                 except Exception as exc:  # noqa: BLE001 — terminal
                     self._abort_quietly(session)
                     self._resolve(record, ok=False,
@@ -427,6 +537,25 @@ class ChaosRun:
                 span.event("backoff", duration=round(delay, 9),
                            source="resilience")
             yield self.env.timeout(delay)
+
+    def _prepare_session(self, session, record: RequestRecord, root,
+                         deadline) -> None:
+        """Attach trace context, deadline and (for writes) the client
+        transaction identity the exactly-once ledger keys on."""
+        session.trace_context = root
+        session.deadline = deadline
+        if record.kind != "read":
+            session.client_id = f"c{record.id}"
+            session.client_txn_id = self._txn_key(record)
+
+    @staticmethod
+    def _txn_key(record: RequestRecord) -> str:
+        return f"req{record.id}"
+
+    def _ledger_committed(self, record: RequestRecord) -> bool:
+        ledger = self.middleware.commit_ledger
+        return (ledger is not None
+                and ledger.committed(self._txn_key(record)))
 
     def _abort_quietly(self, session) -> None:
         if session is None or session.closed:
@@ -481,6 +610,8 @@ class ChaosRun:
                                          or self.middleware.replicas)
         self.env.process(self._arrivals(), name="chaos_arrivals")
         self.env.process(self._probe(), name="chaos_probe")
+        if config.middleware_kills:
+            self.env.process(self._middleware_faults(), name="chaos_mw")
         self.env.run(until=config.duration + config.drain_grace)
         self.injector.stop()
         self.tracker.finish(min(self.env.now, config.duration))
@@ -502,6 +633,10 @@ class ChaosRun:
     def _heal_cluster(self) -> None:
         """Repair every node and fail every replica back, so the
         invariants are checked against a fully converged cluster."""
+        if self.middleware.failed:
+            # a kill scheduled too close to the end of the run; bring
+            # the active instance back the slow way before checking
+            cold_restart(self.middleware)
         for replica in self.middleware.replicas:
             if replica.node is not None and not replica.node.up:
                 self.injector._repair(replica.node)

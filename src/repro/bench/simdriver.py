@@ -268,7 +268,12 @@ class TimedCluster:
         """Certification round, pending-prefix catch-up, local commit IO,
         and (under synchronous propagation) the remote applies."""
         middleware = self.middleware
-        certification_rounds = 2 if middleware.certifier.replicated else 1
+        # A replicated certifier and HA state shipping (repro.ha) both
+        # add one synchronous coordinator round-trip to every commit —
+        # the price of losing nothing on failover (E09 / E26).
+        replicated = (middleware.certifier.replicated
+                      or middleware.state_shipper is not None)
+        certification_rounds = 2 if replicated else 1
         yield self.env.timeout(self.ordering_delay * certification_rounds
                                + self.cost.certification)
         if local.node is not None:

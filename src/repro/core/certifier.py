@@ -154,3 +154,21 @@ class Certifier:
 
     def log_length(self) -> int:
         return len(self._log)
+
+    # -- state shipping (repro.ha) -----------------------------------------
+
+    def export_log(self) -> List[Tuple[int, FrozenSet]]:
+        """A copy of the certification log for state shipping — the
+        standby bootstrap (``repro.ha.shipper``) starts from this."""
+        return list(self._log)
+
+    def import_log(self, entries: List[Tuple[int, FrozenSet]],
+                   seq: Optional[int] = None) -> None:
+        """Hydrate this certifier from shipped state (fenced promotion,
+        ``repro.ha.promotion``).  ``seq`` sets the sequence floor so the
+        promoted certifier never reuses a number a replica has applied;
+        it is clamped to never run backwards."""
+        self._log = [(s, frozenset(k)) for s, k in entries]
+        tail = self._log[-1][0] if self._log else 0
+        self._seq = max(self._seq, tail, seq or 0)
+        self.failed = False

@@ -45,7 +45,17 @@ class MiddlewareError(Exception):
 
 class MiddlewareDown(MiddlewareError):
     """The middleware instance itself has failed — with a centralized
-    design this is a total outage (paper section 3.2)."""
+    design this is a total outage (paper section 3.2).  With an HA
+    standby (``repro.ha``) the condition is transient: clients re-resolve
+    the virtual IP and replay with exactly-once dedup."""
+
+
+class FencedOut(MiddlewareDown):
+    """This middleware instance was deposed by a fenced promotion: its
+    epoch is older than the cluster's.  Raised instead of certifying a
+    commit on a stale leader — the split-brain guard (``repro.ha``).
+    Subclasses :class:`MiddlewareDown` because the client-side remedy is
+    identical: re-resolve the virtual IP and talk to the new leader."""
 
 
 class UnsupportedStatementError(MiddlewareError):

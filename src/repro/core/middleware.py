@@ -48,7 +48,7 @@ from .consistency import ClusterView, ConsistencyProtocol, SessionView
 from .consistency.gsi import GeneralizedSnapshotIsolation
 from .consistency.one_sr import OneCopySerializability
 from .errors import (
-    ClusterDivergence, MiddlewareDown, ReplicaUnavailable,
+    ClusterDivergence, FencedOut, MiddlewareDown, ReplicaUnavailable,
     UnsupportedStatementError,
 )
 from .loadbalancer import (
@@ -175,6 +175,18 @@ class ReplicationMiddleware:
         # Hook used by the timed driver to wake per-replica apply workers
         # when asynchronous propagation enqueues work.
         self.on_apply_enqueued = None
+        # HA hooks (repro.ha).  An attached StateShipper mirrors every
+        # commit into a standby before the client ack; the shared fence +
+        # this instance's epoch refuse a deposed leader (split-brain
+        # guard); the commit ledger records client-transaction outcomes
+        # so a post-failover replay is exactly-once.  All are plain
+        # attributes set by repro.ha.HAPair — no import cycle.
+        self.state_shipper = None
+        self.commit_ledger = None
+        self.fence = None
+        self.epoch = 0
+        self.standby_mode = False
+        self.failover_target: Optional[str] = None
         # Request-resilience layer (deadlines, retries, breakers,
         # admission control) — engaged only when the config asks for it.
         self.resilience: Optional[ResilienceCoordinator] = None
@@ -315,6 +327,44 @@ class ReplicationMiddleware:
     def _check_up(self) -> None:
         if self.failed:
             raise MiddlewareDown(f"middleware {self.name!r} is down")
+        if self.standby_mode:
+            raise MiddlewareDown(
+                f"middleware {self.name!r} is a standby; address the "
+                "service through its virtual IP")
+        self._check_fenced()
+
+    def _check_fenced(self) -> None:
+        if self.fence is not None and not self.fence.admits(self.epoch):
+            raise FencedOut(
+                f"middleware {self.name!r} holds epoch {self.epoch} but "
+                f"the cluster advanced to {self.fence.epoch}; this "
+                "instance was deposed")
+
+    # -- state shipping (repro.ha) -------------------------------------
+
+    def _ship_prepare(self, session, seq: int, keys, kind: str, payload,
+                      tables: Sequence[str]) -> None:
+        """Phase 1 of the HA commit shipping: record the client txn as
+        PENDING and mirror the update unit to the standby, before the
+        commit becomes durable (writeset mode) or at sequencing time
+        (statement/DDL mode, where replicas committed first)."""
+        txn_id = getattr(session, "client_txn_id", None)
+        if self.commit_ledger is not None and txn_id is not None:
+            self.commit_ledger.prepare(txn_id, seq)
+        if self.state_shipper is not None:
+            self.state_shipper.ship_prepare(session, seq, keys, kind,
+                                            payload, tables)
+
+    def _ship_ack(self, session, seq: int) -> None:
+        """Phase 2: the commit is durable everywhere the propagation
+        mode requires — flip the ledger to COMMITTED and ship the
+        session token.  Always precedes the client acknowledgement, so
+        an acked commit can never be lost by a promotion (RPO = 0)."""
+        txn_id = getattr(session, "client_txn_id", None)
+        if self.commit_ledger is not None and txn_id is not None:
+            self.commit_ledger.mark_committed(txn_id, seq)
+        if self.state_shipper is not None:
+            self.state_shipper.ship_ack(session, seq)
 
     # ------------------------------------------------------------------
     # middleware failure (SPOF experiments)
@@ -587,6 +637,12 @@ class MiddlewareSession:
         # Statement log of the whole session's current transaction —
         # Sequoia-style transparent failover replays this (section 4.3.3).
         self.failover_replays = 0
+        # HA client identity (repro.ha): a stable client id plus the
+        # current transaction's client-assigned id.  When set, commits
+        # are recorded in the middleware's commit ledger so a replay
+        # after middleware failover can be deduplicated (exactly-once).
+        self.client_id: Optional[str] = None
+        self.client_txn_id: Optional[str] = None
         # Routing overrides used by the timed simulation driver so that the
         # time-charging layer and the state-changing layer agree on the
         # chosen replica (see repro.bench.simdriver).
@@ -1316,12 +1372,16 @@ class MiddlewareSession:
         seq = middleware.certifier.assign_seq()
         span.set_tag("seq", seq)
         span.end()
+        middleware._ship_prepare(
+            self, seq, frozenset(), "statements",
+            [(sql_text, list(params))], sorted(info.tables_written))
         middleware.recovery_log.append(
             seq, "statements", [(sql_text, list(params))],
             tables=sorted(info.tables_written), user=self.user,
             database=self.database)
         for replica in middleware.online_replicas():
             replica.applied_seq = max(replica.applied_seq, seq)
+        middleware._ship_ack(self, seq)
         middleware.publish_certified(
             seq, tables=self._published_tables(info.tables_written),
             kind="ddl", database=self.database)
@@ -1446,6 +1506,10 @@ class MiddlewareSession:
         seq = middleware.certifier.assign_seq(footprints)
         span.set_tag("seq", seq)
         span.end()
+        middleware._ship_prepare(
+            self, seq, footprints, "statements",
+            list(self._txn_statements),
+            sorted(self._txn_tables_written))
         middleware.recovery_log.append(
             seq, "statements", list(self._txn_statements),
             tables=sorted(self._txn_tables_written), user=self.user,
@@ -1454,6 +1518,7 @@ class MiddlewareSession:
             replica = middleware.replica_by_name(name)
             replica.applied_seq = max(replica.applied_seq, seq)
         middleware.config.consistency.note_commit(self.view, seq)
+        middleware._ship_ack(self, seq)
         if self._txn_had_ddl:
             kind = "ddl"
         elif self._txn_had_opaque:
@@ -1508,18 +1573,24 @@ class MiddlewareSession:
                 f"{outcome.conflict_seq} (first-committer-wins)")
         span.set_tag("seq", outcome.seq)
         span.end()
+        seq = outcome.seq
+        tables = sorted(self._txn_tables_written)
+        # HA phase 1 (repro.ha): the shipped PENDING entry reaches the
+        # standby before the local commit becomes durable — a crash in
+        # between leaves a pending record that promotion resolves
+        # against the replicas' applied watermark.
+        middleware._ship_prepare(self, seq, keys, "writeset", entries,
+                                 tables)
         # Prefix discipline: the replica must apply every earlier-certified
         # writeset before this commit lands, or its applied watermark would
         # skip updates it never saw.  Certification already guarantees the
         # pending items are disjoint from this transaction's writeset.
-        seq = outcome.seq
         middleware.drain_replica(replica.name, up_to_seq=seq - 1)
         commit_span = middleware.tracer.child_span(
             "replica.commit", self.active_span, replica=replica.name)
         with commit_span:
             connection.commit()
         replica.applied_seq = max(replica.applied_seq, seq)
-        tables = sorted(self._txn_tables_written)
         middleware.recovery_log.append(
             seq, "writeset", entries, tables=tables, user=self.user,
             database=self.database)
@@ -1532,6 +1603,9 @@ class MiddlewareSession:
                        if prop_span else None))
         prop_span.end()
         middleware.config.consistency.note_commit(self.view, seq)
+        # HA phase 2: durable everywhere sync propagation requires —
+        # COMMITTED in the standby's ledger before the client ack.
+        middleware._ship_ack(self, seq)
         middleware.publish_certified(
             seq, keys=invalidation_keys(entries, replica.engine),
             tables={(e["database"], e["table"]) for e in entries},

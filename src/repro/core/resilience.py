@@ -39,8 +39,8 @@ from typing import Any, Callable, Dict, List, Optional
 from ..sqlengine import ast_nodes as ast
 from ..sqlengine.errors import ConnectionError_
 from .errors import (
-    CircuitOpen, Overloaded, ReplicaUnavailable, RequestTimeout,
-    RetryExhausted,
+    CircuitOpen, FencedOut, MiddlewareDown, Overloaded,
+    ReplicaUnavailable, RequestTimeout, RetryExhausted,
 )
 from .loadbalancer import NoReplicaAvailable
 
@@ -481,6 +481,24 @@ class ResilienceCoordinator:
                 self.stats["timeouts"] += 1
                 if span:
                     span.event("deadline_exceeded", attempt=attempt)
+                raise
+            except MiddlewareDown as exc:
+                # The middleware process itself died — or was fenced out
+                # by a promotion.  With an HA standby configured this is
+                # transient at the *service* level: classify it
+                # safe-to-retry-after-failover so outer layers re-resolve
+                # the virtual IP and replay with exactly-once dedup
+                # (repro.ha) instead of surfacing a total outage.
+                if self.middleware.failover_target is not None \
+                        or isinstance(exc, FencedOut):
+                    exc.retry_after_failover = True
+                    self.stats["failover_retries"] = \
+                        self.stats.get("failover_retries", 0) + 1
+                    if span:
+                        span.event(
+                            "failover_retry",
+                            target=(self.middleware.failover_target
+                                    or "promoted-leader"))
                 raise
             except self.RETRYABLE as exc:
                 if span and isinstance(exc, CircuitOpen):

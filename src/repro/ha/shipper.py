@@ -1,0 +1,109 @@
+"""Synchronous state shipping from the active middleware to its standby.
+
+The Hihooi design (PAPERS.md): the middleware tier itself replicates by
+shipping its soft state to a standby *inside* the commit path, so the
+standby is never behind an acknowledged commit.  Shipping is two-phase,
+mirroring the commit's own danger windows:
+
+``ship_prepare``
+    After certification / sequence assignment, before any replica
+    commits.  Carries the certifier log entry, the recovery-log payload
+    and the client transaction id (PENDING in the shipped ledger).
+
+``ship_ack``
+    After the commit is durable everywhere the propagation mode
+    requires, before the client acknowledgement.  Flips the ledger entry
+    to COMMITTED and ships the session's consistency token.
+
+Because the ack always precedes the client's, an acknowledged commit is
+COMMITTED in the standby's ledger at promotion time — RPO = 0.  A crash
+between the two phases leaves a PENDING entry that promotion resolves
+against the replicas' applied watermark (see ``StandbyState.ledger``).
+
+The wall-clock price of the synchronous round-trip is charged by the
+timed layer (``repro.bench.simdriver`` adds a certification round when a
+shipper is attached), preserving the repo convention that state changes
+are instantaneous and time is charged separately.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Optional, Sequence, Tuple
+
+from .state import ShippedCommit, StandbyState
+
+
+class StateShipper:
+    """Attached to the active middleware; writes into a
+    :class:`~repro.ha.state.StandbyState`."""
+
+    def __init__(self, middleware, state: StandbyState):
+        self.middleware = middleware
+        self.state = state
+        self._inflight: dict = {}   # seq -> ShippedCommit awaiting ack
+        self.stats = {"prepares": 0, "acks": 0, "bootstrapped": 0}
+
+    # -- initial full state transfer ----------------------------------------
+
+    def bootstrap(self) -> int:
+        """Full state transfer at attach time: certifier log + sequence,
+        the recovery log so far, balancer affinity and the master name.
+        Returns the number of recovery entries copied."""
+        middleware = self.middleware
+        self.state.certifier_log = middleware.certifier.export_log()
+        self.state.seq = middleware.certifier.current_seq
+        self.state.commits = [
+            ShippedCommit(entry.seq, frozenset(), entry.kind,
+                          entry.payload, entry.tables, entry.user,
+                          entry.database)
+            for entry in middleware.recovery_log.entries
+        ]
+        self.state.sticky = dict(middleware.config.balancer._sticky)
+        self.state.master_name = middleware._master_name
+        copied = len(self.state.commits)
+        self.state.stats["bootstrap_entries"] = copied
+        self.stats["bootstrapped"] = copied
+        middleware.monitor.record("ha_bootstrap", middleware.name,
+                                  entries=copied, seq=self.state.seq)
+        return copied
+
+    # -- the per-commit synchronous path ------------------------------------
+
+    def ship_prepare(self, session, seq: int, keys: FrozenSet, kind: str,
+                     payload, tables: Sequence[str]) -> ShippedCommit:
+        shipped = ShippedCommit(
+            seq, frozenset(keys), kind, payload, tuple(tables),
+            user=session.user, database=session.database,
+            txn_id=session.client_txn_id, client_id=session.client_id)
+        self.state.apply_prepare(shipped)
+        self._inflight[seq] = shipped
+        self.stats["prepares"] += 1
+        span = getattr(session, "active_span", None)
+        if span:
+            span.event("ha.ship", phase="prepare", seq=seq)
+        return shipped
+
+    def ship_ack(self, session, seq: int) -> None:
+        shipped = self._inflight.pop(seq, None)
+        if shipped is None:
+            return
+        shipped.session_token = self._session_token(session)
+        self.state.apply_ack(shipped)
+        self.state.sticky = dict(self.middleware.config.balancer._sticky)
+        self.state.master_name = self.middleware._master_name
+        self.stats["acks"] += 1
+        span = getattr(session, "active_span", None)
+        if span:
+            span.event("ha.ship", phase="ack", seq=seq)
+
+    @staticmethod
+    def _session_token(session) -> Optional[Tuple[int, int]]:
+        view = getattr(session, "view", None)
+        if view is None:
+            return None
+        return (view.last_commit_seq, view.last_seen_seq)
+
+    def __repr__(self) -> str:
+        return (f"StateShipper({self.middleware.name!r}, "
+                f"prepares={self.stats['prepares']}, "
+                f"acks={self.stats['acks']})")

@@ -1,0 +1,88 @@
+"""Exactly-once client failover: virtual-IP re-resolution, ledger
+dedup, replay, and consistency-token restoration."""
+
+import pytest
+
+from repro.core.errors import MiddlewareDown
+from repro.ha import COMMITTED, DEDUPED, HAClient, HAPair
+from tests.ha.util import (
+    DATABASE, install_crash, kv_values, make_leader,
+)
+
+
+def test_client_survives_failover_between_transactions():
+    pair = HAPair(make_leader())
+    client = HAClient(pair, client_id="alice", database=DATABASE)
+    assert client.run_transaction(
+        ["UPDATE kv SET v = v + 1 WHERE k = 0"]) == COMMITTED
+    pair.kill_active()
+    pair.promote()
+    assert client.run_transaction(
+        ["UPDATE kv SET v = v + 1 WHERE k = 0"]) == COMMITTED
+    assert kv_values(pair.active)[0] == 2
+    assert client.stats["failovers"] == 0  # reconnect was silent
+    client.close()
+
+
+def test_client_dedups_commit_acked_to_standby_but_not_client():
+    """Crash after the replicas committed and the ack shipped, before
+    the client heard back: the replay must not re-apply."""
+    pair = HAPair(make_leader())
+    install_crash(pair, "after_ack")
+    client = HAClient(pair, client_id="alice", database=DATABASE)
+    outcome = client.run_transaction(
+        ["UPDATE kv SET v = v + 1 WHERE k = 0"])
+    assert outcome == DEDUPED
+    assert client.stats["failovers"] == 1
+    assert client.stats["dedup_hits"] == 1
+    assert kv_values(pair.active)[0] == 1
+    # the dedup is observable on the monitor
+    assert any(event.kind == "ha_client_dedup"
+               for event in pair.active.monitor.events)
+    client.close()
+
+
+def test_client_replays_commit_that_never_reached_replicas():
+    pair = HAPair(make_leader())
+    install_crash(pair, "after_prepare")
+    client = HAClient(pair, client_id="alice", database=DATABASE)
+    outcome = client.run_transaction(
+        ["UPDATE kv SET v = v + 1 WHERE k = 0"])
+    assert outcome == COMMITTED
+    assert client.stats["replays"] == 1
+    assert kv_values(pair.active)[0] == 1
+    client.close()
+
+
+def test_read_your_writes_survives_failover():
+    pair = HAPair(make_leader())
+    client = HAClient(pair, client_id="alice", database=DATABASE)
+    client.run_transaction(["UPDATE kv SET v = v + 1 WHERE k = 2"])
+    token_before = pair.session_token("alice")
+    assert token_before is not None
+    pair.kill_active()
+    pair.promote()
+    session = client._ensure_session()
+    # the reconnected session's view is at least the shipped token
+    assert session.view.last_commit_seq >= token_before[0]
+    client.close()
+
+
+def test_client_surfaces_outage_without_standby():
+    pair = HAPair(make_leader())
+    client = HAClient(pair, client_id="alice", database=DATABASE)
+    pair.kill_active()  # dead, and nobody promoted the standby
+    with pytest.raises(MiddlewareDown):
+        client.run_transaction(["UPDATE kv SET v = v + 1 WHERE k = 0"])
+    client.close()
+
+
+def test_distinct_transactions_are_not_deduped():
+    pair = HAPair(make_leader())
+    client = HAClient(pair, client_id="alice", database=DATABASE)
+    for _ in range(3):
+        assert client.run_transaction(
+            ["UPDATE kv SET v = v + 1 WHERE k = 4"]) == COMMITTED
+    assert kv_values(pair.active)[4] == 3
+    assert client.stats["dedup_hits"] == 0
+    client.close()

@@ -1,0 +1,142 @@
+"""Fenced promotion: epoch monotonicity, split-brain refusal, state
+carry-over, the four crash windows, and the cold-restart slow path."""
+
+import pytest
+
+from repro.core.errors import FencedOut, MiddlewareDown
+from repro.ha import (
+    HAClient, HAPair, cold_restart, cold_restart_duration,
+)
+from tests.ha.util import (
+    DATABASE, all_replicas_agree, install_crash, kv_values, make_leader,
+)
+
+
+def test_promote_advances_epoch_and_fences_old_leader():
+    middleware = make_leader()
+    pair = HAPair(middleware)
+    session = middleware.connect(database=DATABASE)
+    report = pair.promote()
+    assert report.epoch == 1
+    assert pair.fence.epoch == 1
+    assert pair.active is pair.standby
+    assert pair.virtual_ip.target == pair.standby.name
+    # the deposed leader is refused even though it never crashed
+    # (false-positive detection must be safe)
+    with pytest.raises(FencedOut):
+        session.execute("UPDATE kv SET v = v + 1 WHERE k = 0")
+    # and the refused write reached no replica — no split-brain
+    assert kv_values(middleware)[0] == 0
+    new_session = pair.connect(database=DATABASE)
+    new_session.execute("UPDATE kv SET v = v + 1 WHERE k = 0")
+    new_session.close()
+    assert kv_values(middleware)[0] == 1
+    assert all_replicas_agree(middleware)
+
+
+def test_promotion_carries_certifier_recovery_and_affinity():
+    middleware = make_leader()
+    pair = HAPair(middleware)
+    session = pair.connect(database=DATABASE, client_id="carol")
+    session.client_txn_id = "carol:1"
+    session.execute("UPDATE kv SET v = v + 1 WHERE k = 3")
+    session.close()
+    leader_log = middleware.certifier.export_log()
+    leader_seq = middleware.certifier.current_seq
+    recovery_entries = len(middleware.recovery_log.entries)
+    pair.kill_active()
+    report = pair.promote()
+    standby = pair.active
+    assert standby.certifier.export_log() == leader_log
+    assert standby.certifier.current_seq >= leader_seq
+    assert len(standby.recovery_log.entries) == recovery_entries
+    assert standby.commit_ledger.committed("carol:1")
+    assert report.session_tokens == 1
+    assert not standby.standby_mode
+
+
+def test_second_promotion_requires_new_standby():
+    pair = HAPair(make_leader())
+    pair.kill_active()
+    pair.promote()
+    with pytest.raises(RuntimeError):
+        pair.promote()
+    # an operator rebuilds a standby behind the new leader; the epoch
+    # fence of the new pair starts fresh but the old fence still holds
+    rebuilt = HAPair(pair.active)
+    rebuilt.kill_active()
+    report = rebuilt.promote()
+    assert report.epoch == 1
+    assert rebuilt.active is rebuilt.standby
+
+
+@pytest.mark.parametrize("phase,expected_outcome,resolved,dropped", [
+    ("before_prepare", "committed", 0, 0),
+    ("after_prepare", "committed", 0, 1),
+    ("before_ack", "deduped", 1, 0),
+    ("after_ack", "deduped", 0, 0),
+])
+def test_crash_window_applies_exactly_once(phase, expected_outcome,
+                                           resolved, dropped):
+    """One commit, crashed at each danger window: whatever the window,
+    the transaction's effects land exactly once and the promotion report
+    accounts for the pending entry correctly."""
+    pair = HAPair(make_leader())
+    install_crash(pair, phase)
+    client = HAClient(pair, client_id="alice", database=DATABASE)
+    outcome = client.run_transaction(
+        ["UPDATE kv SET v = v + 1 WHERE k = 0"])
+    assert outcome == expected_outcome
+    assert kv_values(pair.active)[0] == 1          # exactly once
+    assert all_replicas_agree(pair.active)
+    report = pair.promotions[-1]
+    assert report.resolved_committed == resolved
+    assert report.dropped_pending == dropped
+    client.close()
+
+
+def test_dropped_sequence_number_is_reusable():
+    """A pending commit that reached no replica is dropped at promotion
+    and its sequence number may be reused without ambiguity."""
+    pair = HAPair(make_leader())
+    install_crash(pair, "after_prepare")
+    client = HAClient(pair, client_id="alice", database=DATABASE)
+    client.run_transaction(["UPDATE kv SET v = v + 1 WHERE k = 0"])
+    report = pair.promotions[-1]
+    assert report.dropped_pending == 1
+    # the replay's sequence is at most the dropped one — nothing skipped
+    assert pair.active.certifier.current_seq <= report.watermark + 1
+    client.close()
+
+
+def test_cold_restart_rebuilds_from_replica_watermarks():
+    middleware = make_leader()
+    session = middleware.connect(database=DATABASE)
+    session.execute("UPDATE kv SET v = v + 1 WHERE k = 1")
+    session.close()
+    seq_before = middleware.certifier.current_seq
+    middleware.fail()
+    report = cold_restart(middleware)
+    assert report.replicas_queried == 3
+    assert report.watermark == seq_before
+    # conflict history is gone, but the sequence floor is preserved
+    assert middleware.certifier.log_length() == 0
+    assert middleware.certifier.current_seq >= seq_before
+    assert not middleware.failed
+    # the restarted instance serves again
+    session = middleware.connect(database=DATABASE)
+    session.execute("UPDATE kv SET v = v + 1 WHERE k = 1")
+    session.close()
+    assert kv_values(middleware)[1] == 2
+
+
+def test_cold_restart_duration_grows_with_cluster_size():
+    assert cold_restart_duration(0) == pytest.approx(0.5)
+    assert cold_restart_duration(3) == pytest.approx(1.25)
+    assert cold_restart_duration(6) > cold_restart_duration(3)
+
+
+def test_standby_refuses_direct_connections():
+    pair = HAPair(make_leader())
+    with pytest.raises(MiddlewareDown):
+        pair.standby.connect(database=DATABASE)
