@@ -13,7 +13,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.bench import (
-    ClosedLoopDriver, OpenLoopDriver, Report, TimedCluster, build_cluster,
+    ClosedLoopDriver, OpenLoopDriver, TimedCluster, build_cluster,
     load_workload,
 )
 from repro.cluster import Environment
@@ -32,6 +32,11 @@ def run_closed_loop(replicas: int = 3,
                     apply_parallelism: int = 1,
                     cost_model: Optional[CostModel] = None,
                     cold_read_penalty: float = 0.0,
+                    ordering_delay: Optional[float] = None,
+                    group_commit_window: float = 0.0,
+                    dependency_apply: bool = False,
+                    certifier_serial: bool = False,
+                    drain_setup: bool = False,
                     policy=None,
                     level=None,
                     seed: int = 31,
@@ -39,8 +44,6 @@ def run_closed_loop(replicas: int = 3,
     """Build cluster + timed driver, run, return (middleware, metrics,
     cluster, env).  ``fault(env, middleware)`` may return a generator to
     schedule as a fault process."""
-    from repro.core.loadbalancer import BalancingLevel
-
     env = Environment()
     kwargs = {}
     if policy is not None:
@@ -52,10 +55,19 @@ def run_closed_loop(replicas: int = 3,
         consistency=consistency, env=env, **kwargs)
     workload = workload or MicroWorkload(rows=200, read_fraction=0.8)
     load_workload(middleware, workload)
+    if drain_setup:
+        # apply the setup inserts everywhere before the clock starts, so
+        # lag series measure steady-state behaviour, not the load backlog
+        for replica in middleware.replicas:
+            middleware.drain_replica(replica.name)
     cluster = TimedCluster(env, middleware,
                            cost_model=cost_model,
                            apply_parallelism=apply_parallelism,
-                           cold_read_penalty=cold_read_penalty)
+                           cold_read_penalty=cold_read_penalty,
+                           ordering_delay=ordering_delay,
+                           group_commit_window=group_commit_window,
+                           dependency_apply=dependency_apply,
+                           certifier_serial=certifier_serial)
     driver = ClosedLoopDriver(cluster, workload, clients=clients,
                               think_time=think_time, seed=seed)
     if fault is not None:

@@ -18,6 +18,7 @@ from typing import Dict, List, Optional, Tuple
 from ..cluster.nodes import NodeDown
 from ..cluster.sim import Environment, Store
 from ..core.analysis import analyze
+from ..core.applysched import conflict_groups, item_units, lane_makespan
 from ..core.costmodel import CostModel
 from ..core.loadbalancer import RoutingContext
 from ..core.middleware import MiddlewareSession, ReplicationMiddleware
@@ -25,6 +26,30 @@ from ..metrics.perf import LatencyRecorder, ThroughputMeter, TimeSeries
 from ..sqlengine import ast_nodes as ast
 from ..sqlengine.parser import parse_script
 from ..workloads.generator import TxnSpec, Workload
+
+
+class _Gather:
+    """One in-progress group-commit gather window."""
+
+    __slots__ = ("members", "closed")
+
+    def __init__(self):
+        self.members: List[_GatherMember] = []
+        self.closed = False
+
+
+class _GatherMember:
+    """One commit waiting in a gather.  The leader (first member) has no
+    signal; followers park on theirs until the leader flushes."""
+
+    __slots__ = ("session", "local", "work", "signal", "error")
+
+    def __init__(self, session, local, work, signal):
+        self.session = session
+        self.local = local
+        self.work = work
+        self.signal = signal
+        self.error = None
 
 
 class TimedCluster:
@@ -36,7 +61,12 @@ class TimedCluster:
                  client_latency: float = 0.0003,
                  ordering_delay: Optional[float] = None,
                  apply_parallelism: int = 1,
-                 cold_read_penalty: float = 0.0):
+                 cold_read_penalty: float = 0.0,
+                 group_commit_window: float = 0.0,
+                 group_commit_max: int = 64,
+                 dependency_apply: bool = False,
+                 apply_drain_batch: int = 16,
+                 certifier_serial: bool = False):
         self.env = env
         self.middleware = middleware
         self.cost = cost_model or CostModel()
@@ -49,6 +79,27 @@ class TimedCluster:
         # tables outside the replica's working set cost
         # (1 + cold_read_penalty) x the nominal service time.
         self.cold_read_penalty = cold_read_penalty
+        # Group commit (repro.core.groupcommit): writeset commits arriving
+        # within ``group_commit_window`` seconds join one certifier batch
+        # and one propagation frame per replica (0 = per-transaction).
+        self.group_commit_window = group_commit_window
+        self.group_commit_max = max(1, group_commit_max)
+        # Dependency-parallel apply: drain up to ``apply_drain_batch``
+        # queued items, partition by footprint overlap and run the
+        # non-conflicting groups on ``apply_parallelism`` lanes.
+        self.dependency_apply = dependency_apply
+        self.apply_drain_batch = max(1, apply_drain_batch)
+        # The paper's section 2.2 point: certification is a *serial*
+        # total-order point.  When modeled (E27), every commit holds the
+        # certifier for its ordering round; a group-commit batch holds it
+        # once for the whole group.
+        self._cert_lock: Optional[Store] = None
+        if certifier_serial:
+            self._cert_lock = Store(env)
+            self._cert_lock.put(1)
+        self._gc_current: Optional[_Gather] = None
+        if group_commit_window > 0:
+            middleware.group_commit.record_flush = True
         self._running = True
         self._signals: Dict[str, Store] = {}
         self._analysis_cache: Dict[str, list] = {}
@@ -79,7 +130,9 @@ class TimedCluster:
     def _apply_worker(self, replica):
         """Drains the replica's apply queue.  ``apply_parallelism`` items
         are in flight at once (1 = the serial apply whose lag section 2.2
-        complains about)."""
+        complains about); with ``dependency_apply`` the drained run is
+        partitioned by footprint overlap and non-conflicting groups share
+        the lanes (conflicting/opaque work still serializes)."""
         signal = self._signals[replica.name]
         while self._running:
             yield signal.get()
@@ -89,28 +142,46 @@ class TimedCluster:
                 # Peek (do not pop): a commit-time synchronous drain may
                 # race with us, and both paths must consume the queue
                 # strictly from the head to preserve apply order.
-                batch: List = list(
-                    replica.apply_queue[:self.apply_parallelism])
+                peek = (self.apply_drain_batch if self.dependency_apply
+                        else self.apply_parallelism)
+                batch: List = replica.peek_batch(peek)
+                units = []
+                for item in batch:
+                    units.extend(item_units(item))
                 try:
-                    if replica.node is not None:
-                        # k-way apply pipeline: CPU parts serialize on the
-                        # node, IO parts overlap across the k appliers
-                        io_f = self.cost.apply_io_fraction
-                        costs = [self.cost.apply_cost(len(item.payload))
-                                 for item in batch]
-                        cpu_total = sum(c * (1 - io_f) for c in costs)
-                        io_overlapped = max(c * io_f for c in costs)
-                        combined = cpu_total + io_overlapped
+                    if replica.node is not None and units:
+                        service, io_fraction = self._apply_service(units)
                         yield from replica.node.execute(
-                            combined,
-                            io_fraction=io_overlapped / combined)
+                            service, io_fraction=io_fraction)
                 except NodeDown:
                     break
                 highest = batch[-1].seq
-                while replica.apply_queue \
-                        and replica.apply_queue[0].seq <= highest:
-                    item = replica.apply_queue.pop(0)
+                for item in replica.drain(up_to_seq=highest):
                     self.middleware._apply_item(replica, item)
+
+    def _apply_service(self, units) -> Tuple[float, float]:
+        """Simulated cost of applying ``units`` on one replica: CPU parts
+        serialize on the node, IO parts overlap across the apply lanes.
+        Without dependency scheduling every unit gets its own lane (the
+        historical unconditional k-way pipeline); with it, lanes hold
+        whole conflict groups, so overlap is only what commutativity
+        actually allows."""
+        io_f = self.cost.apply_io_fraction
+        if self.dependency_apply:
+            groups = conflict_groups(units)
+            lanes = self.apply_parallelism
+        else:
+            groups = [[unit] for unit in units]
+            lanes = len(groups)
+        group_costs = [sum(self.cost.apply_cost(len(unit.entries))
+                           for unit in group) for group in groups]
+        loads = lane_makespan(group_costs, lanes)
+        cpu_total = sum(group_costs) * (1 - io_f)
+        io_lane = (max(loads) if loads else 0.0) * io_f
+        combined = cpu_total + io_lane
+        if combined <= 0:
+            return 0.0, 0.0
+        return combined, io_lane / combined
 
     def stop(self) -> None:
         self._running = False
@@ -237,6 +308,19 @@ class TimedCluster:
         if replica is not None and replica.node is not None:
             yield from replica.node.execute(
                 statement_cost, io_fraction=self.cost.io_fraction)
+        if autocommit and replica is not None \
+                and self.group_commit_window > 0 and not info.is_ddl \
+                and config.replication == "writeset":
+            # the autocommit write's commit joins the current gather; the
+            # batch leader runs the state change at flush time
+            def work():
+                session.write_override = replica.name
+                try:
+                    session.execute_one_parsed(statement, sql, params)
+                finally:
+                    session.write_override = None
+            yield from self._group_commit_run(session, replica, work)
+            return
         if autocommit and replica is not None:
             yield from self._charge_writeset_commit(replica)
         if replica is not None:
@@ -274,8 +358,9 @@ class TimedCluster:
         replicated = (middleware.certifier.replicated
                       or middleware.state_shipper is not None)
         certification_rounds = 2 if replicated else 1
-        yield self.env.timeout(self.ordering_delay * certification_rounds
-                               + self.cost.certification)
+        yield from self._charge_certification(
+            self.ordering_delay * certification_rounds
+            + self.cost.certification)
         if local.node is not None:
             pending = len(local.apply_queue)
             if pending:
@@ -293,6 +378,124 @@ class TimedCluster:
                         io_fraction=self.cost.io_fraction)))
             if tasks:
                 yield self.env.all_of(tasks)
+
+    def _charge_certification(self, service: float):
+        """The ordering round + certification check.  When the serial
+        total-order point is modeled, the whole round holds the certifier
+        exclusively — concurrent commits queue behind it."""
+        if self._cert_lock is None:
+            yield self.env.timeout(service)
+            return
+        yield self._cert_lock.get()
+        try:
+            yield self.env.timeout(service)
+        finally:
+            self._cert_lock.put(1)
+
+    # ------------------------------------------------------------------
+    # group commit (gather window)
+    # ------------------------------------------------------------------
+
+    def _group_commit_run(self, session, local, work):
+        """Join (or lead) the current group-commit gather.  The first
+        arrival becomes the batch leader: it waits out the gather window,
+        charges one shared certification round plus one amortized log
+        force per origin, then executes every member's state change
+        inside ``middleware.group_commit.batch()`` — one certifier batch,
+        one propagation frame per replica.  Members park on a signal and
+        re-raise their own outcome (e.g. a certification abort)."""
+        gather = self._gc_current
+        if gather is not None and not gather.closed \
+                and len(gather.members) < self.group_commit_max:
+            member = _GatherMember(session, local, work, Store(self.env))
+            gather.members.append(member)
+            yield member.signal.get()
+            if member.error is not None:
+                raise member.error
+            return
+        gather = _Gather()
+        leader = _GatherMember(session, local, work, None)
+        gather.members.append(leader)
+        self._gc_current = gather
+        yield self.env.timeout(self.group_commit_window)
+        gather.closed = True
+        if self._gc_current is gather:
+            self._gc_current = None
+        middleware = self.middleware
+        try:
+            yield from self._charge_group_precommit(gather)
+            with middleware.group_commit.batch():
+                for member in gather.members:
+                    try:
+                        member.work()
+                    except Exception as exc:  # noqa: BLE001 — per-member outcome
+                        member.error = exc
+            yield from self._charge_group_postcommit()
+        except Exception as exc:  # noqa: BLE001 — e.g. NodeDown mid-charge
+            for member in gather.members:
+                if member.error is None:
+                    member.error = exc
+        finally:
+            for member in gather.members[1:]:
+                member.signal.put(1)
+        if leader.error is not None:
+            raise leader.error
+
+    def _charge_group_precommit(self, gather):
+        """One certification round for the whole batch (plus a small
+        per-transaction CPU term), then per-origin pending-prefix
+        catch-up and ONE group-committed log force per origin."""
+        middleware = self.middleware
+        cost = self.cost
+        members = gather.members
+        replicated = (middleware.certifier.replicated
+                      or middleware.state_shipper is not None)
+        certification_rounds = 2 if replicated else 1
+        yield from self._charge_certification(
+            self.ordering_delay * certification_rounds
+            + cost.certification
+            + cost.certify_txn_cpu * (len(members) - 1))
+        by_origin: Dict[str, int] = {}
+        for member in members:
+            by_origin[member.local.name] = \
+                by_origin.get(member.local.name, 0) + 1
+        tasks = []
+        for name, count in by_origin.items():
+            replica = middleware.replica_by_name(name)
+            if replica.node is None:
+                continue
+            service = (cost.writeset_apply * len(replica.apply_queue)
+                       + cost.commit_io
+                       + cost.group_commit_txn_io * (count - 1))
+            tasks.append(self.env.process(
+                replica.node.execute(service, io_fraction=0.9)))
+        if tasks:
+            yield self.env.all_of(tasks)
+        yield self.env.timeout(self.ACK_PROCESSING * len(by_origin))
+
+    def _charge_group_postcommit(self):
+        """Charge the frames the flush applied synchronously (all of them
+        under sync propagation; under async, only the origins' prefix
+        frames) with the dependency-parallel apply cost; async
+        destinations pay in their own apply workers instead."""
+        flush = self.middleware.group_commit.last_flush
+        self.middleware.group_commit.last_flush = None
+        if not flush:
+            return
+        tasks = []
+        for name in flush["sync"]:
+            units = flush["frames"].get(name)
+            if not units:
+                continue
+            replica = self.middleware.replica_by_name(name)
+            if replica.node is None:
+                continue
+            service, io_fraction = self._apply_service(units)
+            if service > 0:
+                tasks.append(self.env.process(
+                    replica.node.execute(service, io_fraction=io_fraction)))
+        if tasks:
+            yield self.env.all_of(tasks)
 
     def _wait_for_freshness(self, session, max_wait: float = 2.0):
         """Freshness waits cost real (simulated) time: when no replica is
@@ -339,6 +542,13 @@ class TimedCluster:
             local_name = session._local_replica
             local = (middleware.replica_by_name(local_name)
                      if local_name else middleware.master)
+            if self.group_commit_window > 0 \
+                    and config.replication == "writeset":
+                yield from self._group_commit_run(
+                    session, local,
+                    lambda: session.execute_one_parsed(statement, sql,
+                                                       params))
+                return
             yield from self._charge_writeset_commit(local)
         session.execute_one_parsed(statement, sql, params)
 

@@ -27,7 +27,9 @@ from .errors import (
     Overloaded, QuorumLost, ReplicaUnavailable, RequestTimeout,
     RetryExhausted, UnsupportedStatementError,
 )
+from .applysched import ApplyUnit, conflict_groups, lane_makespan
 from .failover import FailoverManager, FailoverReport, VirtualIP, promote_and_switch
+from .groupcommit import CommitRequest, GroupCommitCoordinator
 from .interception import (
     DESIGNS, DriverInterception, EngineInterception, InterceptionDesign,
     ProtocolProxyInterception, design_by_name,
@@ -59,15 +61,18 @@ from .writesets import (
 )
 
 __all__ = [
-    "AdmissionController", "ApplyItem", "ApplyReport", "AutonomicDecision",
+    "AdmissionController", "ApplyItem", "ApplyReport", "ApplyUnit",
+    "AutonomicDecision",
     "AutonomicProvisioner", "SyncPrediction", "SyncTimePredictor", "BackupCoordinator", "BalancingLevel",
     "BreakerState", "CertificationOutcome", "Certifier", "CertifierDown",
     "CircuitBreaker", "CircuitOpen", "ClusterBackup",
-    "ClusterDivergence", "ClusterManager", "ClusterView", "ConnectionPool",
+    "ClusterDivergence", "ClusterManager", "ClusterView", "CommitRequest",
+    "ConnectionPool",
     "ConsistencyProtocol", "CostModel", "DESIGNS", "Deadline",
     "DriverInterception",
     "EngineInterception", "EventualConsistency", "FailoverManager",
-    "FailoverReport", "GeneralizedSnapshotIsolation", "HashPartitioner",
+    "FailoverReport", "GeneralizedSnapshotIsolation",
+    "GroupCommitCoordinator", "HashPartitioner",
     "InterceptionDesign", "LeastPendingPolicy", "ListPartitioner",
     "LoadBalancer", "ManagementReport", "MemoryAwarePolicy",
     "MiddlewareConfig", "MiddlewareDown", "MiddlewareError",
@@ -88,7 +93,8 @@ __all__ = [
     "StrongSnapshotIsolation", "TransactionContext",
     "TriggerBasedExtractor", "UnsupportedStatementError", "VirtualIP",
     "WanSession", "WanSystem", "WeightedPolicy", "analyze", "apply_writeset",
-    "conflict_keys", "default_cost_model", "design_by_name",
-    "extract_writeset_engine", "promote_and_switch", "protocol_by_name",
+    "conflict_groups", "conflict_keys", "default_cost_model", "design_by_name",
+    "extract_writeset_engine", "lane_makespan", "promote_and_switch",
+    "protocol_by_name",
     "rewrite_nondeterministic",
 ]

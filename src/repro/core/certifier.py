@@ -55,6 +55,13 @@ class Certifier:
         self.failed = False
         self.certified = 0
         self.aborted = 0
+        # Group commit: while a batch is open, accepted entries are staged
+        # here and folded into the log in one append at end_batch().
+        self._batch: Optional[List[Tuple[int, FrozenSet]]] = None
+        self.batches = 0
+        self.batch_certified = 0
+        self.max_batch = 0
+        self.pruned_total = 0
         # Extra state copies kept when replicated (survive failover).
         self._standby_log: Optional[List[Tuple[int, FrozenSet]]] = \
             [] if replicated else None
@@ -62,6 +69,37 @@ class Certifier:
     @property
     def current_seq(self) -> int:
         return self._seq
+
+    @property
+    def in_batch(self) -> bool:
+        return self._batch is not None
+
+    def begin_batch(self) -> None:
+        """Open a group-commit batch: subsequent certifications check
+        against the log *plus* the entries already accepted in this batch,
+        and their log entries are staged for a single append.  The seq
+        counter still advances per accepted transaction, so outcomes are
+        identical to per-transaction certification in submission order."""
+        if self._batch is not None:
+            raise RuntimeError("certifier batch already open")
+        self._batch = []
+
+    def end_batch(self) -> List[Tuple[int, FrozenSet]]:
+        """Close the batch: one log append (and one standby-copy append
+        when replicated — the amortized synchronization round) for every
+        transaction accepted since begin_batch()."""
+        staged = self._batch
+        if staged is None:
+            return []
+        self._batch = None
+        if staged:
+            self._log.extend(staged)
+            if self._standby_log is not None:
+                self._standby_log.extend(staged)
+            self.batches += 1
+            self.batch_certified += len(staged)
+            self.max_batch = max(self.max_batch, len(staged))
+        return staged
 
     def certify(self, start_seq: int, keys: FrozenSet) -> CertificationOutcome:
         """First-committer-wins check; on success assigns and logs the next
@@ -75,11 +113,38 @@ class Certifier:
                 return CertificationOutcome(False, conflict_seq=conflict)
         self._seq += 1
         entry = (self._seq, keys)
-        self._log.append(entry)
-        if self._standby_log is not None:
-            self._standby_log.append(entry)
+        if self._batch is not None:
+            self._batch.append(entry)
+        else:
+            self._log.append(entry)
+            if self._standby_log is not None:
+                self._standby_log.append(entry)
         self.certified += 1
         return CertificationOutcome(True, seq=self._seq)
+
+    def certify_batch(self, requests) -> List[CertificationOutcome]:
+        """Certify ``requests`` (iterable of ``(start_seq, keys)``) as one
+        group-commit batch.  Outcomes are positionally identical to calling
+        :meth:`certify` per request in the same order."""
+        self.begin_batch()
+        try:
+            return [self.certify(start_seq, keys)
+                    for start_seq, keys in requests]
+        finally:
+            self.end_batch()
+
+    @staticmethod
+    def _overlaps(logged: FrozenSet, keys: FrozenSet,
+                  table_level: Set[Tuple[str, str]]) -> bool:
+        if logged & keys:
+            return True
+        for database, table, pk in logged:
+            if (database, table) in table_level:
+                return True
+            if pk is None and any(
+                    k[0] == database and k[1] == table for k in keys):
+                return True
+        return False
 
     def _find_conflict(self, start_seq: int, keys: FrozenSet) -> Optional[int]:
         if not keys:
@@ -88,17 +153,20 @@ class Certifier:
             (database, table)
             for database, table, pk in keys if pk is None
         }
+        # Entries accepted earlier in an open batch are not in the log yet
+        # but must conflict exactly as if they were (newest first; all
+        # batch seqs are above any committed start_seq).
+        if self._batch:
+            for seq, logged in reversed(self._batch):
+                if seq <= start_seq:
+                    break
+                if self._overlaps(logged, keys, table_level):
+                    return seq
         for seq, logged in reversed(self._log):
             if seq <= start_seq:
                 break
-            if logged & keys:
+            if self._overlaps(logged, keys, table_level):
                 return seq
-            for database, table, pk in logged:
-                if (database, table) in table_level:
-                    return seq
-                if pk is None and any(
-                        k[0] == database and k[1] == table for k in keys):
-                    return seq
         return None
 
     def assign_seq(self, keys: FrozenSet = frozenset()) -> int:
@@ -112,9 +180,12 @@ class Certifier:
             raise CertifierDown("certifier is down")
         self._seq += 1
         entry = (self._seq, keys)
-        self._log.append(entry)
-        if self._standby_log is not None:
-            self._standby_log.append(entry)
+        if self._batch is not None:
+            self._batch.append(entry)
+        else:
+            self._log.append(entry)
+            if self._standby_log is not None:
+                self._standby_log.append(entry)
         return self._seq
 
     def prune(self, up_to_seq: int) -> int:
@@ -123,7 +194,20 @@ class Certifier:
         if self._standby_log is not None:
             self._standby_log = [(s, k) for s, k in self._standby_log
                                  if s > up_to_seq]
-        return before - len(self._log)
+        pruned = before - len(self._log)
+        self.pruned_total += pruned
+        return pruned
+
+    def auto_prune(self, floor_seq: int, watermark: int) -> int:
+        """Hot-path log bounding: once the log exceeds ``watermark``
+        entries, drop everything at or below ``floor_seq``.  The caller
+        owns the floor computation — it must be the minimum of every
+        online replica's applied watermark, every in-flight transaction's
+        snapshot seq, and the standby's shipped seq, or certification
+        could miss a conflict."""
+        if watermark <= 0 or len(self._log) <= watermark:
+            return 0
+        return self.prune(floor_seq)
 
     # -- failure / recovery ------------------------------------------------
 
@@ -160,6 +244,8 @@ class Certifier:
     def export_log(self) -> List[Tuple[int, FrozenSet]]:
         """A copy of the certification log for state shipping — the
         standby bootstrap (``repro.ha.shipper``) starts from this."""
+        if self._batch:
+            return list(self._log) + list(self._batch)
         return list(self._log)
 
     def import_log(self, entries: List[Tuple[int, FrozenSet]],

@@ -11,8 +11,6 @@ hardware and are fully configurable.
 
 from __future__ import annotations
 
-from typing import Optional
-
 from ..sqlengine import ast_nodes as ast
 from .analysis import StatementInfo, analyze
 
@@ -32,6 +30,12 @@ class CostModel:
         writeset_apply: applying one writeset row at a replica
             (cheaper than re-executing the statement).
         certification: certifier CPU per commit.
+        certify_txn_cpu: incremental certifier CPU per *additional*
+            transaction in a group-commit batch (the serial total-order
+            point charges ``certification + certify_txn_cpu * (n-1)``
+            for a batch of n instead of n full rounds).
+        group_commit_txn_io: incremental log-force cost per additional
+            transaction sharing one group-committed ``commit_io``.
         io_fraction: share of a write that is disk-bound (interacts with
             silent disk degradation, section 4.1.3).
     """
@@ -45,6 +49,8 @@ class CostModel:
                  interception_overhead: float = 0.0,
                  writeset_apply: float = 0.0006,
                  certification: float = 0.0002,
+                 certify_txn_cpu: float = 0.00005,
+                 group_commit_txn_io: float = 0.0002,
                  io_fraction: float = 0.5,
                  apply_io_fraction: float = 0.8):
         self.point_read = point_read
@@ -55,6 +61,8 @@ class CostModel:
         self.interception_overhead = interception_overhead
         self.writeset_apply = writeset_apply
         self.certification = certification
+        self.certify_txn_cpu = certify_txn_cpu
+        self.group_commit_txn_io = group_commit_txn_io
         self.io_fraction = io_fraction
         # Writeset application is random-write dominated; a parallel apply
         # pipeline overlaps this IO, which is where its speedup comes from

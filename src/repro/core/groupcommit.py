@@ -1,0 +1,273 @@
+"""Group commit for the writeset pipeline.
+
+The certifier is a serial total-order point (paper section 2.2): every
+update transaction pays an ordering round, a certification check, a log
+append and a propagation enqueue *per transaction*.  The classic fix is
+group commit — collect the commit requests that arrive within a short
+window and push them through the serial point as one batch:
+
+* one certifier batch (one log append, one standby-sync round when the
+  certifier is replicated) certifies the whole group, with intra-batch
+  conflicts resolved in arrival order so outcomes are provably identical
+  to per-transaction certification (``Certifier.begin_batch``);
+* one multi-writeset *frame* per destination replica carries the whole
+  group instead of one queue entry per transaction;
+* per-commit semantics that correctness depends on are preserved per
+  contained transaction: HA state shipping still runs prepare before the
+  local commit and ack before the client sees the result, the cache
+  invalidation stream still sees one ``CertifiedWrite`` per commit, and
+  the recovery log still records every transaction individually.
+
+:class:`GroupCommitCoordinator` runs in two modes.  In *immediate* mode
+(the default untimed path) every ``submit`` is a batch of one and the
+observable behaviour is exactly the historical per-transaction pipeline.
+The timed driver (``bench/simdriver.py``) opens a gather with
+:meth:`batch` and submits every member's commit inside it, turning the
+simulated gather window into real batches.
+
+Watermark rule: a replica's ``applied_seq`` may only advance once every
+lower seq has been applied there.  Frames deliver units in seq order and
+queues are FIFO, so pure destinations advance monotonically; an *origin*
+replica that committed its own transaction mid-batch gets its frame
+applied synchronously at flush (the in-batch analogue of the commit-time
+prefix drain), so its watermark never advertises a seq whose
+predecessors are missing.  Freshness gates, session tokens and the E12
+recovery join all read that watermark and stay correct.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Dict, List, Optional, Set
+
+from ..sqlengine import SerializationError
+from .applysched import ApplyUnit
+from .certifier import CertifierDown
+from .replica import ApplyItem
+from .writesets import invalidation_keys
+
+
+class CommitRequest:
+    """One transaction's certification + commit request."""
+
+    __slots__ = ("session", "origin", "connection", "start_seq", "keys",
+                 "entries", "tables")
+
+    def __init__(self, session, origin, connection, start_seq: int,
+                 keys, entries, tables):
+        self.session = session
+        self.origin = origin
+        self.connection = connection
+        self.start_seq = start_seq
+        self.keys = keys
+        self.entries = entries
+        self.tables = tables
+
+
+class GroupCommitCoordinator:
+    """Batches writeset commits through the certifier and propagation."""
+
+    def __init__(self, middleware, max_batch: int = 64):
+        self.middleware = middleware
+        self.max_batch = max_batch
+        self._gathering = False
+        self._staged: List[ApplyUnit] = []
+        self._records: List[tuple] = []  # (session, unit, origin)
+        self.stats: Dict[str, int] = {
+            "batches": 0, "batched_commits": 0, "max_batch": 0,
+            "frames": 0, "frame_units": 0,
+        }
+        # Optional audit hooks (E27): every certification decision, and
+        # the frame layout of the last flush for timed cost charging.
+        self.equivalence_log: Optional[List[Dict[str, Any]]] = None
+        self.record_flush = False
+        self.last_flush: Optional[Dict[str, Any]] = None
+
+    @property
+    def gathering(self) -> bool:
+        return self._gathering
+
+    @contextmanager
+    def batch(self):
+        """Gather mode: every ``submit`` inside this context joins one
+        certifier batch, and propagation/acks happen once at exit."""
+        self._begin()
+        try:
+            yield self
+        finally:
+            self._flush()
+
+    def submit(self, request: CommitRequest) -> int:
+        """Certify and locally commit one transaction.  Outside a gather
+        this is a batch of one — certification, durability, propagation,
+        HA ack and cache publish all complete before returning, exactly
+        like the historical per-transaction path.  Inside a gather,
+        propagation and acks are deferred to the batch flush.
+
+        Raises :class:`SerializationError` on certification conflict and
+        :class:`CertifierDown` when the certifier is unavailable; both
+        roll the local transaction back."""
+        if self._gathering:
+            return self._certify_and_commit(request)
+        self._begin()
+        try:
+            return self._certify_and_commit(request)
+        finally:
+            self._flush()
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+
+    def _begin(self) -> None:
+        self.middleware.certifier.begin_batch()
+        self._gathering = True
+        self._staged = []
+        self._records = []
+
+    def _certify_and_commit(self, request: CommitRequest) -> int:
+        middleware = self.middleware
+        session = request.session
+        origin = request.origin
+        span = middleware.tracer.child_span(
+            "certify", session.active_span, kind="writeset",
+            keys=len(request.keys), start_seq=request.start_seq,
+            batch_size=len(self._staged) + 1)
+        try:
+            outcome = middleware.certifier.certify(request.start_seq,
+                                                   request.keys)
+        except CertifierDown:
+            span.set_tag("error", "CertifierDown")
+            span.end()
+            request.connection.rollback()
+            middleware.stats["aborts"] += 1
+            raise
+        if self.equivalence_log is not None:
+            self.equivalence_log.append({
+                "start_seq": request.start_seq, "keys": request.keys,
+                "ok": outcome.ok, "seq": outcome.seq,
+                "conflict_seq": outcome.conflict_seq,
+            })
+        span.set_tag("ok", outcome.ok)
+        if not outcome.ok:
+            span.set_tag("conflict_seq", outcome.conflict_seq)
+            span.end()
+            request.connection.rollback()
+            middleware.stats["aborts"] += 1
+            middleware.stats["certification_aborts"] += 1
+            origin.stats["aborts"] += 1
+            raise SerializationError(
+                f"certification failed: conflicts with global seq "
+                f"{outcome.conflict_seq} (first-committer-wins)")
+        span.set_tag("seq", outcome.seq)
+        span.end()
+        seq = outcome.seq
+        # HA phase 1 (repro.ha): the shipped PENDING entry reaches the
+        # standby before the local commit becomes durable — per contained
+        # transaction, batching changes nothing here.
+        middleware._ship_prepare(session, seq, request.keys, "writeset",
+                                 request.entries, request.tables)
+        # Prefix discipline: everything certified before this transaction
+        # and already propagated must be applied locally first.  Units
+        # staged in *this* batch are handled by the flush (the origin's
+        # frame applies synchronously there).
+        middleware.drain_replica(origin.name, up_to_seq=seq - 1)
+        commit_span = middleware.tracer.child_span(
+            "replica.commit", session.active_span, replica=origin.name)
+        with commit_span:
+            request.connection.commit()
+        origin.applied_seq = max(origin.applied_seq, seq)
+        middleware.recovery_log.append(
+            seq, "writeset", request.entries, tables=request.tables,
+            user=session.user, database=session.database)
+        prop_span = middleware.tracer.child_span(
+            "propagate", session.active_span, seq=seq,
+            mode=middleware.config.propagation,
+            batched=len(self._staged) > 0)
+        trace_ref = ((prop_span.trace_id, prop_span.span_id)
+                     if prop_span else None)
+        prop_span.end()
+        unit = ApplyUnit(seq, request.entries, tuple(request.tables),
+                         keys=request.keys, origin=origin.name,
+                         enqueued_at=middleware.monitor.peek(),
+                         trace_ref=trace_ref)
+        self._staged.append(unit)
+        self._records.append((session, unit, origin))
+        middleware.config.consistency.note_commit(session.view, seq)
+        return seq
+
+    def _flush(self) -> None:
+        middleware = self.middleware
+        staged = self._staged
+        records = self._records
+        self._staged = []
+        self._records = []
+        self._gathering = False
+        middleware.certifier.end_batch()
+        if staged:
+            self.stats["batches"] += 1
+            self.stats["batched_commits"] += len(staged)
+            self.stats["max_batch"] = max(self.stats["max_batch"],
+                                          len(staged))
+            self._propagate(staged)
+            for session, unit, origin in records:
+                # HA phase 2 + certified stream, per contained commit and
+                # in seq order: an acked commit can never be lost by a
+                # promotion, and the cache invalidator sees each commit's
+                # own keys and seq.
+                middleware._ship_ack(session, unit.seq)
+                middleware.publish_certified(
+                    unit.seq,
+                    keys=invalidation_keys(unit.entries, origin.engine),
+                    tables={(e["database"], e["table"])
+                            for e in unit.entries},
+                    kind="writeset", database=session.database,
+                    entries=unit.entries)
+        middleware.maybe_prune_certifier()
+
+    def _propagate(self, staged: List[ApplyUnit]) -> None:
+        """One frame per destination replica for the whole batch.  A
+        frame of one keeps the historical plain-writeset item shape."""
+        middleware = self.middleware
+        origins: Set[str] = {unit.origin for unit in staged}
+        frames: Dict[str, List[ApplyUnit]] = {}
+        sync_applied: Set[str] = set()
+        for replica in middleware.replicas:
+            if not replica.is_online:
+                continue  # it will resynchronize from the recovery log
+            units = [u for u in staged if u.origin != replica.name]
+            if not units:
+                continue
+            frames[replica.name] = units
+            item = self._frame_item(units, middleware.monitor.peek())
+            # Origins committed mid-batch already advertise their own
+            # seq; the watermark rule requires their co-batch prefix to
+            # land before anything else observes them (see module doc).
+            if middleware.config.propagation == "sync" \
+                    or replica.name in origins:
+                sync_applied.add(replica.name)
+                middleware._apply_item(replica, item)
+            else:
+                replica.enqueue(item)
+                if middleware.on_apply_enqueued is not None:
+                    middleware.on_apply_enqueued(replica, item)
+        self.stats["frames"] += len(frames)
+        self.stats["frame_units"] += sum(len(u) for u in frames.values())
+        if self.record_flush:
+            self.last_flush = {"frames": frames, "sync": sync_applied}
+
+    @staticmethod
+    def _frame_item(units: List[ApplyUnit], now: float) -> ApplyItem:
+        if len(units) == 1:
+            unit = units[0]
+            return ApplyItem(unit.seq, "writeset", unit.entries,
+                             unit.tables, enqueued_at=now,
+                             trace_ref=unit.trace_ref)
+        tables: List[str] = []
+        for unit in units:
+            for table in unit.tables:
+                if table not in tables:
+                    tables.append(table)
+        return ApplyItem(units[-1].seq, "writeset_batch", list(units),
+                         tuple(tables), enqueued_at=now,
+                         trace_ref=units[0].trace_ref)

@@ -35,15 +35,13 @@ from ..cache import (
     WritesetInvalidator, cache_key, extract_read_dependencies,
 )
 from ..sqlengine import ast_nodes as ast
-from ..sqlengine import (
-    Connection, SQLError, SerializationError, UnsupportedFeatureError,
-)
+from ..sqlengine import Connection, SQLError
 from ..sqlengine.errors import ConnectionError_
 from ..sqlengine.executor import Result
 from ..sqlengine.locks import LockConflict, LockManager, LockMode
 from ..sqlengine.parser import parse_script
 from .analysis import StatementInfo, analyze, rewrite_nondeterministic
-from .certifier import Certifier, CertifierDown
+from .certifier import Certifier
 from .consistency import ClusterView, ConsistencyProtocol, SessionView
 from .consistency.gsi import GeneralizedSnapshotIsolation
 from .consistency.one_sr import OneCopySerializability
@@ -51,8 +49,9 @@ from .errors import (
     ClusterDivergence, FencedOut, MiddlewareDown, ReplicaUnavailable,
     UnsupportedStatementError,
 )
+from .groupcommit import CommitRequest, GroupCommitCoordinator
 from .loadbalancer import (
-    BalancingLevel, LoadBalancer, NoReplicaAvailable, RoutingContext,
+    LoadBalancer, NoReplicaAvailable, RoutingContext,
 )
 from ..obs.tracing import Tracer
 from .monitoring import Monitor
@@ -61,7 +60,7 @@ from .replica import ApplyItem, Replica, ReplicaState
 from .resilience import Deadline, ResilienceCoordinator, ResiliencePolicy
 from .writesets import (
     apply_writeset, conflict_keys, extract_writeset_engine,
-    invalidation_keys, statement_footprint,
+    statement_footprint,
 )
 
 
@@ -100,6 +99,13 @@ class MiddlewareConfig:
             simulated time.
         trace_retention: how many finished traces the tracer retains
             in memory (oldest evicted whole, see docs/OBSERVABILITY.md).
+        group_commit_max: maximum writeset commits certified and
+            propagated as one group-commit batch (``repro.core.groupcommit``).
+        certifier_prune_watermark: once the certification log exceeds
+            this many entries, prune everything below the cluster-wide
+            safe floor (min of replica watermarks, in-flight snapshot
+            seqs and the HA standby's shipped seq).  ``0`` disables
+            auto-pruning.
     """
 
     def __init__(self,
@@ -114,7 +120,9 @@ class MiddlewareConfig:
                  resilience: Optional[ResiliencePolicy] = None,
                  result_cache: Optional[ResultCacheConfig] = None,
                  tracing: bool = True,
-                 trace_retention: int = 512):
+                 trace_retention: int = 512,
+                 group_commit_max: int = 64,
+                 certifier_prune_watermark: int = 50000):
         if replication not in ("statement", "writeset"):
             raise ValueError(f"unknown replication mode {replication!r}")
         if propagation not in ("sync", "async"):
@@ -137,6 +145,8 @@ class MiddlewareConfig:
         self.result_cache = result_cache
         self.tracing = tracing
         self.trace_retention = trace_retention
+        self.group_commit_max = group_commit_max
+        self.certifier_prune_watermark = certifier_prune_watermark
 
 
 class ReplicationMiddleware:
@@ -171,7 +181,13 @@ class ReplicationMiddleware:
         self.stats = {
             "reads": 0, "writes": 0, "commits": 0, "aborts": 0,
             "certification_aborts": 0, "freshness_waits": 0,
+            "certifier_pruned": 0,
         }
+        # Group commit (repro.core.groupcommit): the writeset commit path
+        # always runs through the coordinator — a batch of one outside a
+        # gather, real multi-commit batches under the timed driver.
+        self.group_commit = GroupCommitCoordinator(
+            self, max_batch=self.config.group_commit_max)
         # Hook used by the timed driver to wake per-replica apply workers
         # when asynchronous propagation enqueues work.
         self.on_apply_enqueued = None
@@ -482,30 +498,10 @@ class ReplicationMiddleware:
     # update propagation
     # ------------------------------------------------------------------
 
-    def propagate_writeset(self, origin: Replica, seq: int,
-                           entries: List[Dict],
-                           tables: Sequence[str],
-                           trace_ref: Optional[Tuple[int, int]] = None
-                           ) -> None:
-        """Ship a certified writeset to every other replica (sync or
-        async per configuration).  ``trace_ref`` links the apply-side
-        spans back into the originating commit's trace."""
-        for replica in self.replicas:
-            if replica.name == origin.name:
-                continue
-            if not replica.is_online:
-                continue  # it will resynchronize from the recovery log
-            item = ApplyItem(seq, "writeset", entries, tuple(tables),
-                             enqueued_at=self.monitor.peek(),
-                             trace_ref=trace_ref)
-            if self.config.propagation == "sync":
-                self._apply_item(replica, item)
-            else:
-                replica.enqueue(item)
-                if self.on_apply_enqueued is not None:
-                    self.on_apply_enqueued(replica, item)
-
     def _apply_item(self, replica: Replica, item: ApplyItem) -> None:
+        if item.kind == "writeset_batch":
+            self._apply_batch_item(replica, item)
+            return
         span = None
         if item.trace_ref is not None:
             # cross-node continuation: the commit's trace gains a span on
@@ -535,6 +531,68 @@ class ReplicationMiddleware:
             if span is not None:
                 span.end()
 
+    def _apply_batch_item(self, replica: Replica, item: ApplyItem) -> None:
+        """Apply a multi-writeset frame.  One ``replica.apply_batch``
+        span covers the whole frame (amortized hot-path observability)
+        with a per-transaction event carrying each commit's seq and
+        propagation lag; the watermark advances per unit, in seq order,
+        so it never advertises a seq with unapplied predecessors."""
+        units = item.payload
+        span = None
+        if item.trace_ref is not None:
+            trace_id, parent_id = item.trace_ref
+            span = self.tracer.start_linked(
+                "replica.apply_batch", trace_id, parent_id,
+                replica=replica.name, units=len(units),
+                first_seq=units[0].seq, last_seq=units[-1].seq)
+        now = self.tracer.now()
+        try:
+            for unit in units:
+                report = apply_writeset(
+                    replica.engine, unit.entries,
+                    compensate_counters=self.config.compensate_counters)
+                if not report.clean:
+                    self.monitor.record("apply_divergence", replica.name,
+                                        seq=unit.seq,
+                                        issues=report.conflicts)
+                replica.applied_seq = max(replica.applied_seq, unit.seq)
+                replica.stats["applied_items"] += 1
+                if span is not None:
+                    span.event("txn_applied", seq=unit.seq,
+                               propagation_lag=round(
+                                   max(0.0, now - unit.enqueued_at), 9))
+        finally:
+            if span is not None:
+                span.end()
+
+    def maybe_prune_certifier(self) -> int:
+        """Bound certification-log growth on the hot path: once the log
+        exceeds the configured watermark, drop entries below the safe
+        floor — the minimum of every online replica's applied watermark,
+        every in-flight transaction's snapshot seq (a long-running
+        transaction must still see the entries it can conflict with),
+        and the HA standby's shipped seq.  Offline replicas resync from
+        the recovery log, not the certifier, so they don't hold it."""
+        watermark = self.config.certifier_prune_watermark
+        if watermark <= 0 or self.certifier.log_length() <= watermark:
+            return 0
+        floor = self.certifier.current_seq
+        for replica in self.replicas:
+            if replica.is_online:
+                floor = min(floor, replica.applied_seq)
+        for session in self.sessions:
+            if session.in_transaction:
+                floor = min(floor, session._txn_start_seq)
+        if self.state_shipper is not None:
+            floor = min(floor, self.state_shipper.state.seq)
+        pruned = self.certifier.auto_prune(floor, watermark)
+        if pruned:
+            self.stats["certifier_pruned"] += pruned
+            self.monitor.record("certifier_pruned", self.name,
+                                pruned=pruned, floor=floor,
+                                log_length=self.certifier.log_length())
+        return pruned
+
     def pump(self, max_items: Optional[int] = None) -> int:
         """Drain asynchronous apply queues (round-robin across replicas).
         Returns the number of items applied."""
@@ -545,7 +603,7 @@ class ReplicationMiddleware:
             for replica in self.replicas:
                 if not replica.is_online or not replica.apply_queue:
                     continue
-                item = replica.apply_queue.pop(0)
+                item = replica.apply_queue.popleft()
                 self._apply_item(replica, item)
                 applied += 1
                 progress = True
@@ -562,7 +620,7 @@ class ReplicationMiddleware:
         while replica.apply_queue:
             if up_to_seq is not None and replica.applied_seq >= up_to_seq:
                 break
-            item = replica.apply_queue.pop(0)
+            item = replica.apply_queue.popleft()
             self._apply_item(replica, item)
             applied += 1
         return applied
@@ -1531,6 +1589,7 @@ class MiddlewareSession:
             seq, keys=footprints,
             tables=self._published_tables(self._txn_tables_written),
             kind=kind, database=self.database)
+        middleware.maybe_prune_certifier()
 
     def _commit_writeset_mode(self) -> None:
         middleware = self.middleware
@@ -1548,68 +1607,16 @@ class MiddlewareSession:
         if not entries:
             connection.commit()
             return
-        keys = conflict_keys(entries)
-        span = middleware.tracer.child_span(
-            "certify", self.active_span, kind="writeset", keys=len(keys),
-            start_seq=self._txn_start_seq)
-        try:
-            outcome = middleware.certifier.certify(self._txn_start_seq, keys)
-        except CertifierDown:
-            span.set_tag("error", "CertifierDown")
-            span.end()
-            connection.rollback()
-            middleware.stats["aborts"] += 1
-            raise
-        span.set_tag("ok", outcome.ok)
-        if not outcome.ok:
-            span.set_tag("conflict_seq", outcome.conflict_seq)
-            span.end()
-            connection.rollback()
-            middleware.stats["aborts"] += 1
-            middleware.stats["certification_aborts"] += 1
-            replica.stats["aborts"] += 1
-            raise SerializationError(
-                f"certification failed: conflicts with global seq "
-                f"{outcome.conflict_seq} (first-committer-wins)")
-        span.set_tag("seq", outcome.seq)
-        span.end()
-        seq = outcome.seq
-        tables = sorted(self._txn_tables_written)
-        # HA phase 1 (repro.ha): the shipped PENDING entry reaches the
-        # standby before the local commit becomes durable — a crash in
-        # between leaves a pending record that promotion resolves
-        # against the replicas' applied watermark.
-        middleware._ship_prepare(self, seq, keys, "writeset", entries,
-                                 tables)
-        # Prefix discipline: the replica must apply every earlier-certified
-        # writeset before this commit lands, or its applied watermark would
-        # skip updates it never saw.  Certification already guarantees the
-        # pending items are disjoint from this transaction's writeset.
-        middleware.drain_replica(replica.name, up_to_seq=seq - 1)
-        commit_span = middleware.tracer.child_span(
-            "replica.commit", self.active_span, replica=replica.name)
-        with commit_span:
-            connection.commit()
-        replica.applied_seq = max(replica.applied_seq, seq)
-        middleware.recovery_log.append(
-            seq, "writeset", entries, tables=tables, user=self.user,
-            database=self.database)
-        prop_span = middleware.tracer.child_span(
-            "propagate", self.active_span, seq=seq,
-            mode=middleware.config.propagation)
-        middleware.propagate_writeset(
-            replica, seq, entries, tables,
-            trace_ref=((prop_span.trace_id, prop_span.span_id)
-                       if prop_span else None))
-        prop_span.end()
-        middleware.config.consistency.note_commit(self.view, seq)
-        # HA phase 2: durable everywhere sync propagation requires —
-        # COMMITTED in the standby's ledger before the client ack.
-        middleware._ship_ack(self, seq)
-        middleware.publish_certified(
-            seq, keys=invalidation_keys(entries, replica.engine),
-            tables={(e["database"], e["table"]) for e in entries},
-            kind="writeset", database=self.database, entries=entries)
+        # The whole certify -> ship_prepare -> prefix drain -> commit ->
+        # recovery-log -> propagate -> ship_ack -> publish sequence lives
+        # in the group-commit coordinator: a batch of one outside a
+        # gather (identical to the historical per-transaction pipeline),
+        # a shared certifier batch and one frame per replica inside one.
+        request = CommitRequest(
+            session=self, origin=replica, connection=connection,
+            start_seq=self._txn_start_seq, keys=conflict_keys(entries),
+            entries=entries, tables=sorted(self._txn_tables_written))
+        middleware.group_commit.submit(request)
 
     def _published_tables(self, names) -> set:
         """Raw ``table`` / ``db.table`` strings -> ``(db, table)`` pairs

@@ -9,7 +9,9 @@ consistency protocols and by slave-lag measurements (section 2.2).
 from __future__ import annotations
 
 import enum
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from collections import deque
+from itertools import islice
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
 
 from ..sqlengine import Connection, Engine
 from ..cluster.nodes import Node
@@ -33,7 +35,7 @@ class ApplyItem:
                  tables: Tuple[str, ...] = (), enqueued_at: float = 0.0,
                  trace_ref: Optional[Tuple[int, int]] = None):
         self.seq = seq
-        self.kind = kind          # "statements" | "writeset"
+        self.kind = kind          # "statements" | "writeset" | "writeset_batch"
         self.payload = payload
         self.tables = tables
         self.enqueued_at = enqueued_at
@@ -55,8 +57,9 @@ class Replica:
         self.state = ReplicaState.ONLINE
         # Highest global update sequence number applied here.
         self.applied_seq = 0
-        # Pending asynchronous apply work.
-        self.apply_queue: List[ApplyItem] = []
+        # Pending asynchronous apply work (deque: the apply pipeline pops
+        # strictly from the head, which a plain list makes O(n)).
+        self.apply_queue: Deque[ApplyItem] = deque()
         # Admin connection used for applying replicated updates.
         self._apply_connection: Optional[Connection] = None
         # Counters for reports.
@@ -119,6 +122,25 @@ class Replica:
 
     def enqueue(self, item: ApplyItem) -> None:
         self.apply_queue.append(item)
+
+    def peek_batch(self, n: int) -> List[ApplyItem]:
+        """The first ``n`` queued items without consuming them — the apply
+        scheduler peeks, charges simulated cost, then pops, so a racing
+        commit-time drain always sees the full queue."""
+        return list(islice(self.apply_queue, n))
+
+    def drain(self, n: Optional[int] = None,
+              up_to_seq: Optional[int] = None) -> List[ApplyItem]:
+        """Pop up to ``n`` items (and/or every item with
+        ``seq <= up_to_seq``) strictly from the head of the queue."""
+        drained: List[ApplyItem] = []
+        while self.apply_queue:
+            if n is not None and len(drained) >= n:
+                break
+            if up_to_seq is not None and self.apply_queue[0].seq > up_to_seq:
+                break
+            drained.append(self.apply_queue.popleft())
+        return drained
 
     @property
     def lag_items(self) -> int:

@@ -1,0 +1,433 @@
+"""Writeset-pipeline tests: group commit, batched certification,
+dependency-parallel apply scheduling, and certifier-log auto-pruning.
+
+The load-bearing property is *equivalence*: pushing N commit requests
+through the certifier as one group-commit batch must yield exactly the
+same ok/abort decisions and sequence numbers as certifying them one at
+a time in the same order (hypothesis-checked below on random interleaved
+footprints).  Everything else — frames, parallel apply groups, pruning —
+is an optimization layered on top of that invariant.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    MiddlewareConfig, ReplicationMiddleware, protocol_by_name,
+)
+from repro.core.applysched import (
+    ApplyUnit, conflict_groups, item_units, lane_makespan,
+)
+from repro.core.certifier import Certifier
+from repro.core.replica import ApplyItem
+from repro.sqlengine import SerializationError
+
+from tests.conftest import KV_SCHEMA, make_replicas, seed_kv
+
+
+def build(propagation="sync", consistency="gsi", n=3, **config_kwargs):
+    replicas = make_replicas(n, schema=KV_SCHEMA)
+    mw = ReplicationMiddleware(replicas, MiddlewareConfig(
+        replication="writeset", propagation=propagation,
+        consistency=protocol_by_name(consistency), **config_kwargs))
+    mw.interleave_auto_increment()
+    seed_kv(mw, rows=8)
+    mw.pump()
+    return mw
+
+
+# ---------------------------------------------------------------------------
+# batched certification == per-transaction certification
+# ---------------------------------------------------------------------------
+
+# A tiny key universe maximises collisions; pk=None exercises the
+# table-level (conservative) footprint path.
+_footprint = st.frozensets(
+    st.tuples(st.just("shop"), st.sampled_from(["kv", "orders"]),
+              st.sampled_from([None, 1, 2, 3])),
+    min_size=0, max_size=3)
+
+_request = st.tuples(st.integers(0, 5), _footprint)  # (snapshot age, keys)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(_request, min_size=1, max_size=30),
+       st.lists(st.integers(1, 6), min_size=1, max_size=30))
+def test_batched_certification_equals_serial(requests, batch_sizes):
+    """Same requests, same order: a batched certifier must produce
+    positionally identical outcomes and an identical final log."""
+    serial = Certifier()
+    batched = Certifier()
+
+    serial_outcomes = []
+    for age, keys in requests:
+        start_seq = max(0, serial.current_seq - age)
+        serial_outcomes.append((serial.certify(start_seq, keys), keys))
+
+    batched_outcomes = []
+    cursor = 0
+    size_index = 0
+    while cursor < len(requests):
+        size = batch_sizes[size_index % len(batch_sizes)]
+        size_index += 1
+        chunk = requests[cursor:cursor + size]
+        cursor += size
+        batched.begin_batch()
+        for age, keys in chunk:
+            start_seq = max(0, batched.current_seq - age)
+            batched_outcomes.append((batched.certify(start_seq, keys), keys))
+        batched.end_batch()
+
+    assert len(serial_outcomes) == len(batched_outcomes)
+    for (a, _), (b, _) in zip(serial_outcomes, batched_outcomes):
+        assert a.ok == b.ok
+        assert a.seq == b.seq
+        assert a.conflict_seq == b.conflict_seq
+    assert serial.export_log() == batched.export_log()
+    assert serial.current_seq == batched.current_seq
+
+
+def test_certify_batch_helper_matches_loop():
+    requests = [(0, frozenset({("shop", "kv", 1)})),
+                (0, frozenset({("shop", "kv", 1)})),  # conflicts with first
+                (0, frozenset({("shop", "kv", 2)}))]
+    loop = Certifier()
+    expected = [loop.certify(s, k) for s, k in requests]
+    helper = Certifier()
+    outcomes = helper.certify_batch(requests)
+    assert [(o.ok, o.seq) for o in outcomes] == \
+        [(o.ok, o.seq) for o in expected]
+    assert not helper.in_batch
+    assert helper.max_batch == 2  # the conflicting request staged nothing
+
+
+def test_intra_batch_conflict_aborts_against_staged_entry():
+    """An entry accepted earlier in the SAME open batch is not in the log
+    yet, but must conflict exactly as if it were."""
+    certifier = Certifier()
+    certifier.begin_batch()
+    first = certifier.certify(0, frozenset({("shop", "kv", 7)}))
+    second = certifier.certify(0, frozenset({("shop", "kv", 7)}))
+    certifier.end_batch()
+    assert first.ok
+    assert not second.ok
+    assert second.conflict_seq == first.seq
+
+
+def test_nested_batch_is_rejected():
+    certifier = Certifier()
+    certifier.begin_batch()
+    with pytest.raises(RuntimeError):
+        certifier.begin_batch()
+    certifier.end_batch()
+
+
+def test_export_log_sees_open_batch():
+    """State shipping during an open batch must include staged entries,
+    or a promotion mid-batch could lose certified transactions."""
+    certifier = Certifier()
+    certifier.begin_batch()
+    certifier.certify(0, frozenset({("shop", "kv", 1)}))
+    assert len(certifier.export_log()) == 1
+    certifier.end_batch()
+    assert len(certifier.export_log()) == 1
+
+
+# ---------------------------------------------------------------------------
+# dependency-parallel apply scheduling
+# ---------------------------------------------------------------------------
+
+def _unit(seq, *keys):
+    return ApplyUnit(seq, entries=[], keys=frozenset(keys))
+
+
+class TestConflictGroups:
+    def test_overlapping_point_keys_share_a_group(self):
+        a = _unit(1, ("shop", "kv", 1))
+        b = _unit(2, ("shop", "kv", 1), ("shop", "kv", 5))
+        c = _unit(3, ("shop", "kv", 5))
+        groups = conflict_groups([a, b, c])
+        assert groups == [[a, b, c]]  # transitive: a~b on 1, b~c on 5
+
+    def test_disjoint_keys_get_their_own_groups(self):
+        a = _unit(1, ("shop", "kv", 1))
+        b = _unit(2, ("shop", "kv", 2))
+        c = _unit(3, ("shop", "orders", 1))
+        assert conflict_groups([a, b, c]) == [[a], [b], [c]]
+
+    def test_table_level_footprint_conflicts_with_every_key_of_table(self):
+        a = _unit(1, ("shop", "kv", 1))
+        locker = _unit(2, ("shop", "kv", None))   # table-granular
+        b = _unit(3, ("shop", "kv", 9))           # later key, same table
+        other = _unit(4, ("shop", "orders", 1))
+        groups = conflict_groups([a, locker, b, other])
+        assert groups == [[a, locker, b], [other]]
+
+    def test_opaque_unit_collapses_the_whole_run(self):
+        a = _unit(1, ("shop", "kv", 1))
+        opaque = ApplyUnit(2, entries=[], keys=None)
+        b = _unit(3, ("shop", "orders", 1))
+        assert conflict_groups([a, opaque, b]) == [[a, opaque, b]]
+
+    def test_groups_preserve_seq_order_within_and_across(self):
+        units = [_unit(s, ("shop", "kv", s % 2)) for s in range(1, 7)]
+        groups = conflict_groups(units)
+        assert [[u.seq for u in g] for g in groups] == [[1, 3, 5], [2, 4, 6]]
+
+
+def test_item_units_normalizes_every_kind():
+    unit = _unit(5, ("shop", "kv", 1))
+    frame = ApplyItem(5, "writeset_batch", [unit], ("kv",))
+    assert item_units(frame) == [unit]
+    entries = [{"database": "shop", "table": "kv", "op": "update",
+                "primary_key": (1,), "row": {"k": 1, "v": 2}}]
+    plain = ApplyItem(6, "writeset", entries, ("kv",))
+    (from_plain,) = item_units(plain)
+    assert from_plain.keys == frozenset({("shop", "kv", (1,))})
+    replay = ApplyItem(7, "statements", [("UPDATE kv SET v=1", ())], ("kv",))
+    (opaque,) = item_units(replay)
+    assert opaque.keys is None  # statement replay is a barrier
+
+
+class TestLaneMakespan:
+    def test_single_lane_serializes_everything(self):
+        assert lane_makespan([3.0, 1.0, 2.0], lanes=1) == [6.0]
+
+    def test_work_is_conserved_and_lanes_bounded(self):
+        costs = [5.0, 4.0, 3.0, 2.0, 1.0]
+        loads = lane_makespan(costs, lanes=3)
+        assert len(loads) == 3
+        assert sum(loads) == pytest.approx(sum(costs))
+        assert max(loads) < sum(costs)  # genuine overlap
+
+    def test_more_lanes_than_groups(self):
+        assert sorted(lane_makespan([1.0, 2.0], lanes=8)) == [1.0, 2.0]
+
+
+# ---------------------------------------------------------------------------
+# replica queue: deque + batch drain
+# ---------------------------------------------------------------------------
+
+def _items(seqs):
+    return [ApplyItem(s, "writeset", [], ()) for s in seqs]
+
+
+class TestReplicaDrain:
+    def test_peek_batch_does_not_consume(self):
+        (replica,) = make_replicas(1)
+        for item in _items([1, 2, 3]):
+            replica.enqueue(item)
+        assert [i.seq for i in replica.peek_batch(2)] == [1, 2]
+        assert len(replica.apply_queue) == 3
+
+    def test_drain_n_pops_fifo_prefix(self):
+        (replica,) = make_replicas(1)
+        for item in _items([1, 2, 3]):
+            replica.enqueue(item)
+        assert [i.seq for i in replica.drain(2)] == [1, 2]
+        assert [i.seq for i in replica.apply_queue] == [3]
+
+    def test_drain_up_to_seq_stops_at_boundary(self):
+        (replica,) = make_replicas(1)
+        for item in _items([4, 5, 9]):
+            replica.enqueue(item)
+        assert [i.seq for i in replica.drain(up_to_seq=5)] == [4, 5]
+        assert [i.seq for i in replica.drain()] == [9]
+        assert not replica.apply_queue
+
+
+# ---------------------------------------------------------------------------
+# group commit end-to-end (untimed middleware)
+# ---------------------------------------------------------------------------
+
+class TestGroupCommit:
+    def test_immediate_mode_is_a_batch_of_one(self):
+        mw = build()
+        session = mw.connect(database="shop")
+        session.execute("UPDATE kv SET v = 1 WHERE k = 1")
+        session.close()
+        assert mw.group_commit.stats["max_batch"] == 1
+        assert mw.certifier.max_batch == 1
+        assert mw.check_convergence()
+
+    def test_gathered_batch_ships_one_frame_per_replica(self):
+        # 5 replicas / 3 committers: at least two replicas are pure
+        # destinations and must receive ONE multi-writeset frame each,
+        # not one queue entry per transaction.
+        mw = build(propagation="async", n=5)
+        sessions = [mw.connect(database="shop") for _ in range(3)]
+        for index, session in enumerate(sessions):
+            session.begin()
+            session.execute(f"UPDATE kv SET v = 9 WHERE k = {index}")
+        with mw.group_commit.batch():
+            for session in sessions:
+                session.commit()
+        for session in sessions:
+            session.close()
+        assert mw.group_commit.stats["max_batch"] == 3
+        assert mw.certifier.max_batch == 3
+        origins = {r.name for r in mw.replicas if not r.apply_queue}
+        destinations = [r for r in mw.replicas if r.apply_queue]
+        assert len(destinations) >= 2
+        for replica in destinations:
+            (frame,) = replica.apply_queue  # one frame, not three items
+            assert frame.kind == "writeset_batch"
+            assert len(frame.payload) == 3
+        assert len(origins) + len(destinations) == 5
+        mw.pump()
+        assert mw.check_convergence()
+
+    def test_origin_watermark_never_skips_cobatch_prefix(self):
+        """A replica that committed mid-batch advertises its own seq; the
+        flush must apply its co-batch predecessors synchronously so the
+        watermark's max() semantics stay truthful (async propagation)."""
+        mw = build(propagation="async")
+        sessions = [mw.connect(database="shop") for _ in range(3)]
+        for index, session in enumerate(sessions):
+            session.begin()
+            session.execute(f"UPDATE kv SET v = 7 WHERE k = {index}")
+        with mw.group_commit.batch():
+            for session in sessions:
+                session.commit()
+        for session in sessions:
+            session.close()
+        top = mw.certifier.current_seq
+        origins = [r for r in mw.replicas if r.applied_seq == top]
+        # every origin of a batch member saw the whole batch at flush
+        assert origins
+        for replica in origins:
+            assert not replica.apply_queue
+        mw.pump()
+        assert mw.check_convergence()
+
+    def test_intra_batch_conflict_aborts_second_committer(self):
+        mw = build()
+        a = mw.connect(database="shop")
+        b = mw.connect(database="shop")
+        a.begin()
+        b.begin()
+        a.execute("UPDATE kv SET v = 10 WHERE k = 5")
+        b.execute("UPDATE kv SET v = 20 WHERE k = 5")
+        with mw.group_commit.batch():
+            a.commit()
+            with pytest.raises(SerializationError):
+                b.commit()
+        a.close()
+        b.close()
+        assert mw.stats["certification_aborts"] == 1
+        assert mw.check_convergence()
+        check = mw.connect(database="shop")
+        (row,) = check.execute("SELECT v FROM kv WHERE k = 5").rows
+        check.close()
+        assert row[0] == 10  # first committer won
+
+    def test_batched_frame_applies_with_one_span(self):
+        """Hot-path observability: one replica.apply_batch span per frame
+        with a txn_applied event per contained commit — not a span per
+        transaction — while per-commit propagation_lag survives."""
+        mw = build(propagation="async")
+        mw.tracer.enabled = True
+        sessions = [mw.connect(database="shop") for _ in range(3)]
+        for index, session in enumerate(sessions):
+            session.begin()
+            session.execute(f"UPDATE kv SET v = 3 WHERE k = {index}")
+        with mw.group_commit.batch():
+            for session in sessions:
+                session.commit()
+        for session in sessions:
+            session.close()
+        mw.pump()
+        batch_spans = [span for trace in mw.tracer.traces()
+                       for span in trace
+                       if span.name == "replica.apply_batch"]
+        assert batch_spans
+        for span in batch_spans:
+            events = [e for e in span.events if e[1] == "txn_applied"]
+            assert len(events) == span.tags["units"] >= 2
+            assert all("propagation_lag" in attrs
+                       for _t, _n, attrs in events)
+        assert mw.check_convergence()
+
+    def test_equivalence_log_replays_identically(self):
+        """Record every (start_seq, keys) decision during batched commits,
+        then replay them per-transaction on a fresh certifier: decisions
+        and seqs must match — the E27 zero-violations check."""
+        mw = build()
+        mw.group_commit.equivalence_log = []
+        for round_index in range(4):
+            sessions = [mw.connect(database="shop") for _ in range(3)]
+            for index, session in enumerate(sessions):
+                session.begin()
+                session.execute(
+                    f"UPDATE kv SET v = {round_index} WHERE k = {index % 2}")
+            with mw.group_commit.batch():
+                for session in sessions:
+                    try:
+                        session.commit()
+                    except SerializationError:
+                        pass
+            for session in sessions:
+                session.close()
+        log = mw.group_commit.equivalence_log
+        assert log, "no decisions recorded"
+        replay = Certifier()
+        replay._seq = min(d["start_seq"] for d in log)
+        # seed the replay log with everything the session snapshots predate
+        violations = 0
+        for decision in log:
+            outcome = replay.certify(decision["start_seq"], decision["keys"])
+            if outcome.ok != decision["ok"]:
+                violations += 1
+            elif outcome.ok and outcome.seq != decision["seq"]:
+                violations += 1
+        assert violations == 0
+        assert mw.check_convergence()
+
+
+# ---------------------------------------------------------------------------
+# certifier log auto-pruning
+# ---------------------------------------------------------------------------
+
+class TestAutoPrune:
+    def test_log_stays_bounded_under_watermark(self):
+        mw = build(certifier_prune_watermark=10)
+        session = mw.connect(database="shop")
+        for index in range(60):
+            session.execute(f"UPDATE kv SET v = {index} WHERE k = {index % 8}")
+        session.close()
+        assert mw.certifier.log_length() <= 10
+        assert mw.certifier.pruned_total > 0
+        assert mw.stats["certifier_pruned"] == mw.certifier.pruned_total
+        assert mw.check_convergence()
+
+    def test_inflight_snapshot_holds_the_floor(self):
+        """A long-running transaction must keep the log entries it could
+        conflict with: pruning never crosses its snapshot seq."""
+        mw = build(certifier_prune_watermark=10)
+        reader = mw.connect(database="shop")
+        reader.begin()
+        reader.execute("SELECT v FROM kv WHERE k = 0")
+        snapshot_seq = reader._txn_start_seq
+        writer = mw.connect(database="shop")
+        for index in range(40):
+            writer.execute(f"UPDATE kv SET v = {index} WHERE k = 1")
+        writer.close()
+        # every entry above the snapshot is still present for conflict
+        # checks (the reader may yet write): the prune floor never
+        # crosses the in-flight snapshot seq
+        kept = [seq for seq, _keys in mw.certifier.export_log()]
+        assert kept
+        assert min(kept) <= snapshot_seq + 1
+        reader.execute("UPDATE kv SET v = 99 WHERE k = 0")
+        reader.commit()
+        reader.close()
+        assert mw.check_convergence()
+
+    def test_disabled_watermark_never_prunes(self):
+        mw = build(certifier_prune_watermark=0)
+        session = mw.connect(database="shop")
+        for index in range(30):
+            session.execute(f"UPDATE kv SET v = {index} WHERE k = 2")
+        session.close()
+        assert mw.certifier.pruned_total == 0
+        assert mw.certifier.log_length() >= 30
