@@ -15,7 +15,7 @@ from repro.core import RoundRobinPolicy
 from repro.core.loadbalancer import BalancingLevel
 from repro.workloads import MicroWorkload
 
-from common import ratio, run_closed_loop
+from common import run_closed_loop
 
 CLIENTS = 2          # a small persistent pool
 REPLICAS = 4         # more capacity than connections

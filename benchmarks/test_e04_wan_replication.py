@@ -8,11 +8,11 @@ Claims:
 """
 
 from repro.bench import Report
-from repro.core import CostModel, Site, WanSystem
+from repro.core import Site, WanSystem
 from repro.bench import build_cluster
 from repro.workloads import MicroWorkload
 
-from common import ratio, run_closed_loop
+from common import ratio
 
 WAN_RTT = 0.160     # transcontinental round trip (seconds)
 LAN_RTT = 0.0006

@@ -6,7 +6,6 @@ interception (Fig. 5), DBMS-protocol proxying (Fig. 6) and driver-based
 remapping (Fig. 7), plus the 500-client driver-rollout cost.
 """
 
-import pytest
 
 from repro.bench import Report, build_cluster
 from repro.core import (

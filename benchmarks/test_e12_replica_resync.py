@@ -14,7 +14,6 @@ from repro.core import ClusterManager, CostModel, Replica
 from repro.sqlengine import Engine, postgresql
 from repro.workloads import MicroWorkload
 
-from common import ratio
 
 
 def fresh_replica(name="new"):

@@ -11,8 +11,7 @@ Claims:
 
 from repro.bench import ClosedLoopDriver, Report, TimedCluster, build_cluster, load_workload
 from repro.cluster import Environment
-from repro.core import BackupCoordinator, Replica, ReplicaState
-from repro.sqlengine import Engine, postgresql
+from repro.core import BackupCoordinator
 from repro.workloads import MicroWorkload
 
 DURATION = 6.0

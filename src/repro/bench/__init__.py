@@ -7,13 +7,14 @@ from .harness import (
     DEFAULT_DATABASE, Report, build_cluster, build_replicas, load_workload,
 )
 from .simdriver import (
-    ClosedLoopDriver, LagProbe, OpenLoopDriver, RunMetrics, TimedCluster,
+    ClosedLoopDriver, LagProbe, OpenLoopDriver, RunMetrics,
+    SessionArrivalDriver, TimedCluster,
 )
 
 __all__ = [
     "ChaosConfig", "ChaosResult", "ChaosRun", "ClosedLoopDriver",
     "DEFAULT_DATABASE", "LagProbe", "OpenLoopDriver",
-    "Report", "RunMetrics", "TimedCluster", "build_cluster",
-    "build_replicas", "default_resilience_policy", "load_workload",
-    "run_chaos",
+    "Report", "RunMetrics", "SessionArrivalDriver", "TimedCluster",
+    "build_cluster", "build_replicas", "default_resilience_policy",
+    "load_workload", "run_chaos",
 ]

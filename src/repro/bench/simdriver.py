@@ -17,6 +17,7 @@ from typing import Dict, List, Optional, Tuple
 
 from ..cluster.nodes import NodeDown
 from ..cluster.sim import Environment, Store
+from ..core.admission import AdmissionGate
 from ..core.analysis import analyze
 from ..core.applysched import conflict_groups, item_units, lane_makespan
 from ..core.costmodel import CostModel
@@ -24,8 +25,9 @@ from ..core.loadbalancer import RoutingContext
 from ..core.middleware import MiddlewareSession, ReplicationMiddleware
 from ..metrics.perf import LatencyRecorder, ThroughputMeter, TimeSeries
 from ..sqlengine import ast_nodes as ast
-from ..sqlengine.parser import parse_script
+from ..sqlengine.parser import parameterize_literals, parse_script
 from ..workloads.generator import TxnSpec, Workload
+from ..workloads.openloop import OpenLoopWorkload, RateCurve, arrival_times
 
 
 class _Gather:
@@ -103,6 +105,15 @@ class TimedCluster:
         self._running = True
         self._signals: Dict[str, Store] = {}
         self._analysis_cache: Dict[str, list] = {}
+        self._param_fail: set = set()
+        # sql -> (template pairs, extracted values): hot Zipf keys skip
+        # the rewrite regex on repeat appearances
+        self._param_memo: Dict[str, tuple] = {}
+        # Driver-side auto-parameterization: key-bearing point statements
+        # share one parsed+analyzed template instead of thrashing the
+        # analysis cache (one entry per key value).  Disabled = the
+        # BENCH_e23-era parse-per-key behaviour (the E28 compat arm).
+        self.auto_parameterize = True
         if middleware.config.propagation == "async":
             self._start_apply_workers()
 
@@ -213,13 +224,42 @@ class TimedCluster:
                 pass
             return (self.env.now - start, False, type(exc).__name__)
 
-    def _statements_of(self, sql: str) -> list:
+    def _statements_of(self, sql: str,
+                       allow_params: bool = True) -> Tuple[list, list]:
+        """Parsed+analyzed statements for ``sql`` plus extracted params.
+
+        Key-bearing point statements are auto-parameterized first so the
+        whole key space shares one cached template; everything else is
+        cached under its own text (stable strings like BEGIN/COMMIT)."""
         cached = self._analysis_cache.get(sql)
-        if cached is None:
-            cached = [(stmt, analyze(stmt)) for stmt in parse_script(sql)]
-            if len(self._analysis_cache) < 4096:
-                self._analysis_cache[sql] = cached
-        return cached
+        if cached is not None:
+            return cached, []
+        if allow_params and self.auto_parameterize:
+            memo = self._param_memo.get(sql)
+            if memo is not None:
+                return memo
+            prepared = parameterize_literals(sql)
+            if prepared is not None:
+                template, values = prepared
+                pairs = self._analysis_cache.get(template)
+                if pairs is None and template not in self._param_fail:
+                    try:
+                        pairs = [(stmt, analyze(stmt))
+                                 for stmt in parse_script(template)]
+                    except Exception:  # noqa: BLE001 — unparsable template
+                        self._param_fail.add(template)
+                        pairs = None
+                    else:
+                        if len(self._analysis_cache) < 4096:
+                            self._analysis_cache[template] = pairs
+                if pairs is not None:
+                    if len(self._param_memo) < 8192:
+                        self._param_memo[sql] = (pairs, values)
+                    return pairs, values
+        pairs = [(stmt, analyze(stmt)) for stmt in parse_script(sql)]
+        if len(self._analysis_cache) < 4096:
+            self._analysis_cache[sql] = pairs
+        return pairs, []
 
     def _timed_statement(self, session: MiddlewareSession, sql: str,
                          params: list):
@@ -250,7 +290,11 @@ class TimedCluster:
         # client -> middleware hop + middleware processing
         yield self.env.timeout(self.client_latency
                                + self.cost.middleware_cost())
-        for statement, info in self._statements_of(sql):
+        pairs, extracted = self._statements_of(sql,
+                                               allow_params=not params)
+        if extracted:
+            params = extracted
+        for statement, info in pairs:
             if isinstance(statement, (ast.BeginStatement,
                                       ast.RollbackStatement)):
                 session.execute_one_parsed(statement, sql, params)
@@ -272,7 +316,7 @@ class TimedCluster:
         if replica.node is not None:
             service = self.cost.statement_cost(info)
             if self.cold_read_penalty > 0:
-                tables = sorted(info.all_tables())
+                tables = info.sorted_tables()
                 hotness = replica.hotness(tables) if tables else 1.0
                 service *= 1.0 + self.cold_read_penalty * (1.0 - hotness)
             yield from replica.node.execute(service, io_fraction=0.1)
@@ -694,6 +738,158 @@ class OpenLoopDriver:
             self._free_sessions.append(session)
         else:
             self._session_count -= 1
+
+
+class SessionArrivalDriver:
+    """The million-user open-loop tier (ROADMAP item 4): *sessions*
+    arrive per a :class:`RateCurve` (non-homogeneous Poisson, thinning),
+    each runs a short Zipf-popular transaction sequence with think gaps,
+    and an optional :class:`AdmissionGate` sheds excess arrivals at the
+    door with labeled reasons.
+
+    Unlike :class:`OpenLoopDriver`'s fixed-rate transaction stream, the
+    unit of arrival is a session — the thing a flash crowd multiplies —
+    and there is no pool cap: arrivals never politely wait.  Goodput
+    accounting models impatient clients: a transaction that completes
+    after ``txn_deadline`` simulated seconds still consumed server time
+    (and an acked commit stays durable) but does not count as goodput —
+    exactly the overload mode where shedding beats queueing.
+    """
+
+    def __init__(self, cluster: TimedCluster, workload: OpenLoopWorkload,
+                 curve: RateCurve, seed: int = 41, database: str = "shop",
+                 admission: Optional[AdmissionGate] = None,
+                 txn_deadline: float = 0.75,
+                 session_limit: int = 0):
+        self.cluster = cluster
+        self.workload = workload
+        self.curve = curve
+        self.seed = seed
+        self.database = database
+        self.gate = admission
+        self.txn_deadline = txn_deadline
+        self.session_limit = session_limit
+        self.metrics = RunMetrics(cluster.env)
+        self._pool: List[MiddlewareSession] = []
+        self.peak_concurrency = 0
+        self._active = 0
+        # goodput / overload accounting
+        self.sessions_arrived = 0
+        self.sessions_completed = 0
+        self.sessions_shed = 0
+        self.shed_txns = 0
+        self.goodput = 0
+        self.deadline_misses = 0
+        self.acked_commits = 0
+        self.txns_issued = 0
+
+    def start(self, duration: float) -> None:
+        self.cluster.env.process(self._arrivals(duration),
+                                 name="session_arrivals")
+
+    def _arrivals(self, duration: float):
+        env = self.cluster.env
+        rng = random.Random(self.seed)
+        start = env.now
+        last = start
+        for offset in arrival_times(self.curve, duration, rng,
+                                    limit=self.session_limit):
+            target = start + offset
+            if target > last:
+                yield env.timeout(target - last)
+                last = target
+            self.sessions_arrived += 1
+            # independent per-session stream: workload content stays
+            # identical across admission arms with the same seed
+            session_rng = random.Random(
+                (self.seed * 1_000_003) ^ (self.sessions_arrived * 2654435761))
+            env.process(self._session(session_rng))
+
+    def _session(self, rng: random.Random):
+        env = self.cluster.env
+        count = self.workload.session_length(rng)
+        session = self._acquire_session()
+        if session is None:
+            self.metrics.errors["connect"] = \
+                self.metrics.errors.get("connect", 0) + 1
+            return
+        self._active += 1
+        if self._active > self.peak_concurrency:
+            self.peak_concurrency = self._active
+        try:
+            for index in range(count):
+                spec = self.workload.next_transaction(rng)
+                kind = "read" if spec.is_read_only else "commit"
+                ticket = None
+                if self.gate is not None:
+                    ticket, _reason = self.gate.try_admit(kind)
+                    if ticket is None:
+                        # a shed user goes away, not into a retry storm
+                        self.shed_txns += 1
+                        self.sessions_shed += 1
+                        return
+                self.txns_issued += 1
+                outcome = yield from self.cluster.run_transaction(
+                    session, spec)
+                latency, ok, error_kind = outcome
+                self.metrics.note(spec, latency, ok, error_kind)
+                if ok and kind == "commit":
+                    # the middleware acknowledged a durable commit — from
+                    # here on it must never be shed or lost
+                    self.acked_commits += 1
+                    if ticket is not None:
+                        ticket.ack()
+                if ticket is not None:
+                    ticket.finish(ok)
+                if ok and latency <= self.txn_deadline:
+                    self.goodput += 1
+                elif ok:
+                    self.deadline_misses += 1
+                if not ok:
+                    return
+                if index + 1 < count:
+                    yield env.timeout(self.workload.think_time(rng))
+            self.sessions_completed += 1
+        finally:
+            self._active -= 1
+            self._release_session(session)
+
+    def _acquire_session(self) -> Optional[MiddlewareSession]:
+        while self._pool:
+            session = self._pool.pop()
+            if not session.closed:
+                return session
+        try:
+            return self.cluster.middleware.connect(database=self.database)
+        except Exception:  # noqa: BLE001 — middleware down
+            return None
+
+    def _release_session(self, session: MiddlewareSession) -> None:
+        if not session.closed:
+            self._pool.append(session)
+
+    def goodput_rate(self, duration: float) -> float:
+        return self.goodput / duration if duration > 0 else 0.0
+
+    def summary(self, duration: float) -> dict:
+        """Plain-dict accounting for reports and BENCH artifacts."""
+        out = {
+            "sessions_arrived": self.sessions_arrived,
+            "sessions_completed": self.sessions_completed,
+            "sessions_shed": self.sessions_shed,
+            "txns_issued": self.txns_issued,
+            "shed_txns": self.shed_txns,
+            "goodput_txns": self.goodput,
+            "goodput_tps": self.goodput_rate(duration),
+            "deadline_misses": self.deadline_misses,
+            "acked_commits": self.acked_commits,
+            "peak_concurrency": self.peak_concurrency,
+            "errors": dict(self.metrics.errors),
+            "p99_latency": self.metrics.latency.percentile(99.0),
+        }
+        if self.gate is not None:
+            out["admission"] = self.gate.snapshot()
+        return out
 
 
 class LagProbe:

@@ -10,7 +10,7 @@ misbehave accordingly.
 
 from __future__ import annotations
 
-from typing import Any, Callable, List, Optional
+from typing import Callable, List, Optional
 
 from .sim import Environment, Resource
 

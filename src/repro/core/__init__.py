@@ -6,6 +6,9 @@ create a :class:`~repro.core.middleware.ReplicationMiddleware`.  Sessions
 obtained from :meth:`ReplicationMiddleware.connect` speak plain SQL.
 """
 
+from .admission import (
+    AdmissionGate, AdmissionRejected, BulkheadLane, TokenBucket, default_gate,
+)
 from .analysis import StatementInfo, analyze, rewrite_nondeterministic
 from .autonomic import (
     AutonomicDecision, AutonomicProvisioner, SyncPrediction,
@@ -61,7 +64,9 @@ from .writesets import (
 )
 
 __all__ = [
-    "AdmissionController", "ApplyItem", "ApplyReport", "ApplyUnit",
+    "AdmissionController", "AdmissionGate", "AdmissionRejected",
+    "ApplyItem", "ApplyReport", "ApplyUnit", "BulkheadLane", "TokenBucket",
+    "default_gate",
     "AutonomicDecision",
     "AutonomicProvisioner", "SyncPrediction", "SyncTimePredictor", "BackupCoordinator", "BalancingLevel",
     "BreakerState", "CertificationOutcome", "Certifier", "CertifierDown",

@@ -19,7 +19,7 @@ Two pieces:
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import Callable, List, Optional
 
 from .costmodel import CostModel
 from .errors import MiddlewareError

@@ -18,7 +18,7 @@ three questions:
 
 from __future__ import annotations
 
-from typing import List, Optional, Protocol as _TypingProtocol
+from typing import Optional
 
 
 class ClusterView:

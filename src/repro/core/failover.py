@@ -17,7 +17,6 @@ from __future__ import annotations
 
 from typing import Callable, List, Optional
 
-from .errors import ReplicaUnavailable
 from .middleware import ReplicationMiddleware
 from .replica import Replica, ReplicaState
 

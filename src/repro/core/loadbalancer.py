@@ -37,7 +37,13 @@ class RoutingContext:
 
     def __init__(self, tables: Optional[Sequence[str]] = None,
                  session_id: Optional[int] = None, is_write: bool = False):
-        self.tables = list(tables or [])
+        # Policies only read `tables`; reuse caller lists (the analysis
+        # cache hands out one sorted list per statement shape) instead of
+        # copying on every routed read.
+        if type(tables) is list:
+            self.tables = tables
+        else:
+            self.tables = list(tables or [])
         self.session_id = session_id
         self.is_write = is_write
 
@@ -173,6 +179,9 @@ class LoadBalancer:
         self.cache_bypasses = 0
         # Why the last `choose` picked what it picked — read by the
         # tracing layer to tag the balancer.choose span (repro.obs).
+        # One dict mutated in place: consumers read it synchronously
+        # right after `choose` returns, so reusing the allocation is
+        # safe and keeps the per-read garbage flat.
         self.last_decision: Optional[dict] = None
 
     def note_cache_hit(self) -> None:
@@ -221,12 +230,13 @@ class LoadBalancer:
 
     def _note_decision(self, chosen: Replica, candidates: List[Replica],
                        sticky: bool) -> None:
-        self.last_decision = {
-            "policy": self.policy.name,
-            "replica": chosen.name,
-            "candidates": len(candidates),
-            "sticky": sticky,
-        }
+        decision = self.last_decision
+        if decision is None:
+            decision = self.last_decision = {}
+        decision["policy"] = self.policy.name
+        decision["replica"] = chosen.name
+        decision["candidates"] = len(candidates)
+        decision["sticky"] = sticky
 
     def end_transaction(self, session_id: int) -> None:
         """Transaction-level balancing drops stickiness at commit."""

@@ -23,7 +23,6 @@ from __future__ import annotations
 from typing import Dict, List, Optional
 
 from ..sqlengine.backup import BackupOptions, dump_engine, restore_engine
-from ..sqlengine.dialects import Dialect
 from .backup import BackupCoordinator, ClusterBackup
 from .errors import MiddlewareError, ReplicaUnavailable
 from .middleware import ReplicationMiddleware

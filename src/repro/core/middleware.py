@@ -456,7 +456,7 @@ class ReplicationMiddleware:
 
         cluster = self.cluster_view()
         protocol = self.config.consistency
-        tables = sorted(info.all_tables()) if info else []
+        tables = info.sorted_tables() if info else []
         context = RoutingContext(tables=tables, session_id=session.id)
         candidates = [
             r for r in self.online_replicas()

@@ -16,7 +16,7 @@ as an explicit error.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence
 
 from ..sqlengine import ast_nodes as ast
 from ..sqlengine.executor import Result

@@ -12,7 +12,7 @@ produces a report and applies only the policy the operator picked.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Set
 
 from ..sqlengine import Engine
 from ..sqlengine.mvcc import visible_rows

@@ -17,7 +17,7 @@
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from .errors import MiddlewareDown, MiddlewareError
 from .middleware import MiddlewareSession, ReplicationMiddleware

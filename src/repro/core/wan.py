@@ -14,7 +14,7 @@ disaster-recovery consistency the paper says customers accept.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence
 
 from ..sqlengine.executor import Result
 from .analysis import analyze

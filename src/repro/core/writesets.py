@@ -26,7 +26,7 @@ from ..sqlengine import Engine
 from ..sqlengine.errors import NameError_
 from ..sqlengine.mvcc import visible_version
 from ..sqlengine.storage import Table
-from ..sqlengine.transactions import Transaction, WritesetEntry
+from ..sqlengine.transactions import Transaction
 from ..sqlengine.triggers import Trigger, TriggerEvent
 
 

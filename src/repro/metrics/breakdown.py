@@ -41,6 +41,11 @@ def trace_breakdown(spans: Sequence[Span]) -> Dict[str, float]:
     but are *not* subtracted from anyone, so asynchronous work never
     corrupts the request-side breakdown.
     """
+    if len(spans) == 1 and spans[0].finished and not spans[0].events:
+        # the overwhelmingly common shape under root-span sampling:
+        # one statement span, no children, no timed events
+        only = spans[0]
+        return {only.name: only.duration} if only.duration > 0.0 else {}
     stages: Dict[str, float] = {}
     by_id = {s.span_id: s for s in spans if s.finished}
     child_time: Dict[int, float] = {}

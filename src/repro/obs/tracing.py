@@ -199,15 +199,26 @@ class Tracer:
       ``stats["spans_dropped"]`` and discarded.
     * Ids are deterministic counters — two seeded runs produce identical
       traces, which is what lets benchmarks assert on them.
+    * ``sample_interval`` batches per-request bookkeeping: only every
+      Nth *root* span is recorded (the rest return :data:`NULL_SPAN`,
+      counted in ``stats["spans_sampled_out"]``), and every child of a
+      sampled-out root is free too.  ``1`` (the default) records
+      everything; million-session drivers raise it so tracing overhead
+      stays flat while a deterministic 1-in-N slice of full request
+      timelines is still retained.
     """
 
     def __init__(self, clock: Optional[Clock] = None, enabled: bool = True,
-                 max_traces: int = 512):
+                 max_traces: int = 512, sample_interval: int = 1):
         if max_traces < 1:
             raise ValueError("max_traces must be >= 1")
+        if sample_interval < 1:
+            raise ValueError("sample_interval must be >= 1")
         self.clock: Clock = clock or (lambda: 0.0)
         self.enabled = enabled
         self.max_traces = max_traces
+        self.sample_interval = sample_interval
+        self._roots_seen = 0
         self._trace_ids = itertools.count(1)
         self._span_ids = itertools.count(1)
         self._last_time = float("-inf")
@@ -215,6 +226,7 @@ class Tracer:
         self.stats: Dict[str, int] = {
             "spans_started": 0, "spans_finished": 0, "spans_dropped": 0,
             "traces_started": 0, "traces_evicted": 0,
+            "spans_sampled_out": 0,
         }
 
     # -- clock --------------------------------------------------------------
@@ -238,6 +250,16 @@ class Tracer:
             trace_id: int = parent.trace_id
             parent_id: Optional[int] = parent.span_id
         else:
+            if parent is not None:
+                # caller is *inside* a sampled-out trace (its context is
+                # the null span): stay dark instead of opening a fresh
+                # root mid-request
+                return NULL_SPAN
+            self._roots_seen += 1
+            interval = self.sample_interval
+            if interval > 1 and (self._roots_seen - 1) % interval:
+                self.stats["spans_sampled_out"] += 1
+                return NULL_SPAN
             trace_id = next(self._trace_ids)
             parent_id = None
             self._open_trace(trace_id)

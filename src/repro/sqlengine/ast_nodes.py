@@ -89,11 +89,15 @@ class Star(Expression):
 
 
 class ColumnRef(Expression):
-    __slots__ = ("table", "name")
+    # ``name_lower``/``table_lower`` are precomputed so the evaluator's
+    # per-row column resolution does no string work on the hot path.
+    __slots__ = ("table", "name", "name_lower", "table_lower")
 
     def __init__(self, name: str, table: Optional[str] = None):
         self.table = table
         self.name = name
+        self.name_lower = name.lower()
+        self.table_lower = table.lower() if table is not None else None
 
 
 class Param(Expression):

@@ -13,7 +13,7 @@ captures only when explicitly asked (see backup.py).
 from __future__ import annotations
 
 import hashlib
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Set
 
 from .errors import AccessDeniedError, DuplicateObjectError, NameError_
 

@@ -19,7 +19,6 @@ import copy
 from typing import Any, Dict, List, Optional
 
 from .auth import User
-from .catalog import Database
 from .engine import Engine
 from .errors import SQLError
 from .mvcc import visible_rows

@@ -8,9 +8,9 @@ triggers span databases inside one RDBMS.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List
 
-from .errors import DuplicateObjectError, NameError_, UnsupportedFeatureError
+from .errors import DuplicateObjectError, NameError_
 from .procedures import Procedure
 from .sequences import Sequence
 from .storage import Table

@@ -37,7 +37,7 @@ from .mvcc import (
     CommitClock, READ_COMMITTED, READ_UNCOMMITTED, REPEATABLE_READ,
     SERIALIZABLE, SNAPSHOT,
 )
-from .parser import parse_script
+from .parser import parameterize_literals, parse_script
 from .storage import Table
 from .transactions import Transaction, TransactionStatus
 
@@ -193,7 +193,14 @@ class Connection:
         """Parse and execute ``sql`` (one or more ``;``-separated
         statements); returns the result of the last one."""
         self._check_usable()
-        statements = self.engine.parse(sql)
+        engine = self.engine
+        statements = None
+        if not params and engine.auto_parameterize:
+            prepared = engine.prepare_parameterized(sql)
+            if prepared is not None:
+                statements, params = prepared
+        if statements is None:
+            statements = engine.parse(sql)
         result = Result()
         for statement in statements:
             result = self._execute_one(statement, sql, params or [])
@@ -325,6 +332,22 @@ class Engine:
         # Index-backed access paths can be disabled to measure the
         # sequential-scan baseline (benchmark E23); results are identical.
         self.use_indexes = True
+        # Auto-parameterization: rewrite bare integer literals to ``?``
+        # before the parse cache, so point statements that differ only in
+        # key values share one parsed template (E28 hot path).  Disabled
+        # = the BENCH_e23-era parse-per-key behaviour.
+        self.auto_parameterize = True
+        self._param_fail: set = set()
+        # sql text -> (parsed template statements, extracted values):
+        # repeated statements (hot Zipf keys) skip the rewrite regex and
+        # the template lookup entirely.
+        self._param_memo: "OrderedDict[str, tuple]" = OrderedDict()
+        # Autovacuum: run :meth:`vacuum` every N commits so update-heavy
+        # runs keep version chains bounded (a hot Zipf key otherwise
+        # accumulates one dead version per update and every read walks
+        # the whole chain).  0 disables.
+        self.autovacuum_interval = 512
+        self._commits_since_vacuum = 0
         # Engine-observable statistics.
         self.stats = {
             "commits": 0, "rollbacks": 0, "statements": 0,
@@ -388,6 +411,37 @@ class Engine:
         self.stats["statements"] += len(cached)
         return cached
 
+    def prepare_parameterized(self, sql: str):
+        """Auto-parameterize ``sql`` and parse the template through the
+        parse cache.  Returns ``(statements, values)`` or ``None`` when
+        the statement is not rewritable (the caller then parses the
+        original text).  Templates that fail to parse are remembered so
+        a pathological shape costs one attempt, not one per key."""
+        memo = self._param_memo.get(sql)
+        if memo is not None:
+            self._param_memo.move_to_end(sql)
+            # the memo fronts the parse cache: a hit here is a (cheaper)
+            # parse-cache hit and must count as one
+            self.stats["parse_cache_hits"] += 1
+            return memo
+        prepared = parameterize_literals(sql)
+        if prepared is None:
+            return None
+        template, values = prepared
+        if template in self._param_fail:
+            return None
+        try:
+            statements = self.parse(template)
+        except SQLError:
+            if len(self._param_fail) < 1024:
+                self._param_fail.add(template)
+            return None
+        memo = (statements, values)
+        self._param_memo[sql] = memo
+        while len(self._param_memo) > self._parse_cache_capacity:
+            self._param_memo.popitem(last=False)
+        return memo
+
     # -- transactions -------------------------------------------------------------
 
     def begin_transaction(self, session: Connection, isolation: str,
@@ -428,6 +482,11 @@ class Engine:
             )
         for listener in list(self._commit_listeners):
             listener(txn, record)
+        if self.autovacuum_interval:
+            self._commits_since_vacuum += 1
+            if self._commits_since_vacuum >= self.autovacuum_interval:
+                self._commits_since_vacuum = 0
+                self.vacuum()
         return ts
 
     def rollback(self, txn: Transaction,

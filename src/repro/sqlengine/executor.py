@@ -14,7 +14,7 @@ or the discrete-event simulator — decides what to do.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Dict, List, Optional
 
 from . import ast_nodes as ast
 from .errors import (
@@ -32,7 +32,7 @@ from .planner import AccessPlan, SEQ_SCAN, plan_table_access
 from .sequences import Sequence
 from .procedures import Procedure
 from .storage import RowVersion, Table
-from .transactions import Transaction, WritesetEntry
+from .transactions import WritesetEntry
 from .triggers import Trigger, TriggerEvent
 from .types import Column, ColumnType, coerce
 
@@ -126,6 +126,24 @@ class Executor:
         params = params or []
         if self._trigger_depth == 0:
             self.last_access_paths = []
+        # Exact-type checks for the four DML classes that make up ~all of
+        # any OLTP run; everything else (DDL, grants, subclasses) takes
+        # the isinstance chain in _execute_cold.
+        cls = statement.__class__
+        if cls is ast.SelectStatement:
+            return self._execute_select_statement(session, statement,
+                                                  params, variables)
+        if cls is ast.UpdateStatement:
+            return self._execute_update(session, statement, params, variables)
+        if cls is ast.InsertStatement:
+            return self._execute_insert(session, statement, params, variables)
+        if cls is ast.DeleteStatement:
+            return self._execute_delete(session, statement, params, variables)
+        return self._execute_cold(session, statement, params, variables)
+
+    def _execute_cold(self, session, statement: ast.Statement,
+                      params: List[Any],
+                      variables: Optional[Dict[str, Any]]) -> Result:
         if isinstance(statement, ast.SelectStatement):
             return self._execute_select_statement(session, statement, params, variables)
         if isinstance(statement, ast.ExplainStatement):

@@ -52,15 +52,28 @@ class EvalContext:
 
 
 def evaluate(expr: ast.Expression, ctx: EvalContext) -> Any:
-    """Evaluate ``expr`` in ``ctx`` and return a plain Python value."""
+    """Evaluate ``expr`` in ``ctx`` and return a plain Python value.
+
+    Dispatch is one dict lookup on the node's concrete class instead of
+    an isinstance chain — ``evaluate`` runs once per row per predicate,
+    so it is the innermost loop of every scan (ROADMAP item 4).
+    Subclassed nodes (or compat mode, see :func:`use_compat_dispatch`)
+    fall back to the chain.
+    """
+    handler = _active_dispatch.get(expr.__class__)
+    if handler is not None:
+        return handler(expr, ctx)
+    return _evaluate_compat(expr, ctx)
+
+
+def _evaluate_compat(expr: ast.Expression, ctx: EvalContext) -> Any:
+    """The historical isinstance-chain evaluator.  Kept both as the
+    fallback for Expression subclasses and as the "BENCH_e23-era"
+    reference arm E28 measures the dispatch rework against."""
     if isinstance(expr, ast.Literal):
         return expr.value
     if isinstance(expr, ast.Param):
-        if expr.index >= len(ctx.params):
-            raise TypeError_(
-                f"statement has parameter ${expr.index + 1} but only "
-                f"{len(ctx.params)} value(s) were bound")
-        return ctx.params[expr.index]
+        return _eval_param(expr, ctx)
     if isinstance(expr, ast.ColumnRef):
         return _resolve_column(expr, ctx)
     if isinstance(expr, ast.BinaryOp):
@@ -76,21 +89,88 @@ def evaluate(expr: ast.Expression, ctx: EvalContext) -> Any:
     if isinstance(expr, ast.Like):
         return _eval_like(expr, ctx)
     if isinstance(expr, ast.IsNull):
-        value = evaluate(expr.expr, ctx)
-        return (value is not None) if expr.negated else (value is None)
+        return _eval_isnull(expr, ctx)
     if isinstance(expr, ast.Case):
-        for condition, result in expr.whens:
-            if is_true(evaluate(condition, ctx)):
-                return evaluate(result, ctx)
-        return evaluate(expr.default, ctx) if expr.default is not None else None
+        return _eval_case(expr, ctx)
     if isinstance(expr, ast.ScalarSubquery):
-        return ctx.executor.scalar_subquery(expr.select, ctx)
+        return _eval_scalar_subquery(expr, ctx)
     if isinstance(expr, ast.ExistsSubquery):
-        exists = ctx.executor.exists_subquery(expr.select, ctx)
-        return not exists if expr.negated else exists
+        return _eval_exists(expr, ctx)
     if isinstance(expr, ast.Star):
         raise TypeError_("'*' is only valid in a select list or COUNT(*)")
     raise TypeError_(f"cannot evaluate expression {expr!r}")
+
+
+def _eval_literal(expr: ast.Literal, ctx: EvalContext) -> Any:
+    return expr.value
+
+
+def _eval_param(expr: ast.Param, ctx: EvalContext) -> Any:
+    if expr.index >= len(ctx.params):
+        raise TypeError_(
+            f"statement has parameter ${expr.index + 1} but only "
+            f"{len(ctx.params)} value(s) were bound")
+    return ctx.params[expr.index]
+
+
+def _eval_isnull(expr: ast.IsNull, ctx: EvalContext) -> Any:
+    value = evaluate(expr.expr, ctx)
+    return (value is not None) if expr.negated else (value is None)
+
+
+def _eval_case(expr: ast.Case, ctx: EvalContext) -> Any:
+    for condition, result in expr.whens:
+        if is_true(evaluate(condition, ctx)):
+            return evaluate(result, ctx)
+    return evaluate(expr.default, ctx) if expr.default is not None else None
+
+
+def _eval_scalar_subquery(expr: ast.ScalarSubquery, ctx: EvalContext) -> Any:
+    return ctx.executor.scalar_subquery(expr.select, ctx)
+
+
+def _eval_exists(expr: ast.ExistsSubquery, ctx: EvalContext) -> Any:
+    exists = ctx.executor.exists_subquery(expr.select, ctx)
+    return not exists if expr.negated else exists
+
+
+def _eval_star(expr: ast.Star, ctx: EvalContext) -> Any:
+    raise TypeError_("'*' is only valid in a select list or COUNT(*)")
+
+
+def _build_dispatch() -> Dict[type, Any]:
+    return {
+        ast.Literal: _eval_literal,
+        ast.Param: _eval_param,
+        ast.ColumnRef: _resolve_column,
+        ast.BinaryOp: _eval_binary,
+        ast.UnaryOp: _eval_unary,
+        ast.FunctionCall: _eval_function,
+        ast.InList: _eval_in,
+        ast.Between: _eval_between,
+        ast.Like: _eval_like,
+        ast.IsNull: _eval_isnull,
+        ast.Case: _eval_case,
+        ast.ScalarSubquery: _eval_scalar_subquery,
+        ast.ExistsSubquery: _eval_exists,
+        ast.Star: _eval_star,
+    }
+
+
+_DISPATCH: Dict[type, Any] = {}  # populated below, after handlers exist
+_active_dispatch: Dict[type, Any] = _DISPATCH
+
+
+def use_compat_dispatch(enabled: bool) -> None:
+    """Route every ``evaluate`` through the isinstance-chain reference
+    implementation (True) or the type-dispatch table (False).  E28 uses
+    this to measure the same run both ways; semantics are identical."""
+    global _active_dispatch
+    _active_dispatch = {} if enabled else _DISPATCH
+
+
+def compat_dispatch_enabled() -> bool:
+    return _active_dispatch is not _DISPATCH
 
 
 def is_true(value: Any) -> bool:
@@ -98,16 +178,31 @@ def is_true(value: Any) -> bool:
     return value is not None and bool(value)
 
 
+_MISSING = object()
+
+
 def _resolve_column(expr: ast.ColumnRef, ctx: EvalContext) -> Any:
-    name = expr.name.lower()
+    # expr.name_lower / expr.table_lower are precomputed at parse time;
+    # the single-binding unqualified case (every single-table WHERE) runs
+    # with no allocation and no string work.
+    name = expr.name_lower
+    table = expr.table_lower
     context: Optional[EvalContext] = ctx
     while context is not None:
-        if expr.table is not None:
-            row = context.bindings.get(expr.table.lower())
+        bindings = context.bindings
+        if table is not None:
+            row = bindings.get(table)
             if row is not None and name in row:
                 return row[name]
+        elif len(bindings) == 1:
+            for row in bindings.values():
+                value = row.get(name, _MISSING)
+                if value is not _MISSING:
+                    return value
+            if name in context.variables:
+                return context.variables[name]
         else:
-            matches = [row for row in context.bindings.values() if name in row]
+            matches = [row for row in bindings.values() if name in row]
             if len(matches) > 1:
                 raise NameError_(f"ambiguous column reference {expr.name!r}")
             if matches:
@@ -116,8 +211,8 @@ def _resolve_column(expr: ast.ColumnRef, ctx: EvalContext) -> Any:
                 return context.variables[name]
         context = context.parent
     # Unqualified names also serve as procedure variables at top level.
-    if expr.table is None and expr.name.lower() in ctx.variables:
-        return ctx.variables[expr.name.lower()]
+    if table is None and name in ctx.variables:
+        return ctx.variables[name]
     qualifier = f"{expr.table}." if expr.table else ""
     raise NameError_(f"unknown column {qualifier}{expr.name}")
 
@@ -153,39 +248,14 @@ def _eval_binary(expr: ast.BinaryOp, ctx: EvalContext) -> Any:
         return str(left) + str(right)
     if left is None or right is None:
         return None
+    func = _BINOP_FUNCS.get(op)
+    if func is None:
+        raise TypeError_(f"unknown operator {op}")
     try:
-        if op == "=":
-            return _sql_equal(left, right)
-        if op == "<>":
-            return not _sql_equal(left, right)
-        if op == "<":
-            return _coerce_pair(left, right, "<")
-        if op == "<=":
-            return _coerce_pair(left, right, "<=")
-        if op == ">":
-            return _coerce_pair(left, right, ">")
-        if op == ">=":
-            return _coerce_pair(left, right, ">=")
-        if op == "+":
-            return left + right
-        if op == "-":
-            return left - right
-        if op == "*":
-            return left * right
-        if op == "/":
-            if right == 0:
-                return None
-            if isinstance(left, int) and isinstance(right, int) and left % right == 0:
-                return left // right
-            return left / right
-        if op == "%":
-            if right == 0:
-                return None
-            return left % right
+        return func(left, right)
     except TypeError as exc:
         raise TypeError_(f"operator {op} not supported between "
                          f"{type(left).__name__} and {type(right).__name__}") from exc
-    raise TypeError_(f"unknown operator {op}")
 
 
 def _sql_equal(left: Any, right: Any) -> bool:
@@ -227,6 +297,38 @@ def _coerce_pair(left: Any, right: Any, op: str) -> bool:
     if op == ">":
         return left > right
     return left >= right
+
+
+def _op_div(left: Any, right: Any) -> Any:
+    if right == 0:
+        return None
+    if isinstance(left, int) and isinstance(right, int) and left % right == 0:
+        return left // right
+    return left / right
+
+
+def _op_mod(left: Any, right: Any) -> Any:
+    if right == 0:
+        return None
+    return left % right
+
+
+# One dict lookup per comparison/arithmetic op instead of a string-compare
+# chain; AND/OR/|| stay inline in _eval_binary for their short-circuit and
+# NULL handling.
+_BINOP_FUNCS = {
+    "=": _sql_equal,
+    "<>": lambda left, right: not _sql_equal(left, right),
+    "<": lambda left, right: _coerce_pair(left, right, "<"),
+    "<=": lambda left, right: _coerce_pair(left, right, "<="),
+    ">": lambda left, right: _coerce_pair(left, right, ">"),
+    ">=": lambda left, right: _coerce_pair(left, right, ">="),
+    "+": lambda left, right: left + right,
+    "-": lambda left, right: left - right,
+    "*": lambda left, right: left * right,
+    "/": _op_div,
+    "%": _op_mod,
+}
 
 
 def _eval_unary(expr: ast.UnaryOp, ctx: EvalContext) -> Any:
@@ -321,3 +423,6 @@ def sort_key(value: Any) -> tuple:
     if isinstance(value, bytes):
         return (1, 2, value)
     return (1, 3, str(value))
+
+
+_DISPATCH.update(_build_dispatch())

@@ -18,12 +18,9 @@ S, and not deleted by T or by a transaction that committed no later than S.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Optional
+from typing import Any, Dict, Iterable, List, Optional
 
 from .storage import RowVersion, Table
-
-if TYPE_CHECKING:  # pragma: no cover
-    from .transactions import Transaction
 
 
 # Isolation level constants (normalized spellings).

@@ -9,11 +9,12 @@ non-deterministic functions NOW()/RAND().
 
 from __future__ import annotations
 
+import re
 from typing import List, Optional, Tuple
 
 from . import ast_nodes as ast
 from .errors import ParseError
-from .tokens import Token, TokenStream, TokenType, tokenize
+from .tokens import TokenStream, TokenType, tokenize
 
 
 def parse(sql: str) -> ast.Statement:
@@ -22,6 +23,43 @@ def parse(sql: str) -> ast.Statement:
     if len(statements) != 1:
         raise ParseError(f"expected a single statement, got {len(statements)}")
     return statements[0]
+
+
+# Auto-parameterization (hot-path, ROADMAP item 4): OLTP traffic is the
+# same few statement shapes with different key values, but a parse cache
+# keyed on SQL text sees every key as a new statement.  Rewriting bare
+# integer literals to positional params turns the whole key space into
+# one cache entry.  Conservative on purpose: integers only (never inside
+# identifiers, floats, or strings — the quote gate skips those
+# statements entirely), single statements, DML verbs only.
+_INT_LITERAL_RE = re.compile(r"(?<![\w.])(\d+)(?![\w.])")
+_PARAM_VERB_RE = re.compile(r"^\s*(?:SELECT|UPDATE|DELETE|INSERT)\b",
+                            re.IGNORECASE)
+
+
+def parameterize_literals(sql: str) -> Optional[Tuple[str, List[int]]]:
+    """Rewrite bare integer literals in ``sql`` as ``?`` placeholders.
+
+    Returns ``(template, values)``, or ``None`` when the statement is not
+    safely rewritable (non-DML, contains strings or explicit params, is a
+    multi-statement script, or simply has no integer literals).  The
+    template executes identically to the original with ``values`` bound
+    positionally — callers cache the parsed template.
+    """
+    if "?" in sql or "'" in sql or ";" in sql:
+        return None
+    if _PARAM_VERB_RE.match(sql) is None:
+        return None
+    values: List[int] = []
+
+    def _sub(match: "re.Match") -> str:
+        values.append(int(match.group(1)))
+        return "?"
+
+    template = _INT_LITERAL_RE.sub(_sub, sql)
+    if not values:
+        return None
+    return template, values
 
 
 def parse_script(sql: str) -> List[ast.Statement]:

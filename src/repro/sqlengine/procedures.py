@@ -16,7 +16,7 @@ real systems face; the analysis is available for the "agenda" experiments.
 
 from __future__ import annotations
 
-from typing import List, Optional, Set, Tuple
+from typing import List, Set
 
 from . import ast_nodes as ast
 from .functions import NONDETERMINISTIC_FUNCTIONS

@@ -23,7 +23,7 @@ import itertools
 from typing import Any, Dict, Iterable, List, Optional, Sequence
 
 from .errors import IntegrityError, NameError_
-from .types import Column, ColumnType, coerce
+from .types import Column, coerce
 
 
 class RowVersion:

@@ -20,7 +20,7 @@ from __future__ import annotations
 import enum
 from typing import Any, Dict, List, Optional, Set, Tuple
 
-from .mvcc import READ_COMMITTED, SNAPSHOT_LEVELS, Snapshot
+from .mvcc import SNAPSHOT_LEVELS, Snapshot
 from .storage import RowVersion, Table
 
 

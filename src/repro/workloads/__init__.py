@@ -4,6 +4,10 @@ from .generator import (
     ClosedLoopRun, TxnSpec, Workload, scaled_load_plan, zipf_choice,
 )
 from .microbench import MicroWorkload, MultiTableWorkload, SequentialBatchWorkload
+from .openloop import (
+    ConstantRate, DiurnalRate, FlashCrowd, OpenLoopWorkload, RateCurve,
+    ZipfSampler, arrival_times,
+)
 from .rubis import RubisWorkload
 from .ticketbroker import TicketBrokerWorkload
 from .tpcw import MIXES, TpcWWorkload
@@ -13,9 +17,11 @@ from .trace import (
 )
 
 __all__ = [
-    "ClosedLoopRun", "MIXES", "MicroWorkload", "MultiTableWorkload",
-    "RubisWorkload", "SequentialBatchWorkload", "StatisticalReplayer",
-    "TicketBrokerWorkload", "TpcWWorkload", "TraceEntry", "TraceRecorder",
-    "TxnSpec", "Workload", "equivalent", "exact_replay_is_possible",
+    "ClosedLoopRun", "ConstantRate", "DiurnalRate", "FlashCrowd", "MIXES",
+    "MicroWorkload", "MultiTableWorkload", "OpenLoopWorkload",
+    "RateCurve", "RubisWorkload", "SequentialBatchWorkload",
+    "StatisticalReplayer", "TicketBrokerWorkload", "TpcWWorkload",
+    "TraceEntry", "TraceRecorder", "TxnSpec", "Workload", "ZipfSampler",
+    "arrival_times", "equivalent", "exact_replay_is_possible",
     "scaled_load_plan", "zipf_choice",
 ]

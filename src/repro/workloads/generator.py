@@ -12,7 +12,7 @@ inside the discrete-event simulation.
 from __future__ import annotations
 
 import random
-from typing import Callable, Iterator, List, Optional, Sequence, Tuple
+from typing import Callable, Iterator, List, Sequence, Tuple
 
 
 class TxnSpec:

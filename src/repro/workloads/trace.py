@@ -17,9 +17,8 @@ answer).
 from __future__ import annotations
 
 import random
-from typing import Any, Callable, List, Optional, Tuple
+from typing import Callable, List, Optional
 
-from .generator import TxnSpec
 
 
 class TraceEntry:

@@ -1,6 +1,5 @@
 """Timed simulation driver tests."""
 
-import pytest
 
 from repro.bench import (
     ClosedLoopDriver, LagProbe, OpenLoopDriver, TimedCluster, build_cluster,

@@ -1,6 +1,5 @@
 """Failover, failback, recovery log and virtual IP tests."""
 
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

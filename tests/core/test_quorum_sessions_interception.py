@@ -7,9 +7,9 @@ from repro.core import (
     ConnectionPool, DriverInterception, EngineInterception, MiddlewareConfig,
     MiddlewareDown, MultiPool, ProtocolProxyInterception, QuorumGuard,
     QuorumLost, Reconciler, ReplicationMiddleware, TransactionContext,
-    design_by_name, protocol_by_name,
+    design_by_name,
 )
-from repro.sqlengine import Engine, UnsupportedFeatureError, mysql, postgresql
+from repro.sqlengine import UnsupportedFeatureError, mysql, postgresql
 
 from tests.conftest import KV_SCHEMA, make_replicas, seed_kv
 

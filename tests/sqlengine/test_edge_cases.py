@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.sqlengine import Engine, NameError_, SQLError, generic
+from repro.sqlengine import Engine, NameError_, generic
 
 
 @pytest.fixture

@@ -3,7 +3,7 @@
 import pytest
 
 from repro.sqlengine.errors import ParseError
-from repro.sqlengine.tokens import Token, TokenStream, TokenType, tokenize
+from repro.sqlengine.tokens import TokenStream, TokenType, tokenize
 
 
 def kinds(sql):

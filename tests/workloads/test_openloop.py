@@ -1,0 +1,178 @@
+"""Open-loop workload tier: Zipf sampler exactness, rate curves,
+Poisson thinning, and the per-session workload shape."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.workloads.openloop import (
+    ConstantRate,
+    DiurnalRate,
+    FlashCrowd,
+    OpenLoopWorkload,
+    ZipfSampler,
+    arrival_times,
+)
+
+
+class TestZipfSampler:
+    def test_matches_analytic_distribution(self):
+        """Empirical frequencies track the exact Zipf pmf — the property
+        the rejection sampler only approximates at high skew."""
+        sampler = ZipfSampler(population=50, skew=1.2)
+        rng = random.Random(7)
+        draws = 40_000
+        counts = [0] * 50
+        for _ in range(draws):
+            counts[sampler.sample(rng)] += 1
+        total_weight = sum(1.0 / (r + 1) ** 1.2 for r in range(50))
+        for rank in (0, 1, 4, 9):
+            expected = (1.0 / (rank + 1) ** 1.2) / total_weight
+            observed = counts[rank] / draws
+            assert observed == pytest.approx(expected, rel=0.15)
+
+    def test_rank_order_is_monotone(self):
+        sampler = ZipfSampler(population=100, skew=1.1)
+        rng = random.Random(3)
+        counts = [0] * 100
+        for _ in range(20_000):
+            counts[sampler.sample(rng)] += 1
+        assert counts[0] > counts[9] > counts[49]
+
+    def test_hot_fraction(self):
+        sampler = ZipfSampler(population=1000, skew=1.1)
+        assert 0.0 < sampler.hot_fraction(10) < 1.0
+        assert sampler.hot_fraction(1000) == pytest.approx(1.0)
+        assert sampler.hot_fraction(5000) == pytest.approx(1.0)
+
+    def test_bounds(self):
+        sampler = ZipfSampler(population=10, skew=2.0)
+        rng = random.Random(1)
+        assert all(0 <= sampler.sample(rng) < 10 for _ in range(1000))
+        with pytest.raises(ValueError):
+            ZipfSampler(population=0)
+
+
+class TestRateCurves:
+    def test_constant(self):
+        curve = ConstantRate(100.0)
+        assert curve.rate(0.0) == 100.0
+        assert curve.rate(12345.0) == 100.0
+        assert curve.max_rate(1000.0) == 100.0
+
+    def test_diurnal_swing_and_envelope(self):
+        curve = DiurnalRate(base=100.0, amplitude=0.5, period=86400.0)
+        peak = curve.rate(86400.0 * 0.25)
+        trough = curve.rate(86400.0 * 0.75)
+        assert peak == pytest.approx(150.0)
+        assert trough == pytest.approx(50.0)
+        horizon = 86400.0
+        envelope = curve.max_rate(horizon)
+        for i in range(200):
+            assert curve.rate(horizon * i / 200) <= envelope + 1e-9
+        with pytest.raises(ValueError):
+            DiurnalRate(base=1.0, amplitude=1.5)
+
+    def test_flash_crowd_boost_window(self):
+        curve = FlashCrowd(ConstantRate(100.0), start=10.0, duration=5.0,
+                           multiplier=2.0)
+        assert curve.rate(9.9) == 100.0
+        assert curve.rate(12.0) == 200.0
+        assert curve.rate(15.0) == 100.0
+        assert curve.max_rate(100.0) == 200.0
+
+    def test_flash_crowd_ramps_linearly(self):
+        curve = FlashCrowd(ConstantRate(100.0), start=10.0, duration=10.0,
+                           multiplier=3.0, ramp=2.0)
+        assert curve.rate(10.0) == pytest.approx(100.0)
+        assert curve.rate(11.0) == pytest.approx(200.0)  # halfway up
+        assert curve.rate(15.0) == pytest.approx(300.0)  # plateau
+        assert curve.rate(19.0) == pytest.approx(200.0)  # halfway down
+        with pytest.raises(ValueError):
+            FlashCrowd(ConstantRate(1.0), 0.0, 1.0, multiplier=0.5)
+
+    def test_flash_crowd_composes_with_diurnal(self):
+        base = DiurnalRate(base=100.0, amplitude=0.5, period=100.0)
+        curve = FlashCrowd(base, start=20.0, duration=10.0, multiplier=2.0)
+        assert curve.rate(25.0) == pytest.approx(base.rate(25.0) * 2.0)
+
+
+class TestArrivalTimes:
+    def test_mean_count_matches_intensity(self):
+        rng = random.Random(11)
+        horizon = 50.0
+        arrivals = list(arrival_times(ConstantRate(40.0), horizon, rng))
+        expected = 40.0 * horizon
+        # Poisson(2000): 4 sigma ≈ 179
+        assert abs(len(arrivals) - expected) < 4 * math.sqrt(expected)
+        assert all(0.0 <= t < horizon for t in arrivals)
+        assert arrivals == sorted(arrivals)
+
+    def test_thinning_tracks_the_curve(self):
+        """Twice the rate in the flash window ⇒ about twice the
+        arrivals per unit time inside it."""
+        rng = random.Random(13)
+        curve = FlashCrowd(ConstantRate(50.0), start=20.0, duration=20.0,
+                           multiplier=2.0)
+        arrivals = list(arrival_times(curve, 60.0, rng))
+        inside = sum(1 for t in arrivals if 20.0 <= t < 40.0)
+        outside = sum(1 for t in arrivals if t < 20.0 or t >= 40.0)
+        rate_in = inside / 20.0
+        rate_out = outside / 40.0
+        assert rate_in / rate_out == pytest.approx(2.0, rel=0.15)
+
+    def test_limit_caps_arrivals(self):
+        rng = random.Random(5)
+        arrivals = list(arrival_times(ConstantRate(1000.0), 100.0, rng,
+                                      limit=17))
+        assert len(arrivals) == 17
+
+    def test_zero_rate_yields_nothing(self):
+        rng = random.Random(5)
+        assert list(arrival_times(ConstantRate(0.0), 10.0, rng)) == []
+
+    def test_deterministic_under_seed(self):
+        first = list(arrival_times(ConstantRate(20.0), 10.0,
+                                   random.Random(42)))
+        second = list(arrival_times(ConstantRate(20.0), 10.0,
+                                    random.Random(42)))
+        assert first == second
+
+
+class TestOpenLoopWorkload:
+    def test_setup_seeds_only_seed_rows(self):
+        workload = OpenLoopWorkload(rows=1_000_000, seed_rows=100)
+        statements = workload.setup_sql()
+        assert len(statements) == 101  # CREATE TABLE + seeds
+        assert "CREATE TABLE" in statements[0]
+
+    def test_session_shape(self):
+        workload = OpenLoopWorkload(mean_session_length=3.0,
+                                    max_session_length=8,
+                                    mean_think_time=0.05)
+        rng = random.Random(9)
+        lengths = [workload.session_length(rng) for _ in range(2000)]
+        assert all(1 <= n <= 8 for n in lengths)
+        mean = sum(lengths) / len(lengths)
+        assert 2.0 < mean < 4.0  # geometric mean ~3, capped at 8
+        thinks = [workload.think_time(rng) for _ in range(2000)]
+        assert all(t >= 0.0 for t in thinks)
+        assert sum(thinks) / len(thinks) == pytest.approx(0.05, rel=0.2)
+
+    def test_transaction_mix(self):
+        workload = OpenLoopWorkload(rows=1000, read_fraction=0.8)
+        rng = random.Random(17)
+        specs = [workload.next_transaction(rng) for _ in range(3000)]
+        reads = sum(1 for s in specs if s.is_read_only)
+        assert reads / len(specs) == pytest.approx(0.8, abs=0.05)
+        for spec in specs[:20]:
+            sql = spec.statements[0][0]
+            assert "sessions_kv" in sql
+            assert spec.kind in ("point_read", "point_write")
+
+    def test_zero_think_time(self):
+        workload = OpenLoopWorkload(mean_think_time=0.0)
+        assert workload.think_time(random.Random(1)) == 0.0
