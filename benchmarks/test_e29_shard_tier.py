@@ -1,0 +1,442 @@
+"""E29 — horizontal shard tier: write scale-out, live resharding, and
+2PC/certification equivalence.
+
+The paper's section 2.2 bottleneck is the per-cluster serial point
+(total order + certification); its section 5.1 agenda asks for systems
+that grow *past* one replication group.  The shard tier answers with
+middleware-owned shard maps in front of N groups, and E29 measures the
+three claims that make it real:
+
+* **scaleout** (simulated time): closed-loop clients updating
+  shard-local keys at 1, 2 and 4 shards.  Each shard is an independent
+  ordering point, so write throughput must scale: >= 1.5x at 4 shards
+  vs 1 (it lands near linear) — and none of it may have paid 2PC.
+* **live_split** (simulated time): E28's open-loop session tier drives
+  a range-sharded table while an :class:`OnlineReshard` snapshots,
+  copies, catches up, dual-writes and flips half the keyspace to a new
+  shard — no quiesce.  Gates: **zero acked-commit loss** (the final
+  sum over the table equals exactly the number of acknowledged update
+  transactions — every key is pre-seeded so every acked update changed
+  exactly one row) and **zero stale reads** (a monotonic probe on
+  moving keys never observes a value going backwards — the map-version
+  cache salt and the dual-write window make that structural), with the
+  flip retried until the pre-flip write epoch drains.
+* **equivalence** (state only): a seeded cross-shard 2PC mix with the
+  coordinator's equivalence log enabled; every per-group prepare
+  decision is replayed on a fresh certifier (same seq floor, aborts
+  rescinded exactly as the coordinator resolved them) and must match
+  bit-for-bit — 2PC changes *where* commits coordinate, never *what*
+  certification decides.
+
+Results land in ``BENCH_e29.json``; assertions pin deterministic
+simulated-time results, never wall-clock numbers.
+"""
+
+import json
+import random
+from pathlib import Path
+
+from repro.bench.harness import Report, build_sharded_cluster
+from repro.bench.simdriver import (
+    ClosedLoopDriver, SessionArrivalDriver, TimedShardedCluster,
+)
+from repro.cluster.sim import Environment
+from repro.core.certifier import Certifier
+from repro.shard import HashSharder, OnlineReshard, RangeSharder, ReshardError
+from repro.sqlengine import LockConflict, SerializationError
+from repro.workloads.generator import TxnSpec, Workload
+from repro.workloads.openloop import ConstantRate, OpenLoopWorkload
+
+SEED = 29
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_e29.json"
+
+# scaleout arm
+SCALE_SHARDS = (1, 2, 4)
+SCALE_KEYS = 256
+SCALE_CLIENTS = 16
+SCALE_HORIZON = 5.0
+MIN_SCALEOUT = 1.5
+
+# live-split arm
+SPLIT_KEYS = 400           # all seeded, so every acked update hits a row
+SPLIT_BOUND = 199          # keys 0..199 move to the new shard
+SPLIT_RATE = 250.0         # sessions/s of sustained open-loop load
+SPLIT_HORIZON = 6.0
+SPLIT_DEADLINE = 0.75
+RESHARD_AT = 1.0           # sim-time when the reshard starts
+PROBE_KEYS = (0, 5, SPLIT_BOUND)
+PROBE_INTERVAL = 0.02
+
+# equivalence arm
+EQ_ROUNDS = 40
+EQ_KEYS = 16
+
+
+def _create_kv(cluster):
+    for group in cluster.groups:
+        session = group.connect(database="shop")
+        session.execute("CREATE TABLE kv (k INT PRIMARY KEY, v INT)")
+        session.close()
+
+
+def _seed_kv(cluster, keys):
+    """Seed through the tier (table already registered), so every row
+    lands on its owning shard."""
+    session = cluster.connect(database="shop")
+    for key in range(keys):
+        session.execute(f"INSERT INTO kv (k, v) VALUES ({key}, 0)")
+    session.close()
+
+
+# ---------------------------------------------------------------------------
+# scenario A: shard-local write scale-out
+# ---------------------------------------------------------------------------
+
+class PointUpdates(Workload):
+    """Uniform single-key updates: shard-local by construction, so the
+    only serialization is each shard's own ordering point."""
+
+    name = "point-updates"
+
+    def next_transaction(self, rng: random.Random) -> TxnSpec:
+        key = rng.randrange(SCALE_KEYS)
+        return TxnSpec([(f"UPDATE kv SET v = v + 1 WHERE k = {key}", [])],
+                       is_read_only=False, tables=["kv"],
+                       kind="point_write")
+
+
+def run_scale_point(shards: int) -> dict:
+    env = Environment()
+    cluster = build_sharded_cluster(shards=shards, replicas=2, env=env,
+                                    name=f"e29s{shards}")
+    _create_kv(cluster)
+    cluster.register_table("kv", "k", HashSharder(shards))
+    _seed_kv(cluster, SCALE_KEYS)
+    timed = TimedShardedCluster(env, cluster)
+    driver = ClosedLoopDriver(timed, PointUpdates(),
+                              clients=SCALE_CLIENTS, seed=SEED)
+    driver.start(SCALE_HORIZON)
+    env.run(until=SCALE_HORIZON)
+    assert cluster.check_convergence()
+    return {
+        "shards": shards,
+        "tps": driver.metrics.rate(SCALE_HORIZON),
+        "p99": driver.metrics.latency.percentile(99),
+        "errors": dict(driver.metrics.errors),
+        "twopc_commits": cluster.stats["twopc_commits"],
+    }
+
+
+# ---------------------------------------------------------------------------
+# scenario B: online split under sustained open-loop load
+# ---------------------------------------------------------------------------
+
+class SplitWorkload(OpenLoopWorkload):
+    """Uniform point reads/updates over a fully seeded keyspace, so
+    every acknowledged update changed exactly one row (the accounting
+    the zero-loss gate relies on)."""
+
+    def __init__(self):
+        super().__init__(rows=SPLIT_KEYS, seed_rows=SPLIT_KEYS,
+                         read_fraction=0.5, table="kv",
+                         mean_session_length=2.0, mean_think_time=0.01)
+
+    def next_transaction(self, rng: random.Random) -> TxnSpec:
+        key = rng.randrange(SPLIT_KEYS)
+        if rng.random() < self.read_fraction:
+            return TxnSpec(
+                [(f"SELECT v FROM kv WHERE k = {key}", [])],
+                True, ["kv"], kind="point_read")
+        return TxnSpec(
+            [(f"UPDATE kv SET v = v + 1 WHERE k = {key}", [])],
+            False, ["kv"], kind="point_write")
+
+
+def _reshard_process(env, cluster, log):
+    """Drive the reshard phase by phase with simulated pauses, retrying
+    the flip until the pre-flip write epoch drains."""
+    yield env.timeout(RESHARD_AT)
+    move = OnlineReshard.split_range(cluster, "kv", SPLIT_BOUND, dst=1,
+                                     database="shop")
+    move.start()
+    log["reshard_started_at"] = env.now
+    while move.state == "copying":
+        move.copy_chunk(64)
+        yield env.timeout(0.01)    # copy runs in bounded chunks
+    while move.catch_up() > 2:     # repeat until the tail is small
+        yield env.timeout(0.005)
+    move.enter_dual_write()
+    log["dual_write_at"] = env.now
+    yield env.timeout(0.25)        # a real window: load keeps hitting it
+    flip_retries = 0
+    while True:
+        try:
+            move.flip()
+            break
+        except ReshardError:
+            flip_retries += 1
+            yield env.timeout(0.005)
+    log["flip_at"] = env.now
+    log["flip_retries"] = flip_retries
+    log["stats"] = dict(move.stats)
+
+
+def _probe_process(env, cluster, log):
+    """Monotonic freshness probe: v only ever increments, so a read
+    that goes backwards is a stale read of a moved key."""
+    session = cluster.connect(database="shop")
+    last = {}
+    while True:
+        for key in PROBE_KEYS:
+            rows = session.execute(
+                f"SELECT v FROM kv WHERE k = {key}").rows
+            value = rows[0][0] if rows else None
+            if value is None:
+                log["missing_rows"] += 1
+            elif value < last.get(key, 0):
+                log["stale_reads"] += 1
+            if value is not None:
+                last[key] = value
+            log["probes"] += 1
+        yield env.timeout(PROBE_INTERVAL)
+
+
+def run_live_split() -> dict:
+    env = Environment()
+    cluster = build_sharded_cluster(shards=2, replicas=2, env=env,
+                                    name="e29split")
+    _create_kv(cluster)
+    # one live range segment, all keys on shard 0; the split moves
+    # keys <= SPLIT_BOUND to shard 1
+    cluster.register_table("kv", "k",
+                           RangeSharder([SPLIT_KEYS * 10], [0, 1]))
+    _seed_kv(cluster, SPLIT_KEYS)
+    timed = TimedShardedCluster(env, cluster)
+    driver = SessionArrivalDriver(timed, SplitWorkload(),
+                                  ConstantRate(SPLIT_RATE), seed=SEED,
+                                  txn_deadline=SPLIT_DEADLINE)
+    log = {"stale_reads": 0, "missing_rows": 0, "probes": 0}
+    driver.start(SPLIT_HORIZON)
+    env.process(_reshard_process(env, cluster, log), name="reshard")
+    env.process(_probe_process(env, cluster, log), name="probe")
+    env.run(until=SPLIT_HORIZON + 0.5)
+
+    acked_updates = driver.metrics.write_latency.count()
+    session = cluster.connect(database="shop")
+    total = session.execute("SELECT SUM(v) FROM kv").rows[0][0] or 0
+    count = session.execute("SELECT COUNT(*) FROM kv").rows[0][0]
+    per_group = []
+    for group in cluster.groups:
+        direct = group.connect(database="shop")
+        per_group.append(
+            direct.execute("SELECT COUNT(*) FROM kv").rows[0][0])
+        direct.close()
+    summary = driver.summary(SPLIT_HORIZON)
+    summary.update({
+        "acked_update_txns": acked_updates,
+        "sum_v": total,
+        "rows": count,
+        "rows_per_group": per_group,
+        "map_version": cluster.map.version,
+        "converged": cluster.check_convergence(),
+        "dual_writes": cluster.stats["dual_writes"],
+        "twopc_commits": cluster.stats["twopc_commits"],
+        "probe": {k: log[k]
+                  for k in ("stale_reads", "missing_rows", "probes")},
+        "reshard": {k: log.get(k)
+                    for k in ("reshard_started_at", "dual_write_at",
+                              "flip_at", "flip_retries", "stats")},
+    })
+    return summary
+
+
+# ---------------------------------------------------------------------------
+# scenario C: per-group 2PC decisions replay identically
+# ---------------------------------------------------------------------------
+
+def run_equivalence() -> dict:
+    cluster = build_sharded_cluster(shards=2, replicas=2, name="e29eq")
+    _create_kv(cluster)
+    cluster.register_table("kv", "k", HashSharder(2))
+    _seed_kv(cluster, EQ_KEYS)
+    cluster.twopc.equivalence_log = []
+    base_seq = {group.name: group.certifier.current_seq
+                for group in cluster.groups}
+
+    rng = random.Random(SEED)
+    committed = aborted = statement_aborts = 0
+    for _round in range(EQ_ROUNDS):
+        sessions = [cluster.connect(database="shop") for _ in range(3)]
+        plans = []
+        for session in sessions:
+            even = rng.randrange(0, EQ_KEYS, 2)
+            odd = rng.randrange(1, EQ_KEYS, 2)
+            plans.append((session, even, odd))
+            session.execute("BEGIN")
+        dead = set()
+        for session, even, odd in plans:
+            try:
+                session.execute(f"UPDATE kv SET v = v + 1 WHERE k = {even}")
+                session.execute(f"UPDATE kv SET v = v + 1 WHERE k = {odd}")
+            except (LockConflict, SerializationError):
+                session.rollback()
+                dead.add(id(session))
+                statement_aborts += 1
+        for session, _, _ in plans:
+            if id(session) in dead:
+                continue
+            try:
+                session.execute("COMMIT")
+                committed += 1
+            except SerializationError:
+                aborted += 1
+        for session in sessions:
+            session.close()
+
+    decisions = cluster.twopc.equivalence_log
+    # which coordinator transactions ultimately aborted (their prepares
+    # were rescinded, which the replay must mirror)
+    aborted_txns = {
+        record.payload["txn"]
+        for record in cluster.map_log.of_kind("2pc_decision")
+        if record.payload["decision"] == "abort"
+    }
+    replayers = {}
+    for group in cluster.groups:
+        replay = Certifier()
+        replay.import_log([], seq=base_seq[group.name])
+        replayers[group.name] = replay
+    violations = []
+    for decision in decisions:
+        replay = replayers[decision["shard"]]
+        outcome = replay.certify(decision["start_seq"], decision["keys"])
+        if outcome.ok != decision["ok"] or (
+                outcome.ok and outcome.seq != decision["seq"]):
+            violations.append(
+                f"shard {decision['shard']} txn {decision['txn']}: live "
+                f"(ok={decision['ok']}, seq={decision['seq']}) vs replay "
+                f"(ok={outcome.ok}, seq={outcome.seq})")
+        if outcome.ok and decision["txn"] in aborted_txns:
+            replay.rescind(outcome.seq)
+    return {
+        "rounds": EQ_ROUNDS,
+        "committed": committed,
+        "aborted": aborted,
+        "statement_aborts": statement_aborts,
+        "decisions": len(decisions),
+        "violations": violations,
+        "rescinds": cluster.twopc.stats["rescinds"],
+        "converged": cluster.check_convergence(),
+    }
+
+
+# ---------------------------------------------------------------------------
+# the experiment
+# ---------------------------------------------------------------------------
+
+def test_e29_shard_tier(benchmark):
+    def experiment():
+        return {
+            "scaleout": [run_scale_point(s) for s in SCALE_SHARDS],
+            "live_split": run_live_split(),
+            "equivalence": run_equivalence(),
+        }
+
+    results = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    points = results["scaleout"]
+    split = results["live_split"]
+    equivalence = results["equivalence"]
+    by_shards = {p["shards"]: p for p in points}
+    scaleout = by_shards[4]["tps"] / by_shards[1]["tps"]
+
+    report = Report(
+        "E29  Horizontal shard tier (sections 2.2, 5.1)",
+        ["scenario", "metric", "value", "note"])
+    for point in points:
+        report.add_row(
+            "scaleout", f"write tps @ {point['shards']} shard(s)",
+            round(point["tps"], 1),
+            f"p99 {point['p99'] * 1000:.1f} ms")
+    report.add_row("scaleout", "4-shard multiple",
+                   f"{scaleout:.2f}x", f"floor {MIN_SCALEOUT}x")
+    report.add_row("live_split", "acked update txns",
+                   split["acked_update_txns"],
+                   f"goodput {split['goodput_txns']}")
+    report.add_row("live_split", "sum(v) after flip", split["sum_v"],
+                   "zero acked-commit loss" if
+                   split["sum_v"] == split["acked_update_txns"]
+                   else "LOSS DETECTED")
+    report.add_row("live_split", "stale probe reads",
+                   split["probe"]["stale_reads"],
+                   f"{split['probe']['probes']} probes")
+    report.add_row("live_split", "p99 latency (s)",
+                   round(split["p99_latency"], 4),
+                   f"deadline {SPLIT_DEADLINE}s")
+    report.add_row("live_split", "rows per group",
+                   "/".join(str(n) for n in split["rows_per_group"]),
+                   f"map v{split['map_version']}, "
+                   f"{split['dual_writes']} dual writes")
+    report.add_row("equivalence", "2PC prepare decisions",
+                   equivalence["decisions"],
+                   f"{equivalence['committed']} commit / "
+                   f"{equivalence['aborted']} abort")
+    report.add_row("equivalence", "replay violations",
+                   len(equivalence["violations"]), "must be 0")
+    report.show()
+
+    # -- scenario A: shard-local writes scale out -----------------------
+    assert scaleout >= MIN_SCALEOUT, \
+        f"4-shard scaleout {scaleout:.2f}x under the {MIN_SCALEOUT}x floor"
+    assert by_shards[2]["tps"] > by_shards[1]["tps"]
+    # shard-local traffic must never have paid 2PC
+    assert all(p["twopc_commits"] == 0 for p in points)
+
+    # -- scenario B: the live split kept every promise ------------------
+    # zero acked-commit loss: every acknowledged update is in the table
+    assert split["sum_v"] == split["acked_update_txns"], \
+        (f"acked {split['acked_update_txns']} updates but the table "
+         f"sums to {split['sum_v']}")
+    # zero stale reads of moved keys, and no probe ever missed a row
+    assert split["probe"]["stale_reads"] == 0
+    assert split["probe"]["missing_rows"] == 0
+    assert split["probe"]["probes"] > 100
+    # the split really happened under load and landed where it should
+    assert split["map_version"] == 2
+    assert split["rows"] == SPLIT_KEYS
+    assert split["rows_per_group"] == [SPLIT_KEYS - SPLIT_BOUND - 1,
+                                       SPLIT_BOUND + 1]
+    assert split["reshard"]["stats"]["rows_copied"] == SPLIT_BOUND + 1
+    assert split["dual_writes"] > 0, "no write ever hit the window"
+    assert split["converged"]
+    assert split["p99_latency"] <= SPLIT_DEADLINE
+
+    # -- scenario C: zero equivalence violations ------------------------
+    assert equivalence["violations"] == [], equivalence["violations"][:5]
+    assert equivalence["decisions"] > 0
+    assert equivalence["aborted"] > 0, \
+        "the seeded mix never conflicted — raise the contention"
+    assert equivalence["rescinds"] > 0
+    assert equivalence["converged"]
+
+    payload = {
+        "experiment": "e29_shard_tier",
+        "seed": SEED,
+        "min_scaleout": MIN_SCALEOUT,
+        "scaleout": {
+            "points": points,
+            "multiple_4v1": scaleout,
+        },
+        "live_split": split,
+        "equivalence": {
+            **{k: v for k, v in equivalence.items() if k != "violations"},
+            "violations": len(equivalence["violations"]),
+        },
+    }
+    BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    benchmark.extra_info["scaleout_4v1"] = round(scaleout, 3)
+    benchmark.extra_info["acked_commit_loss"] = (
+        split["acked_update_txns"] - split["sum_v"])
+    benchmark.extra_info["stale_reads"] = split["probe"]["stale_reads"]
+    benchmark.extra_info["equivalence_violations"] = \
+        len(equivalence["violations"])

@@ -4,17 +4,19 @@ from .chaos import (
     ChaosConfig, ChaosResult, ChaosRun, default_resilience_policy, run_chaos,
 )
 from .harness import (
-    DEFAULT_DATABASE, Report, build_cluster, build_replicas, load_workload,
+    DEFAULT_DATABASE, Report, build_cluster, build_replicas,
+    build_sharded_cluster, load_workload,
 )
 from .simdriver import (
     ClosedLoopDriver, LagProbe, OpenLoopDriver, RunMetrics,
-    SessionArrivalDriver, TimedCluster,
+    SessionArrivalDriver, TimedCluster, TimedShardedCluster,
 )
 
 __all__ = [
     "ChaosConfig", "ChaosResult", "ChaosRun", "ClosedLoopDriver",
     "DEFAULT_DATABASE", "LagProbe", "OpenLoopDriver",
     "Report", "RunMetrics", "SessionArrivalDriver", "TimedCluster",
-    "build_cluster", "build_replicas", "default_resilience_policy",
-    "load_workload", "run_chaos",
+    "TimedShardedCluster", "build_cluster", "build_replicas",
+    "build_sharded_cluster", "default_resilience_policy", "load_workload",
+    "run_chaos",
 ]

@@ -92,6 +92,29 @@ def build_cluster(count: int = 3,
     return middleware
 
 
+def build_sharded_cluster(shards: int = 2,
+                          replicas: int = 2,
+                          replication: str = "writeset",
+                          consistency: str = "gsi",
+                          propagation: str = "sync",
+                          env: Optional[Environment] = None,
+                          result_cache: Optional["ResultCacheConfig"] = None,
+                          name: str = "shard",
+                          **kwargs):
+    """Build a :class:`~repro.shard.router.ShardedCluster` of ``shards``
+    replication groups, each built through :func:`build_cluster` so the
+    per-group pipeline matches the single-group experiments exactly."""
+    from ..shard import ShardedCluster
+    groups = [
+        build_cluster(replicas, replication=replication,
+                      consistency=consistency, propagation=propagation,
+                      env=env, result_cache=result_cache,
+                      name=f"{name}{index}", **kwargs)
+        for index in range(shards)
+    ]
+    return ShardedCluster(groups, name=name)
+
+
 def load_workload(middleware: ReplicationMiddleware, workload: Workload,
                   database: str = DEFAULT_DATABASE) -> None:
     """Run the workload's setup DDL+data through the middleware so every

@@ -892,6 +892,180 @@ class SessionArrivalDriver:
         return out
 
 
+class TimedShardedCluster:
+    """Wires a :class:`~repro.shard.router.ShardedCluster` into the
+    simulation environment, duck-typing what the load drivers need
+    (``env``, ``middleware.connect``, ``run_transaction``) so
+    :class:`ClosedLoopDriver` and :class:`SessionArrivalDriver` drive the
+    shard tier unchanged (E29 rides E28's open-loop session tier).
+
+    Cost model, per the repo convention (state changes instantaneous,
+    time charged separately): every statement pays the client hop plus
+    its nominal service time on each target group in parallel, scatter
+    reads add a per-extra-target merge term at the coordinator, and
+    every *commit* holds the written groups' **ordering mutexes** for an
+    ordering + certification round — one serial total-order point per
+    group.  That per-group serial point is exactly the paper's section
+    2.2 bottleneck, and sharding's payoff: N shards = N independent
+    ordering points, so disjoint write traffic scales out (~Nx), while
+    a cross-shard 2PC commit pays a prepare round on every participant,
+    a decision-record append and a second (commit) round — the measured
+    price of the dual-write window in E29's live-split scenario."""
+
+    def __init__(self, env: Environment, cluster,
+                 cost_model: Optional[CostModel] = None,
+                 client_latency: float = 0.0003,
+                 ordering_delay: Optional[float] = None):
+        self.env = env
+        self.cluster = cluster
+        self.cost = cost_model or CostModel()
+        self.client_latency = client_latency
+        self.ordering_delay = (ordering_delay if ordering_delay is not None
+                               else 2 * client_latency)
+        # one serial total-order point per replication group
+        self._order_locks: List[Store] = []
+        for _group in cluster.groups:
+            lock = Store(env)
+            lock.put(1)
+            self._order_locks.append(lock)
+        self._analysis_cache: Dict[str, list] = {}
+        self._param_memo: Dict[str, tuple] = {}
+        self._param_fail: set = set()
+
+    @property
+    def middleware(self):
+        """Driver duck-typing: the connectable frontend is the shard
+        tier itself."""
+        return self.cluster
+
+    # ------------------------------------------------------------------
+
+    def run_transaction(self, session, spec: TxnSpec):
+        """Generator: execute ``spec`` against the shard tier with
+        simulated timing.  Returns (latency_seconds, ok, error_kind)."""
+        start = self.env.now
+        try:
+            if len(spec.statements) == 1:
+                sql, params = spec.statements[0]
+                yield from self._timed_statement(session, sql, params)
+            else:
+                yield from self._timed_statement(session, "BEGIN", [])
+                for sql, params in spec.statements:
+                    yield from self._timed_statement(session, sql, params)
+                yield from self._timed_statement(session, "COMMIT", [])
+            return (self.env.now - start, True, "")
+        except Exception as exc:  # noqa: BLE001 — abort accounting
+            try:
+                session.rollback()
+            except Exception:  # noqa: BLE001
+                pass
+            return (self.env.now - start, False, type(exc).__name__)
+
+    def _statements_of(self, sql: str,
+                       allow_params: bool = True) -> Tuple[list, list]:
+        cached = self._analysis_cache.get(sql)
+        if cached is not None:
+            return cached, []
+        if allow_params:
+            memo = self._param_memo.get(sql)
+            if memo is not None:
+                return memo
+            prepared = parameterize_literals(sql)
+            if prepared is not None:
+                template, values = prepared
+                pairs = self._analysis_cache.get(template)
+                if pairs is None and template not in self._param_fail:
+                    try:
+                        pairs = [(stmt, analyze(stmt))
+                                 for stmt in parse_script(template)]
+                    except Exception:  # noqa: BLE001 — unparsable template
+                        self._param_fail.add(template)
+                        pairs = None
+                    else:
+                        if len(self._analysis_cache) < 4096:
+                            self._analysis_cache[template] = pairs
+                if pairs is not None:
+                    if len(self._param_memo) < 8192:
+                        self._param_memo[sql] = (pairs, values)
+                    return pairs, values
+        pairs = [(stmt, analyze(stmt)) for stmt in parse_script(sql)]
+        if len(self._analysis_cache) < 4096:
+            self._analysis_cache[sql] = pairs
+        return pairs, []
+
+    def _timed_statement(self, session, sql: str, params: list):
+        yield self.env.timeout(self.client_latency
+                               + self.cost.middleware_cost())
+        pairs, extracted = self._statements_of(sql,
+                                               allow_params=not params)
+        if extracted:
+            params = extracted
+        for statement, info in pairs:
+            if isinstance(statement, (ast.BeginStatement,
+                                      ast.RollbackStatement)):
+                session.execute_one_parsed(statement, sql, params)
+                continue
+            autocommit = not session.in_transaction
+            # state change is instantaneous; the routing trace then tells
+            # us exactly which groups did work, and we charge them
+            session.execute_one_parsed(statement, sql, params)
+            route = session.last_route
+            if route is None:
+                continue
+            if isinstance(statement, ast.CommitStatement):
+                if route.get("kind") == "commit":
+                    yield from self._charge_commit(route.get("commit"))
+                continue
+            yield from self._charge_statement(info, route)
+            if route["write"] and autocommit:
+                # an implicit commit ran inside the statement (either the
+                # group session's autocommit or the router's implicit
+                # multi-shard 2PC); the route note carries the mode
+                commit = route.get("commit")
+                if commit is None:
+                    commit = {"mode": "fast",
+                              "groups": list(route.get("targets") or ())}
+                yield from self._charge_commit(commit)
+
+    def _charge_statement(self, info, route: dict):
+        service = self.cost.statement_cost(info)
+        targets = route.get("targets") or ()
+        if not route["write"] and len(targets) > 1:
+            # scatter-gather: shards run in parallel, the coordinator
+            # pays a merge term per extra partial result
+            service += self.cost.middleware_cost() * (len(targets) - 1)
+        yield self.env.timeout(service)
+
+    def _charge_commit(self, commit: Optional[dict]):
+        if not commit or not commit.get("groups"):
+            return
+        groups = commit["groups"]
+        round_cost = self.ordering_delay + self.cost.certification
+        if commit.get("mode") == "2pc":
+            # prepare: every participant's ordering point, in parallel
+            tasks = [self.env.process(self._ordered_round(g, round_cost))
+                     for g in groups]
+            yield self.env.all_of(tasks)
+            # decision record + second (commit) round per participant
+            yield self.env.timeout(self.cost.middleware_cost())
+            tasks = [self.env.process(
+                self._ordered_round(g, self.cost.commit_io))
+                for g in groups]
+            yield self.env.all_of(tasks)
+            return
+        # single-shard fast path: one group's ordinary pipeline
+        yield from self._ordered_round(groups[0],
+                                       round_cost + self.cost.commit_io)
+
+    def _ordered_round(self, group_index: int, service: float):
+        lock = self._order_locks[group_index]
+        yield lock.get()
+        try:
+            yield self.env.timeout(service)
+        finally:
+            lock.put(1)
+
+
 class LagProbe:
     """Samples per-replica apply lag over time (E07)."""
 

@@ -188,6 +188,24 @@ class Certifier:
                 self._standby_log.append(entry)
         return self._seq
 
+    def rescind(self, seq: int) -> bool:
+        """Erase the conflict footprint of a certified-but-aborted entry
+        (cross-shard 2PC presumed abort, ``repro.shard.twopc``): the
+        entry stays in the log at its seq — numbering and watermarks are
+        untouched — but its keys become empty so it can never abort a
+        later transaction against a write that never happened.  Returns
+        True when the seq was found in any log copy."""
+        found = False
+        for log in (self._batch, self._log, self._standby_log):
+            if log is None:
+                continue
+            for index in range(len(log) - 1, -1, -1):
+                if log[index][0] == seq:
+                    log[index] = (seq, frozenset())
+                    found = True
+                    break
+        return found
+
     def prune(self, up_to_seq: int) -> int:
         before = len(self._log)
         self._log = [(s, k) for s, k in self._log if s > up_to_seq]

@@ -115,6 +115,39 @@ class GroupCommitCoordinator:
         finally:
             self._flush()
 
+    def commit_prepared(self, request: CommitRequest, seq: int) -> int:
+        """Phase 2 of a cross-shard 2PC commit (``repro.shard.twopc``):
+        the transaction was already *prepared* — certified by this
+        group's certifier (which assigned ``seq``) and shipped to the HA
+        standby — and the coordinator decided commit.  Run the rest of
+        this group's ordinary pipeline: prefix drain, local commit,
+        recovery-log append, propagation, HA ack, cache publish."""
+        middleware = self.middleware
+        session = request.session
+        origin = request.origin
+        middleware.drain_replica(origin.name, up_to_seq=seq - 1)
+        commit_span = middleware.tracer.child_span(
+            "replica.commit", session.active_span, replica=origin.name)
+        with commit_span:
+            request.connection.commit()
+        origin.applied_seq = max(origin.applied_seq, seq)
+        middleware.recovery_log.append(
+            seq, "writeset", request.entries, tables=request.tables,
+            user=session.user, database=session.database)
+        unit = ApplyUnit(seq, request.entries, tuple(request.tables),
+                         keys=request.keys, origin=origin.name,
+                         enqueued_at=middleware.monitor.peek())
+        self._propagate([unit])
+        middleware.config.consistency.note_commit(session.view, seq)
+        middleware._ship_ack(session, seq)
+        middleware.publish_certified(
+            seq, keys=invalidation_keys(request.entries, origin.engine),
+            tables={(e["database"], e["table"]) for e in request.entries},
+            kind="writeset", database=session.database,
+            entries=request.entries)
+        middleware.maybe_prune_certifier()
+        return seq
+
     # ------------------------------------------------------------------
     # internals
     # ------------------------------------------------------------------

@@ -720,6 +720,10 @@ class MiddlewareSession:
         # map to just its last result).
         self._cache_ineligible = False
         self._single_statement = False
+        # Extra component folded into every cache key (the shard tier
+        # sets this to the shard-map version, so a reshard flip orphans
+        # entries filled under the old placement).  None = no salt.
+        self.cache_salt: Optional[Any] = None
         # statement-mode invalidation footprint of the open transaction
         self._txn_footprints: set = set()
         self._txn_had_opaque = False
@@ -905,6 +909,12 @@ class MiddlewareSession:
     # result cache
     # ------------------------------------------------------------------
 
+    def _cache_key(self, sql: str, params) -> Optional[tuple]:
+        key = cache_key(self.user, self.database, sql, params)
+        if key is None or self.cache_salt is None:
+            return key
+        return key + (("salt", self.cache_salt),)
+
     def _cached_fast_path(self, sql: str, params) -> Optional[Result]:
         """Serve an autocommit read from the result cache, before parsing
         and before the balancer sees it (a hit costs no replica load, no
@@ -913,7 +923,7 @@ class MiddlewareSession:
         cache = middleware.result_cache
         if cache is None or self.in_transaction or self._cache_ineligible:
             return None
-        key = cache_key(self.user, self.database, sql, params)
+        key = self._cache_key(sql, params)
         if key is None:
             self._cache_note = "uncacheable"
             return None
@@ -969,7 +979,7 @@ class MiddlewareSession:
         if middleware.config.consistency.write_mode == "broadcast":
             cache.stats["bypass_protocol"] += 1
             return
-        key = cache_key(self.user, self.database, sql_text, params)
+        key = self._cache_key(sql_text, params)
         if key is None:
             cache.stats["bypass_uncacheable"] += 1
             return
@@ -996,7 +1006,7 @@ class MiddlewareSession:
         if cache is None or resilience is None or self.in_transaction \
                 or self._cache_ineligible:
             return None
-        key = cache_key(self.user, self.database, sql_text, params)
+        key = self._cache_key(sql_text, params)
         if key is None:
             return None
         entry = cache.peek(key)
@@ -1045,7 +1055,7 @@ class MiddlewareSession:
             return "cache bypass (uncacheable)"
         inner_sql = re.sub(r"^\s*EXPLAIN\s+", "", sql_text,
                            flags=re.IGNORECASE)
-        key = cache_key(self.user, self.database, inner_sql, params)
+        key = self._cache_key(inner_sql, params)
         if key is None:
             return "cache bypass (uncacheable)"
         entry = cache.peek(key)
@@ -1617,6 +1627,31 @@ class MiddlewareSession:
             start_seq=self._txn_start_seq, keys=conflict_keys(entries),
             entries=entries, tables=sorted(self._txn_tables_written))
         middleware.group_commit.submit(request)
+
+    def stage_commit_request(self) -> Optional[CommitRequest]:
+        """Build this transaction's :class:`CommitRequest` without
+        certifying or committing anything — the cross-shard 2PC prepare
+        hook (``repro.shard.twopc``): the coordinator certifies each
+        participant itself and finishes the winners through
+        :meth:`GroupCommitCoordinator.commit_prepared`.  Returns ``None``
+        when there is nothing to certify here (read-only, or the writes
+        matched zero rows) — the caller commits or rolls back plainly."""
+        if not self.in_transaction or not self._txn_is_write:
+            return None
+        middleware = self.middleware
+        replica = middleware.replica_by_name(self._local_replica)
+        if not replica.is_online or replica.engine.crashed:
+            raise ReplicaUnavailable(
+                f"local replica {replica.name!r} died before commit")
+        connection = self._txn_connections[replica.name]
+        txn = connection.txn
+        entries = extract_writeset_engine(txn) if txn is not None else []
+        if not entries:
+            return None
+        return CommitRequest(
+            session=self, origin=replica, connection=connection,
+            start_seq=self._txn_start_seq, keys=conflict_keys(entries),
+            entries=entries, tables=sorted(self._txn_tables_written))
 
     def _published_tables(self, names) -> set:
         """Raw ``table`` / ``db.table`` strings -> ``(db, table)`` pairs

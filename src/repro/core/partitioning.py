@@ -183,7 +183,8 @@ class PartitionedSession:
                     "partition-key predicate would need cross-partition "
                     "coordination (section 5.1: open problem)")
             self.cluster.stats["scatter_gather"] += 1
-            return self._scatter_gather(statement, sql_text, params)
+            return self._scatter_gather(statement, sql_text, params,
+                                        self.sessions)
         if len(targets) == 1:
             self.cluster.stats["single_partition"] += 1
             return self.sessions[targets[0]].execute(sql_text, params)
@@ -191,9 +192,8 @@ class PartitionedSession:
             raise UnsupportedStatementError(
                 "a single write statement may not span partitions")
         self.cluster.stats["scatter_gather"] += 1
-        return self._merge([
-            self.sessions[t].execute(sql_text, params) for t in targets
-        ], statement)
+        return self._scatter_gather(statement, sql_text, params,
+                                    [self.sessions[t] for t in targets])
 
     def _partitioned_table_of(self, info):
         for table in info.all_tables():
@@ -239,65 +239,24 @@ class PartitionedSession:
 
     # -- scatter-gather ----------------------------------------------------------
 
-    def _scatter_gather(self, statement: ast.Statement, sql_text: str,
-                        params: List[Any]) -> Result:
-        results = [session.execute(sql_text, params)
-                   for session in self.sessions]
-        return self._merge(results, statement)
-
-    def _merge(self, results: List[Result],
-               statement: ast.Statement) -> Result:
-        """Concatenate partial results; merge simple aggregates."""
-        if not results:
-            return Result()
-        columns = results[0].columns
-        if isinstance(statement, ast.SelectStatement) \
-                and not statement.group_by \
-                and self._is_simple_aggregate(statement):
-            merged_row = []
-            for column_index, (expr, _alias) in enumerate(statement.columns):
-                values = [r.rows[0][column_index] for r in results if r.rows]
-                values = [v for v in values if v is not None]
-                name = expr.name if isinstance(expr, ast.FunctionCall) else ""
-                if name in ("COUNT", "SUM"):
-                    merged_row.append(sum(values) if values else
-                                      (0 if name == "COUNT" else None))
-                elif name == "MIN":
-                    merged_row.append(min(values) if values else None)
-                elif name == "MAX":
-                    merged_row.append(max(values) if values else None)
-                else:
-                    raise UnsupportedStatementError(
-                        f"cannot merge aggregate {name or expr!r} across "
-                        "partitions (AVG needs a rewrite to SUM/COUNT)")
-            return Result(columns=columns, rows=[tuple(merged_row)],
-                          rowcount=1)
-        rows: List[tuple] = []
-        rowcount = 0
-        for result in results:
-            rows.extend(result.rows)
-            rowcount += result.rowcount
-        merged = Result(columns=columns, rows=rows, rowcount=rowcount)
-        if isinstance(statement, ast.SelectStatement) and statement.order_by:
-            # Re-sort the union on the output columns named in ORDER BY.
-            lowered = [c.lower() for c in columns]
-            for expr, ascending in reversed(statement.order_by):
-                if isinstance(expr, ast.ColumnRef) \
-                        and expr.name.lower() in lowered:
-                    index = lowered.index(expr.name.lower())
-                    from ..sqlengine.expressions import sort_key
-                    merged.rows = sorted(
-                        merged.rows, key=lambda r: sort_key(r[index]),
-                        reverse=not ascending)
-        return merged
-
     @staticmethod
-    def _is_simple_aggregate(statement: ast.SelectStatement) -> bool:
-        return bool(statement.columns) and all(
-            isinstance(expr, ast.FunctionCall)
-            and expr.name in ("COUNT", "SUM", "MIN", "MAX")
-            for expr, _alias in statement.columns
-        )
+    def _scatter_gather(statement: ast.Statement, sql_text: str,
+                        params: List[Any], sessions) -> Result:
+        """Execute on every target group and merge through the shared
+        scatter planner (``repro.shard.merge``) — the same code path the
+        shard tier's router uses, so AVG is rewritten to SUM + COUNT and
+        LIMIT/OFFSET are re-applied after the cross-partition ORDER BY
+        re-sort instead of being (wrongly) trusted per partition."""
+        # function-level import: repro.core.__init__ imports this module
+        # eagerly, and repro.shard imports repro.core
+        from ..shard.merge import plan_scatter
+        plan = plan_scatter(statement, sql_text, params)
+        results = [
+            session.execute_one_parsed(plan.statement, plan.sql_text,
+                                       params)
+            for session in sessions
+        ]
+        return plan.merge(results)
 
 
 # ---------------------------------------------------------------------------

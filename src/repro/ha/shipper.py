@@ -96,6 +96,35 @@ class StateShipper:
         if span:
             span.event("ha.ship", phase="ack", seq=seq)
 
+    def ship_resolve_noop(self, session, seq: int) -> None:
+        """Resolve a prepared-but-aborted entry (cross-shard 2PC presumed
+        abort, ``repro.shard.twopc``) as an empty no-op at the same seq:
+        the shipped PENDING entry's keys/payload/tables are rewritten to
+        empty, its ledger record is dropped (an aborted client txn must
+        never dedup as success), and the entry is acked so the standby's
+        watermark advances past the consumed seq.  A promotion after this
+        point can never resurrect the aborted writeset — there is nothing
+        left to resurrect."""
+        shipped = self._inflight.pop(seq, None)
+        if shipped is None:
+            return
+        if shipped.txn_id is not None:
+            self.state.ledger.drop_pending(shipped.txn_id)
+        shipped.keys = frozenset()
+        shipped.payload = []
+        shipped.tables = ()
+        shipped.txn_id = None
+        shipped.client_id = None
+        for index in range(len(self.state.certifier_log) - 1, -1, -1):
+            if self.state.certifier_log[index][0] == seq:
+                self.state.certifier_log[index] = (seq, frozenset())
+                break
+        self.state.apply_ack(shipped)
+        self.stats["acks"] += 1
+        span = getattr(session, "active_span", None)
+        if span:
+            span.event("ha.ship", phase="resolve_noop", seq=seq)
+
     @staticmethod
     def _session_token(session) -> Optional[Tuple[int, int]]:
         view = getattr(session, "view", None)

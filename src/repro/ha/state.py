@@ -96,6 +96,17 @@ class CommitLedger:
     def pending_records(self) -> List[LedgerRecord]:
         return [r for r in self._records.values() if r.status == PENDING]
 
+    def drop_pending(self, txn_id: str) -> bool:
+        """Remove a PENDING record whose transaction aborted before the
+        client ack (cross-shard 2PC presumed abort) — its replay must NOT
+        dedup as success."""
+        record = self._records.get(txn_id)
+        if record is not None and record.status == PENDING:
+            del self._records[txn_id]
+            self.stats["dropped_pending"] += 1
+            return True
+        return False
+
     def resolve_pending(self, watermark: int
                         ) -> Tuple[List[LedgerRecord], List[LedgerRecord]]:
         """Settle every PENDING record against the replicas' applied

@@ -1,0 +1,370 @@
+"""Online shard split / merge / rebalance — no quiesce.
+
+A reshard moves one set of keys (a range segment, or an explicit key
+set) from a source group to a destination group while writes keep
+flowing.  The protocol is the E12 recovery-log join wrapped in a
+dual-write window, phase by phase:
+
+1. **snapshot + join point** (:meth:`OnlineReshard.start`, atomic):
+   record the source certifier's current seq and read the moving rows
+   from a source replica in the same instant — every later change is,
+   by construction, in the source recovery log after the join point.
+2. **copy** (:meth:`copy_chunk`, resumable): install the snapshot rows
+   into the destination group in bounded chunks, each an ordered
+   writeset unit (certifier seq + recovery-log entry + apply on every
+   destination replica), so the destination stays internally convergent
+   and could itself recover mid-copy.
+3. **catch-up** (:meth:`catch_up`, repeatable): replay the source
+   recovery-log tail since the join point, filtered to the moving keys,
+   onto the destination — the same join a new replica uses in E12 —
+   and advance the join point.  Repeat until the tail is small.
+4. **dual-write window** (:meth:`enter_dual_write`, atomic): one final
+   catch-up and the installation of a
+   :class:`~repro.shard.router.ForwardingRule` happen in the same
+   instant, so from this moment every client write to a moving key is
+   a cross-shard 2PC transaction against *both* groups.  Reads still go
+   to the source (it stays the owner), and unpinned scatter reads skip
+   the destination so moving rows are never counted twice.
+5. **flip** (:meth:`flip`, atomic): install the successor shard map
+   (version + 1) — instantly re-routing reads and writes to the
+   destination and salting every result-cache key — then delete the
+   moved rows from the source as one writeset unit and drop the
+   forwarding rule.  The flip refuses to run while a write transaction
+   opened under the old map is still in flight (the epoch drain): those
+   are the only writes that could resurrect a moved row on the source.
+
+At no point is a write rejected because of the reshard, and an
+acknowledged commit is never lost: before the window the source owns
+the keys outright, inside the window 2PC makes both copies durable, and
+after the flip the destination owns them outright.  E29 drives this
+under sustained open-loop load and gates on exactly those invariants.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from ..core.errors import MiddlewareError
+from .router import ForwardingRule, ShardedCluster
+from .shardmap import RangeSharder
+from .twopc import install_unit
+
+
+class ReshardError(MiddlewareError):
+    """A reshard phase was invoked out of order or cannot proceed."""
+
+
+class OnlineReshard:
+    """One live key movement on a :class:`ShardedCluster`.
+
+    Use the factories :meth:`split_range` / :meth:`move_keys`; drive the
+    phases yourself (the timed driver interleaves them with load) or
+    call :meth:`run` to execute the whole protocol synchronously.
+    """
+
+    def __init__(self, cluster: ShardedCluster, table: str,
+                 contains: Callable[[Any], bool], src: int, dst: int,
+                 database: str,
+                 mutate_map: Callable[[Any], None],
+                 batch_rows: int = 256, user: str = "admin"):
+        if src == dst:
+            raise ReshardError("source and destination shard are the same")
+        self.cluster = cluster
+        spec = cluster.map.spec_of(table)
+        if spec is None:
+            raise ReshardError(f"table {table!r} is not sharded")
+        self.spec = spec
+        self.table = spec.table
+        self.contains = contains
+        self.src = src
+        self.dst = dst
+        self.database = database
+        self.mutate_map = mutate_map
+        self.batch_rows = batch_rows
+        self.user = user
+        self.state = "init"
+        self._join_seq = 0
+        self._pending: List[Dict[str, Any]] = []
+        self._rule: Optional[ForwardingRule] = None
+        self.stats: Dict[str, int] = {
+            "rows_snapshot": 0, "rows_copied": 0, "entries_joined": 0,
+            "catchup_rounds": 0, "entries_in_window": 0, "rows_deleted": 0,
+            "flip_version": 0,
+        }
+
+    # -- factories ------------------------------------------------------
+
+    @classmethod
+    def split_range(cls, cluster: ShardedCluster, table: str, bound: Any,
+                    dst: int, database: str,
+                    **kwargs) -> "OnlineReshard":
+        """Split the range segment containing ``bound`` at ``bound`` and
+        move the lower half (keys <= bound within the segment) to shard
+        ``dst``."""
+        spec = cluster.map.spec_of(table)
+        if spec is None or not isinstance(spec.sharder, RangeSharder):
+            raise ReshardError(
+                f"split_range needs a range-sharded table, got {table!r}")
+        sharder = spec.sharder
+        segment = sharder.segment_for(bound)
+        src = sharder.assignments[segment]
+        lower = sharder.bounds[segment - 1] if segment > 0 else None
+
+        def contains(value: Any) -> bool:
+            if value is None:
+                return segment == 0
+            if lower is not None and value <= lower:
+                return False
+            return value <= bound
+
+        def mutate(new_map) -> None:
+            new_map.spec_of(table).sharder.split(bound, dst)
+
+        return cls(cluster, table, contains, src, dst, database, mutate,
+                   **kwargs)
+
+    @classmethod
+    def move_keys(cls, cluster: ShardedCluster, table: str,
+                  keys: Sequence[Any], dst: int, database: str,
+                  **kwargs) -> "OnlineReshard":
+        """Rebalance an explicit key set (hash-sharded tables move keys
+        through per-key overrides).  All keys must currently live on one
+        source shard."""
+        spec = cluster.map.spec_of(table)
+        if spec is None:
+            raise ReshardError(f"table {table!r} is not sharded")
+        owners = {spec.shard_for(k) for k in keys}
+        if len(owners) != 1:
+            raise ReshardError(
+                f"keys span source shards {sorted(owners)}; move one "
+                "source at a time")
+        key_set = set(keys)
+
+        def contains(value: Any) -> bool:
+            return value in key_set
+
+        def mutate(new_map) -> None:
+            new_spec = new_map.spec_of(table)
+            for key in key_set:
+                new_spec.overrides[key] = dst
+
+        return cls(cluster, table, contains, next(iter(owners)), dst,
+                   database, mutate, **kwargs)
+
+    # -- phase 1: snapshot + join point ---------------------------------
+
+    def start(self) -> int:
+        """Atomic: capture the recovery-log join point and the snapshot
+        of moving rows in the same instant.  Returns the snapshot size."""
+        self._require_state("init")
+        cluster = self.cluster
+        span = cluster.tracer.start_span(
+            "reshard.begin", table=self.table, src=self.src, dst=self.dst)
+        source = cluster.groups[self.src]
+        self._join_seq = source.certifier.current_seq
+        rows, columns = self._read_source_rows()
+        pk_columns = self._pk_columns(source)
+        key_index = [c.lower() for c in columns].index(self.spec.key_column)
+        for row in rows:
+            if not self.contains(row[key_index]):
+                continue
+            values = dict(zip([c.lower() for c in columns], row))
+            self._pending.append({
+                "database": self.database, "table": self.table,
+                "op": "INSERT",
+                "primary_key": tuple(values.get(c) for c in pk_columns),
+                "old_values": None, "new_values": values,
+            })
+        self.stats["rows_snapshot"] = len(self._pending)
+        cluster.map_log.append(
+            "reshard_begin", table=self.table, src=self.src, dst=self.dst,
+            join_seq=self._join_seq, rows=len(self._pending))
+        span.set_tag("rows", len(self._pending))
+        span.set_tag("join_seq", self._join_seq)
+        span.end()
+        self.state = "copying"
+        return len(self._pending)
+
+    # -- phase 2: chunked copy ------------------------------------------
+
+    def copy_chunk(self, max_rows: Optional[int] = None) -> int:
+        """Install the next snapshot chunk on the destination.  Returns
+        the rows installed; 0 means the copy is complete."""
+        self._require_state("copying")
+        if not self._pending:
+            self.state = "copied"
+            return 0
+        count = max_rows or self.batch_rows
+        chunk, self._pending = self._pending[:count], self._pending[count:]
+        span = self.cluster.tracer.start_span(
+            "reshard.copy", table=self.table, rows=len(chunk),
+            remaining=len(self._pending))
+        install_unit(self.cluster.groups[self.dst], chunk,
+                     tables=[self.table], user=self.user,
+                     database=self.database)
+        span.end()
+        self.stats["rows_copied"] += len(chunk)
+        if not self._pending:
+            self.state = "copied"
+        return len(chunk)
+
+    # -- phase 3: recovery-log join -------------------------------------
+
+    def catch_up(self) -> int:
+        """Replay the source recovery-log tail (since the join point,
+        filtered to moving keys) onto the destination; advance the join
+        point.  Returns the entries applied this round."""
+        self._require_state("copied")
+        entries, tail_seq = self._tail_entries()
+        if entries:
+            span = self.cluster.tracer.start_span(
+                "reshard.catchup", table=self.table, entries=len(entries),
+                from_seq=self._join_seq, to_seq=tail_seq)
+            install_unit(self.cluster.groups[self.dst], entries,
+                         tables=[self.table], user=self.user,
+                         database=self.database)
+            span.end()
+        self._join_seq = tail_seq
+        self.stats["entries_joined"] += len(entries)
+        self.stats["catchup_rounds"] += 1
+        return len(entries)
+
+    def _tail_entries(self):
+        source = self.cluster.groups[self.src]
+        key_column = self.spec.key_column
+        filtered: List[Dict[str, Any]] = []
+        tail_seq = self._join_seq
+        for entry in source.recovery_log.entries_since(self._join_seq):
+            tail_seq = max(tail_seq, entry.seq)
+            if entry.kind != "writeset":
+                continue  # DDL broadcasts reached every group directly
+            for change in entry.payload:
+                if change["table"] != self.table:
+                    continue
+                values = change.get("new_values") \
+                    or change.get("old_values") or {}
+                if self.contains(values.get(key_column)):
+                    filtered.append(change)
+        return filtered, tail_seq
+
+    # -- phase 4: dual-write window -------------------------------------
+
+    def enter_dual_write(self) -> int:
+        """Atomic: final catch-up + forwarding-rule installation in one
+        instant.  From here on, every client write to a moving key is
+        2PC'd to both groups, so the destination can never fall behind
+        again."""
+        self._require_state("copied")
+        final = self.catch_up()
+        self._rule = ForwardingRule(self.table, self.contains, self.src,
+                                    self.dst)
+        self.cluster.forwarding.append(self._rule)
+        self.cluster.map_log.append(
+            "reshard_dual_write", table=self.table, src=self.src,
+            dst=self.dst, join_seq=self._join_seq)
+        span = self.cluster.tracer.start_span(
+            "reshard.dualwrite", table=self.table, final_catchup=final)
+        span.end()
+        self.state = "dual_write"
+        return final
+
+    # -- phase 5: the flip ----------------------------------------------
+
+    def flip(self) -> int:
+        """Atomic ownership transfer: install the successor map (the
+        version bump that re-routes *and* re-salts the caches), delete
+        the moved rows from the source as one writeset unit, drop the
+        forwarding rule.  Returns the new map version.
+
+        Refuses while a write transaction opened under the old routing
+        is still in flight — its commit could land a moved row back on
+        the source after the delete.  Callers under load retry until
+        the pre-flip write epoch has drained (new writes keep flowing
+        through the dual-write rule in the meantime)."""
+        self._require_state("dual_write")
+        cluster = self.cluster
+        inflight = cluster.open_write_transactions()
+        if inflight:
+            raise ReshardError(
+                f"{inflight} in-flight write transaction(s) from the "
+                "pre-flip epoch; retry the flip after they drain")
+        # audit only: entries since the join point were dual-written by
+        # the clients themselves, so they are already on the destination
+        window_entries, _ = self._tail_entries()
+        self.stats["entries_in_window"] = len(window_entries)
+
+        span = cluster.tracer.start_span(
+            "reshard.flip", table=self.table, src=self.src, dst=self.dst,
+            window_entries=len(window_entries))
+        new_map = cluster.map.clone()
+        self.mutate_map(new_map)
+        cluster.install_map(new_map)
+        deletes = self._source_delete_entries()
+        if deletes:
+            install_unit(cluster.groups[self.src], deletes,
+                         tables=[self.table], user=self.user,
+                         database=self.database)
+        self.stats["rows_deleted"] = len(deletes)
+        if self._rule in cluster.forwarding:
+            cluster.forwarding.remove(self._rule)
+        cluster.map_log.append(
+            "reshard_flip", table=self.table, src=self.src, dst=self.dst,
+            version=new_map.version, rows_deleted=len(deletes))
+        span.set_tag("version", new_map.version)
+        span.end()
+        self.stats["flip_version"] = new_map.version
+        self.state = "done"
+        return new_map.version
+
+    # -- convenience ----------------------------------------------------
+
+    def run(self) -> Dict[str, int]:
+        """The whole protocol, synchronously (tests and small moves)."""
+        self.start()
+        while self.state == "copying":
+            self.copy_chunk()
+        self.catch_up()
+        self.enter_dual_write()
+        self.flip()
+        return dict(self.stats)
+
+    # -- helpers --------------------------------------------------------
+
+    def _require_state(self, expected: str) -> None:
+        if self.state != expected:
+            raise ReshardError(
+                f"phase requires state {expected!r}, but the reshard is "
+                f"in state {self.state!r}")
+
+    def _read_source_rows(self):
+        source = self.cluster.groups[self.src]
+        session = source.connect(user=self.user, database=self.database)
+        try:
+            result = session.execute(f"SELECT * FROM {self.table}")
+            return result.rows, result.columns
+        finally:
+            session.close()
+
+    def _pk_columns(self, source) -> List[str]:
+        engine = source.online_replicas()[0].engine
+        table = engine.database(self.database).table(self.table)
+        return [c.name.lower() for c in table.primary_key_columns]
+
+    def _source_delete_entries(self) -> List[Dict[str, Any]]:
+        rows, columns = self._read_source_rows()
+        source = self.cluster.groups[self.src]
+        pk_columns = self._pk_columns(source)
+        lowered = [c.lower() for c in columns]
+        key_index = lowered.index(self.spec.key_column)
+        entries = []
+        for row in rows:
+            if not self.contains(row[key_index]):
+                continue
+            values = dict(zip(lowered, row))
+            entries.append({
+                "database": self.database, "table": self.table,
+                "op": "DELETE",
+                "primary_key": tuple(values.get(c) for c in pk_columns),
+                "old_values": values, "new_values": None,
+            })
+        return entries

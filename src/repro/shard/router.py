@@ -1,0 +1,544 @@
+"""The shard-aware router: the client-facing tier in front of N
+replication groups.
+
+A :class:`ShardedCluster` owns the versioned :class:`ShardMap`, the
+shard-map log, the 2PC coordinator and the (reshard-managed) forwarding
+rules; a :class:`ShardedSession` resolves every statement against the
+current map via the same ``repro.core.analysis`` footprints the
+middleware itself uses and dispatches it:
+
+* **single-shard** — straight to that group's ``MiddlewareSession``
+  (its full pipeline: balancer, certification, group commit, cache);
+  a transaction that only ever wrote on one shard also *commits*
+  through that group alone — the fast path that skips 2PC entirely;
+* **scatter-gather reads** — executed on every owning group and merged
+  by ``repro.shard.merge`` (AVG rewrite, regrouping, ORDER BY re-sort,
+  LIMIT/OFFSET re-application);
+* **multi-shard writes** — multi-row INSERTs are split by key so each
+  group receives exactly its rows; predicate writes run on every owning
+  group; either way the enclosing (possibly implicit) transaction
+  commits through :class:`~repro.shard.twopc.TwoPCCoordinator`;
+* **global tables and DDL** — broadcast to every group (reads of a
+  global table go to group 0).
+
+Every statement gets a ``shard.route`` span tagged with the table, the
+routing kind, the target groups and the map version; commits add
+``shard.2pc.*`` spans.  The current map version is folded into each
+group session's result-cache keys (``MiddlewareSession.cache_salt``), so
+the instant a reshard flips the map, every cache entry filled under the
+old placement becomes unreachable — a moved key can never be served
+stale.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence, Set
+
+from ..core.admission import AdmissionGate
+from ..core.analysis import StatementInfo, analyze
+from ..core.errors import MiddlewareDown, UnsupportedStatementError
+from ..core.middleware import MiddlewareSession, ReplicationMiddleware
+from ..core.partitioning import _key_values_from_where, _literal_value
+from ..obs.tracing import Tracer
+from ..sqlengine import ast_nodes as ast
+from ..sqlengine.executor import Result
+from ..sqlengine.parser import parse_script
+from .merge import plan_scatter
+from .shardmap import ShardMap, ShardMapLog, Sharder, ShardSpec
+from .twopc import TwoPCCoordinator
+
+
+class ForwardingRule:
+    """One in-flight key movement (installed by ``repro.shard.reshard``
+    for the dual-write window): writes for matching keys go to *both*
+    src and dst, reads stay at src, and unpinned scatter reads skip dst
+    so the moving rows are counted exactly once until the flip."""
+
+    __slots__ = ("table", "contains", "src", "dst")
+
+    def __init__(self, table: str, contains, src: int, dst: int):
+        self.table = table.lower()
+        self.contains = contains
+        self.src = src
+        self.dst = dst
+
+    def matches(self, table: str, value: Any) -> bool:
+        return table == self.table and self.contains(value)
+
+
+class ShardedCluster:
+    """The shard tier: N replication groups behind one versioned map."""
+
+    def __init__(self, groups: Sequence[ReplicationMiddleware],
+                 shard_map: Optional[ShardMap] = None,
+                 name: str = "sharded",
+                 admission: Optional[AdmissionGate] = None,
+                 tracing: bool = True):
+        if not groups:
+            raise ValueError("a sharded cluster needs at least one group")
+        for group in groups:
+            if group.config.replication != "writeset":
+                raise ValueError(
+                    f"group {group.name!r} uses "
+                    f"{group.config.replication!r} replication; the shard "
+                    "tier's 2PC prepares against per-group writeset "
+                    "certification and requires replication='writeset'")
+        self.name = name
+        self.groups: List[ReplicationMiddleware] = list(groups)
+        self.map = shard_map or ShardMap(len(groups))
+        if self.map.shards != len(groups):
+            raise ValueError(
+                f"map has {self.map.shards} shards but {len(groups)} "
+                "groups were provided")
+        self.map_log = ShardMapLog()
+        self.map_log.append("map_install", version=self.map.version,
+                            shards=self.map.shards)
+        self.tracer = Tracer(clock=groups[0].monitor.peek, enabled=tracing)
+        self.twopc = TwoPCCoordinator(self)
+        self.admission = admission
+        self.forwarding: List[ForwardingRule] = []
+        self.sessions: List["ShardedSession"] = []
+        self._session_counter = 0
+        self.stats: Dict[str, int] = {
+            "single_shard": 0, "scatter_reads": 0, "multi_shard_writes": 0,
+            "broadcast": 0, "single_shard_commits": 0, "twopc_commits": 0,
+            "admission_rejected": 0,
+        }
+
+    # -- map management -------------------------------------------------
+
+    def register_table(self, table: str, key_column: str,
+                       sharder: Sharder) -> ShardSpec:
+        spec = self.map.register_table(table, key_column, sharder)
+        self.map_log.append("table_registered", table=spec.table,
+                            key_column=spec.key_column,
+                            sharder=sharder.kind,
+                            version=self.map.version)
+        return spec
+
+    def install_map(self, new_map: ShardMap) -> None:
+        """The atomic flip: one assignment changes what every subsequent
+        statement routes by *and* salts every cache key."""
+        if new_map.version <= self.map.version:
+            raise ValueError(
+                f"map version must advance (have {self.map.version}, "
+                f"got {new_map.version})")
+        if new_map.shards != len(self.groups):
+            raise ValueError("new map shard count must match the groups")
+        self.map = new_map
+        self.map_log.append("map_install", version=new_map.version,
+                            shards=new_map.shards)
+
+    def rules_for(self, table: str) -> List[ForwardingRule]:
+        return [r for r in self.forwarding if r.table == table]
+
+    # -- sessions / cluster plumbing ------------------------------------
+
+    def connect(self, user: str = "admin", password: str = "",
+                database: Optional[str] = None) -> "ShardedSession":
+        self._session_counter += 1
+        session = ShardedSession(self, self._session_counter, user,
+                                 password, database)
+        self.sessions.append(session)
+        return session
+
+    def open_write_transactions(self) -> int:
+        """In-flight transactions that have written somewhere — the
+        pre-flip epoch a reshard must drain before moving ownership."""
+        return sum(1 for s in self.sessions
+                   if not s.closed and s.in_transaction
+                   and s._txn_write_groups)
+
+    def pump(self) -> int:
+        return sum(g.pump() for g in self.groups)
+
+    def drain_all(self) -> int:
+        return sum(g.drain_all() for g in self.groups)
+
+    def check_convergence(self) -> bool:
+        return all(g.check_convergence() for g in self.groups)
+
+
+class ShardedSession:
+    """A client session over the shard tier."""
+
+    def __init__(self, cluster: ShardedCluster, session_id: int, user: str,
+                 password: str, database: Optional[str]):
+        self.cluster = cluster
+        self.id = session_id
+        self.user = user
+        self.password = password
+        self.database = database
+        self.closed = False
+        self._sessions: Dict[int, MiddlewareSession] = {}
+        self.in_transaction = False
+        self._txn_groups: Set[int] = set()
+        self._txn_write_groups: Set[int] = set()
+        # Routing trace of the last statement, consumed by the timed
+        # driver to charge simulated costs on the groups that did work.
+        self.last_route: Optional[Dict[str, Any]] = None
+
+    # -- public API -----------------------------------------------------
+
+    def execute(self, sql: str,
+                params: Optional[List[Any]] = None) -> Result:
+        self._check_open()
+        statements = parse_script(sql)
+        ticket = self._admit(statements)
+        ok = False
+        try:
+            result = Result()
+            for statement in statements:
+                result = self._execute_one(statement, sql,
+                                           list(params or []))
+            ok = True
+            return result
+        finally:
+            if ticket is not None:
+                if ok and ticket.kind == "commit":
+                    ticket.ack()
+                ticket.finish(ok)
+
+    def execute_one_parsed(self, statement: ast.Statement, sql_text: str,
+                           params: Optional[List[Any]] = None) -> Result:
+        """Execute one pre-parsed statement (timed-driver fast path —
+        admission, when used, is held by the driver)."""
+        self._check_open()
+        return self._execute_one(statement, sql_text, list(params or []))
+
+    def begin(self) -> None:
+        self._execute_one(ast.BeginStatement(), "BEGIN", [])
+
+    def commit(self) -> None:
+        self._execute_one(ast.CommitStatement(), "COMMIT", [])
+
+    def rollback(self) -> None:
+        self._execute_one(ast.RollbackStatement(), "ROLLBACK", [])
+
+    def close(self) -> None:
+        for session in self._sessions.values():
+            session.close()
+        self.closed = True
+
+    def __enter__(self) -> "ShardedSession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- admission ------------------------------------------------------
+
+    def _admit(self, statements):
+        gate = self.cluster.admission
+        if gate is None:
+            return None
+        is_write = any(
+            not isinstance(s, (ast.SelectStatement, ast.BeginStatement,
+                               ast.RollbackStatement))
+            for s in statements)
+        try:
+            return gate.admit("commit" if is_write else "read")
+        except Exception:
+            self.cluster.stats["admission_rejected"] += 1
+            raise
+
+    # -- per-group sessions ---------------------------------------------
+
+    def group_session(self, index: int) -> MiddlewareSession:
+        session = self._sessions.get(index)
+        if session is None:
+            session = self.cluster.groups[index].connect(
+                self.user, self.password, self.database)
+            self._sessions[index] = session
+        # the map version salts this group's result-cache keys, so a
+        # reshard flip instantly orphans entries filled under the old
+        # placement (tentpole: no stale reads of moved keys)
+        session.cache_salt = self.cluster.map.version
+        return session
+
+    def _txn_session(self, index: int) -> MiddlewareSession:
+        session = self.group_session(index)
+        if self.in_transaction:
+            if not session.in_transaction:
+                session.begin()
+            self._txn_groups.add(index)
+        return session
+
+    # -- statement execution --------------------------------------------
+
+    def _execute_one(self, statement: ast.Statement, sql_text: str,
+                     params: List[Any]) -> Result:
+        if isinstance(statement, ast.BeginStatement):
+            return self._begin()
+        if isinstance(statement, ast.CommitStatement):
+            return self._commit()
+        if isinstance(statement, ast.RollbackStatement):
+            return self._rollback()
+
+        cluster = self.cluster
+        info = analyze(statement)
+        span = cluster.tracer.start_span(
+            "shard.route", session=self.id, sql=sql_text[:80],
+            map_version=cluster.map.version)
+        try:
+            table, spec = self._sharded_table_of(info)
+            if info.is_ddl or spec is None:
+                return self._dispatch_global(statement, sql_text, params,
+                                             info, span)
+            span.set_tag("table", spec.table)
+            targets = self._resolve_targets(statement, spec, params, info)
+            span.set_tag("targets", len(targets))
+            if len(targets) == 1:
+                span.set_tag("kind", "single")
+                cluster.stats["single_shard"] += 1
+                target = next(iter(targets))
+                self._note_route("single", (target,), info.is_write)
+                result = self._txn_session(target).execute_one_parsed(
+                    statement, sql_text, params)
+                if info.is_write and self.in_transaction:
+                    self._txn_write_groups.add(target)
+                return result
+            if info.is_write:
+                span.set_tag("kind", "multi_write")
+                return self._dispatch_multi_write(statement, sql_text,
+                                                  params, info, spec,
+                                                  sorted(targets))
+            span.set_tag("kind", "scatter")
+            return self._dispatch_scatter(statement, sql_text, params,
+                                          sorted(targets))
+        finally:
+            span.end()
+
+    def _sharded_table_of(self, info: StatementInfo):
+        for table in info.all_tables():
+            spec = self.cluster.map.spec_of(table)
+            if spec is not None:
+                return spec.table, spec
+        return None, None
+
+    # -- target resolution ----------------------------------------------
+
+    def _resolve_targets(self, statement: ast.Statement, spec: ShardSpec,
+                         params: List[Any],
+                         info: StatementInfo) -> Set[int]:
+        cluster = self.cluster
+        rules = cluster.rules_for(spec.table)
+        if isinstance(statement, ast.InsertStatement):
+            keys = self._insert_key_values(statement, spec, params)
+        else:
+            where = getattr(statement, "where", None)
+            keys = _key_values_from_where(where, spec.key_column, params)
+        if keys is None:
+            # unpinned: every owning group.  Reads skip a dual-write
+            # destination (it holds the moving rows too — counting them
+            # there *and* at the still-owning src would double them).
+            targets = set(range(len(cluster.groups)))
+            if not info.is_write:
+                for rule in rules:
+                    targets.discard(rule.dst)
+            return targets
+        targets: Set[int] = set()
+        for value in keys:
+            owner = spec.shard_for(value)
+            targets.add(owner)
+            if info.is_write:
+                for rule in rules:
+                    if rule.matches(spec.table, value):
+                        targets.add(rule.dst)
+                        cluster.stats.setdefault("dual_writes", 0)
+                        cluster.stats["dual_writes"] += 1
+        return targets
+
+    def _insert_key_values(self, statement: ast.InsertStatement,
+                           spec: ShardSpec,
+                           params: List[Any]) -> Optional[List[Any]]:
+        if statement.columns is None or statement.rows is None:
+            raise UnsupportedStatementError(
+                f"INSERT into sharded table {spec.table!r} must list its "
+                f"columns including the shard key {spec.key_column!r}")
+        lowered = [c.lower() for c in statement.columns]
+        if spec.key_column not in lowered:
+            raise UnsupportedStatementError(
+                f"INSERT into sharded table {spec.table!r} without the "
+                f"shard key {spec.key_column!r}: the row cannot be placed")
+        key_index = lowered.index(spec.key_column)
+        values = []
+        for row in statement.rows:
+            expr = row[key_index]
+            value = _literal_value(expr, params)
+            if value is None and not isinstance(expr, ast.Literal):
+                raise UnsupportedStatementError(
+                    "INSERT shard-key values must be literals or bound "
+                    "parameters")
+            values.append(value)
+        return values
+
+    # -- dispatch paths --------------------------------------------------
+
+    def _note_route(self, kind: str, targets, is_write: bool,
+                    commit=None) -> None:
+        self.last_route = {"kind": kind, "targets": tuple(targets),
+                           "write": is_write, "commit": commit}
+
+    def _dispatch_global(self, statement: ast.Statement, sql_text: str,
+                         params: List[Any], info: StatementInfo,
+                         span) -> Result:
+        cluster = self.cluster
+        if info.is_write or info.is_ddl:
+            span.set_tag("kind", "broadcast")
+            cluster.stats["broadcast"] += 1
+            every = tuple(range(len(cluster.groups)))
+            self._note_route("broadcast", every, True)
+            result = Result()
+            for index in every:
+                result = self._txn_session(index).execute_one_parsed(
+                    statement, sql_text, params)
+                if self.in_transaction:
+                    self._txn_write_groups.add(index)
+            return result
+        span.set_tag("kind", "global_read")
+        self._note_route("global_read", (0,), False)
+        return self._txn_session(0).execute_one_parsed(
+            statement, sql_text, params)
+
+    def _dispatch_scatter(self, statement: ast.Statement, sql_text: str,
+                          params: List[Any],
+                          targets: Sequence[int]) -> Result:
+        cluster = self.cluster
+        cluster.stats["scatter_reads"] += 1
+        self._note_route("scatter", targets, False)
+        plan = plan_scatter(statement, sql_text, params)
+        results = [
+            self._txn_session(index).execute_one_parsed(
+                plan.statement, plan.sql_text, params)
+            for index in targets
+        ]
+        return plan.merge(results)
+
+    def _dispatch_multi_write(self, statement: ast.Statement,
+                              sql_text: str, params: List[Any],
+                              info: StatementInfo, spec: ShardSpec,
+                              targets: Sequence[int]) -> Result:
+        cluster = self.cluster
+        cluster.stats["multi_shard_writes"] += 1
+        implicit = not self.in_transaction
+        if implicit:
+            self._begin()
+        try:
+            if isinstance(statement, ast.InsertStatement):
+                result = self._split_insert(statement, sql_text, params,
+                                            spec)
+            else:
+                # predicate write: each group touches only its own rows
+                result = Result()
+                rowcount = 0
+                for index in targets:
+                    partial = self._txn_session(index).execute_one_parsed(
+                        statement, sql_text, params)
+                    self._txn_write_groups.add(index)
+                    rowcount += partial.rowcount
+                result = Result(rowcount=rowcount)
+            self._note_route("multi_write", targets, True)
+            if implicit:
+                self._commit()
+            return result
+        except Exception:
+            if implicit and self.in_transaction:
+                self._rollback()
+            raise
+
+    def _split_insert(self, statement: ast.InsertStatement, sql_text: str,
+                      params: List[Any], spec: ShardSpec) -> Result:
+        """Per-shard row subsets: each group gets exactly the rows it
+        owns (plus dual-write copies during a reshard window)."""
+        lowered = [c.lower() for c in statement.columns]
+        key_index = lowered.index(spec.key_column)
+        rules = self.cluster.rules_for(spec.table)
+        by_group: Dict[int, list] = {}
+        for row in statement.rows:
+            value = _literal_value(row[key_index], params)
+            owner = spec.shard_for(value)
+            by_group.setdefault(owner, []).append(row)
+            for rule in rules:
+                if rule.matches(spec.table, value):
+                    by_group.setdefault(rule.dst, []).append(row)
+        rowcount = 0
+        for index, rows in sorted(by_group.items()):
+            shard_statement = ast.InsertStatement(
+                statement.table, statement.columns, rows=rows)
+            partial = self._txn_session(index).execute_one_parsed(
+                shard_statement, f"{sql_text} /*shard:{index}*/", params)
+            self._txn_write_groups.add(index)
+            rowcount += partial.rowcount
+        return Result(rowcount=rowcount, lastrowid=None)
+
+    # -- transaction control ---------------------------------------------
+
+    def _begin(self) -> Result:
+        if self.in_transaction:
+            raise UnsupportedStatementError(
+                "transaction already in progress")
+        self.in_transaction = True
+        self._txn_groups = set()
+        self._txn_write_groups = set()
+        self._note_route("begin", (), False)
+        return Result()
+
+    def _commit(self) -> Result:
+        if not self.in_transaction:
+            return Result()
+        cluster = self.cluster
+        write_groups = set(self._txn_write_groups)
+        read_groups = self._txn_groups - write_groups
+        mode = "fast" if len(write_groups) <= 1 else "2pc"
+        self._note_route("commit", sorted(write_groups), True,
+                         commit={"mode": mode,
+                                 "groups": sorted(write_groups)})
+        try:
+            for index in sorted(read_groups):
+                self._sessions[index].commit()
+            if mode == "fast":
+                # single-shard fast path: the one group's ordinary
+                # certify/group-commit pipeline — no 2PC anywhere
+                for index in sorted(write_groups):
+                    self._sessions[index].commit()
+                cluster.stats["single_shard_commits"] += 1
+            else:
+                span = cluster.tracer.start_span(
+                    "shard.2pc", session=self.id,
+                    participants=len(write_groups),
+                    map_version=cluster.map.version)
+                try:
+                    cluster.twopc.commit(self, write_groups,
+                                         parent_span=span)
+                finally:
+                    span.end()
+                cluster.stats["twopc_commits"] += 1
+        except Exception:
+            self._abort_open_groups()
+            raise
+        finally:
+            self._reset_txn()
+        return Result()
+
+    def _rollback(self) -> Result:
+        if not self.in_transaction:
+            return Result()
+        self._note_route("rollback", sorted(self._txn_groups), False)
+        self._abort_open_groups()
+        self._reset_txn()
+        return Result()
+
+    def _abort_open_groups(self) -> None:
+        for session in self._sessions.values():
+            if session.in_transaction:
+                session.rollback()
+
+    def _reset_txn(self) -> None:
+        self.in_transaction = False
+        self._txn_groups = set()
+        self._txn_write_groups = set()
+
+    def _check_open(self) -> None:
+        if self.closed:
+            raise MiddlewareDown("session is closed")

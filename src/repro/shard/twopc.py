@@ -1,0 +1,233 @@
+"""Cross-shard atomic commit, layered on each group's certifier and
+group-commit pipeline.
+
+The shard tier never invents a second commit protocol for the common
+case: a transaction whose writes land on one shard commits through that
+group's ordinary writeset pipeline (the documented fast path — see
+``docs/SHARDING.md``).  Only a transaction that wrote on two or more
+groups pays two-phase commit:
+
+**Prepare**, per participant group in deterministic (index) order:
+extract the local writeset, run the group's own SI certification
+(first-committer-wins, exactly the check a single-group commit would
+run) and ship the entry to the group's HA standby.  A prepared
+transaction holds a certified sequence number but has not committed.
+
+**Decide**: one record in the shard-map log
+(``{"kind": "2pc_decision", "txn": ..., "decision": ...}``).  The log is
+the coordinator's durable state, so recovery is deterministic: decision
+record present -> replay it; absent -> presumed abort.
+
+**Commit**, per prepared group: the rest of the group's own pipeline —
+prefix drain, local commit, recovery-log append, propagation frame, HA
+ack, cache publish — via ``GroupCommitCoordinator.commit_prepared``.
+
+**Abort** (some participant failed certification): prepared groups
+*rescind* their certifier entries (the footprint becomes empty so it can
+never abort a later transaction against a write that never happened) and
+the consumed sequence number is filled with an **empty no-op commit** so
+replica watermarks stay gapless; the HA standby's PENDING entry is
+rewritten to the same no-op before the ack, so a promotion can never
+resurrect the aborted writeset.
+
+Because each group certifies with its own certifier against its own
+local writeset, per-group outcomes are bit-identical to what a
+single-group commit of the same writeset would decide — that equivalence
+is asserted by E29 (seeded replay) and a hypothesis property in
+``tests/shard``.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, List, Optional
+
+from ..core.writesets import invalidation_keys
+from ..sqlengine import SerializationError
+
+
+class TwoPCCoordinator:
+    """Coordinates cross-shard commits for one :class:`ShardedCluster`."""
+
+    def __init__(self, cluster):
+        self.cluster = cluster
+        self._txn_counter = itertools.count(1)
+        self.stats: Dict[str, int] = {
+            "commits": 0, "aborts": 0, "prepares": 0, "rescinds": 0,
+        }
+        # E29 audit hook: every per-group prepare certification decision,
+        # in coordinator order, for equivalence replay against a fresh
+        # per-group certifier.
+        self.equivalence_log: Optional[List[Dict[str, Any]]] = None
+
+    # ------------------------------------------------------------------
+
+    def commit(self, shard_session, write_groups, parent_span=None) -> None:
+        """Atomically commit ``shard_session``'s open transaction across
+        ``write_groups`` (group indices with writes).  Raises
+        :class:`SerializationError` when any participant fails
+        certification — in that case every participant rolled back."""
+        cluster = self.cluster
+        tracer = cluster.tracer
+        txn_id = f"{cluster.name}-2pc-{next(self._txn_counter)}"
+
+        prepared = []   # (index, middleware, group_session, request, seq)
+        plain = []      # (index, group_session) with nothing to certify
+        conflict = None
+        for index in sorted(write_groups):
+            middleware = cluster.groups[index]
+            group_session = shard_session.group_session(index)
+            request = group_session.stage_commit_request()
+            if request is None:
+                # the writes matched zero rows here: nothing global to
+                # decide for this group, a plain local commit suffices
+                plain.append((index, group_session))
+                continue
+            span = tracer.child_span(
+                "shard.2pc.prepare", parent_span, txn=txn_id,
+                shard=middleware.name, keys=len(request.keys),
+                start_seq=request.start_seq)
+            outcome = middleware.certifier.certify(request.start_seq,
+                                                   request.keys)
+            self.stats["prepares"] += 1
+            if self.equivalence_log is not None:
+                self.equivalence_log.append({
+                    "shard": middleware.name, "txn": txn_id,
+                    "start_seq": request.start_seq, "keys": request.keys,
+                    "ok": outcome.ok, "seq": outcome.seq,
+                    "conflict_seq": outcome.conflict_seq,
+                })
+            span.set_tag("ok", outcome.ok)
+            if not outcome.ok:
+                span.set_tag("conflict_seq", outcome.conflict_seq)
+                span.end()
+                conflict = (middleware, outcome)
+                break
+            span.set_tag("seq", outcome.seq)
+            span.end()
+            # prepare = certify + ship: the standby learns about the
+            # in-doubt entry before any group commits it
+            middleware._ship_prepare(group_session, outcome.seq,
+                                     request.keys, "writeset",
+                                     request.entries, request.tables)
+            prepared.append((index, middleware, group_session, request,
+                             outcome.seq))
+
+        decision = "abort" if conflict is not None else "commit"
+        record = cluster.map_log.append(
+            "2pc_decision", txn=txn_id, decision=decision,
+            shards=[cluster.groups[i].name
+                    for i, *_ in prepared] if prepared else [],
+            seqs={middleware.name: seq
+                  for _, middleware, _, _, seq in prepared})
+        decide_span = tracer.child_span(
+            "shard.2pc.decide", parent_span, txn=txn_id,
+            decision=decision, record_seq=record.seq,
+            participants=len(prepared) + len(plain))
+        decide_span.end()
+
+        if decision == "commit":
+            for index, middleware, group_session, request, seq in prepared:
+                span = tracer.child_span(
+                    "shard.2pc.commit", parent_span, txn=txn_id,
+                    shard=middleware.name, seq=seq)
+                with span:
+                    middleware.group_commit.commit_prepared(request, seq)
+                middleware.stats["commits"] += 1
+                group_session._end_transaction()
+            for index, group_session in plain:
+                group_session.commit()
+            self.stats["commits"] += 1
+            return
+
+        # presumed abort: resolve the prepared groups' certified entries
+        for index, middleware, group_session, request, seq in prepared:
+            span = tracer.child_span(
+                "shard.2pc.abort", parent_span, txn=txn_id,
+                shard=middleware.name, seq=seq)
+            with span:
+                self._resolve_abort(middleware, group_session, seq)
+            group_session._rollback_transaction()
+        for index, group_session in plain:
+            group_session.rollback()
+        conflicted_mw, outcome = conflict
+        self.stats["aborts"] += 1
+        raise SerializationError(
+            f"2pc certification failed on shard {conflicted_mw.name!r}: "
+            f"conflicts with its seq {outcome.conflict_seq} "
+            "(first-committer-wins)")
+
+    # ------------------------------------------------------------------
+
+    def _resolve_abort(self, middleware, group_session, seq: int) -> None:
+        """Turn a prepared-but-aborted entry into a no-op commit at the
+        same seq: empty certifier footprint, empty recovery-log entry,
+        empty apply unit to every replica, no-op resolution shipped to
+        the standby.  Watermarks stay gapless; the write disappears."""
+        middleware.certifier.rescind(seq)
+        self.stats["rescinds"] += 1
+        middleware.recovery_log.append(
+            seq, "writeset", [], tables=[], user=group_session.user,
+            database=group_session.database)
+        self._fill_noop(middleware, seq)
+        if middleware.state_shipper is not None:
+            middleware.state_shipper.ship_resolve_noop(group_session, seq)
+        # empty-footprint publish: advances the cache invalidator's
+        # freshness watermark past the consumed seq (invalidates nothing)
+        middleware.publish_certified(
+            seq, keys=frozenset(), tables=set(), kind="writeset",
+            database=group_session.database, entries=[])
+
+    @staticmethod
+    def _fill_noop(middleware, seq: int) -> None:
+        from ..core.replica import ApplyItem
+        now = middleware.monitor.peek()
+        for replica in middleware.replicas:
+            if not replica.is_online:
+                continue  # it resynchronizes from the recovery log
+            item = ApplyItem(seq, "writeset", [], (), enqueued_at=now)
+            if middleware.config.propagation == "sync":
+                middleware._apply_item(replica, item)
+            else:
+                replica.enqueue(item)
+                if middleware.on_apply_enqueued is not None:
+                    middleware.on_apply_enqueued(replica, item)
+
+
+def install_unit(middleware, entries, tables=None, user: str = "reshard",
+                 database: Optional[str] = None) -> int:
+    """Install already-committed facts (a reshard's snapshot copy or
+    recovery-log join batch) into ``middleware`` as one ordered writeset
+    unit: a certifier sequence, a recovery-log entry, a synchronous
+    apply on every online replica, and a cache publish.  Returns the
+    assigned seq.
+
+    Order-only sequencing (``assign_seq``) is correct here because the
+    router never sends client writes for the moving keys to the
+    destination group before the dual-write window, so nothing can race
+    these installs on the same rows.
+    """
+    from ..core.replica import ApplyItem
+    from ..core.writesets import conflict_keys
+    keys = conflict_keys(entries)
+    seq = middleware.certifier.assign_seq(keys)
+    tables = sorted(tables if tables is not None
+                    else {e["table"] for e in entries})
+    middleware.recovery_log.append(seq, "writeset", entries, tables=tables,
+                                   user=user, database=database)
+    now = middleware.monitor.peek()
+    for replica in middleware.replicas:
+        if not replica.is_online:
+            continue
+        middleware._apply_item(
+            replica, ApplyItem(seq, "writeset", entries, tuple(tables),
+                               enqueued_at=now))
+    origin = middleware.online_replicas()[0] \
+        if middleware.online_replicas() else None
+    middleware.publish_certified(
+        seq,
+        keys=invalidation_keys(entries, origin.engine) if origin
+        else frozenset(),
+        tables={(e["database"], e["table"]) for e in entries},
+        kind="writeset", database=database, entries=entries)
+    return seq

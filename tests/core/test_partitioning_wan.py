@@ -119,6 +119,37 @@ class TestPartitionedCluster:
         assert totals == sorted(totals)
         session.close()
 
+    def test_scatter_avg_weighted_not_average_of_averages(self):
+        # partitions hold different row counts, so averaging the
+        # per-partition averages would be wrong; the shared scatter
+        # planner rewrites AVG to SUM + COUNT (satellite of the shard
+        # tier: one merge path for both stacks)
+        cluster = partitioned(3)
+        session = cluster.connect(database="shop")
+        values = [1.0, 1.0, 1.0, 1.0, 10.0]
+        for order, total in enumerate(values):
+            session.execute(
+                f"INSERT INTO orders (id, region, total) "
+                f"VALUES ({order}, 'eu', {total})")
+        assert session.execute(
+            "SELECT AVG(total) FROM orders").scalar() == \
+            sum(values) / len(values)
+        session.close()
+
+    def test_scatter_limit_reapplied_after_global_sort(self):
+        cluster = partitioned(3)
+        session = cluster.connect(database="shop")
+        for order in range(9):
+            session.execute(
+                f"INSERT INTO orders (id, region, total) "
+                f"VALUES ({order}, 'eu', {order}.0)")
+        result = session.execute(
+            "SELECT id FROM orders ORDER BY total DESC LIMIT 2")
+        # a per-partition LIMIT would return each partition's top-2;
+        # the merged result must be the global top-2
+        assert [row[0] for row in result.rows] == [8, 7]
+        session.close()
+
     def test_keyless_write_refused(self):
         cluster = partitioned(3)
         session = cluster.connect(database="shop")

@@ -1,0 +1,39 @@
+"""Shared builders for the shard-tier tests."""
+
+import pytest
+
+from repro.bench.harness import build_sharded_cluster
+from repro.shard import HashSharder, RangeSharder
+
+
+def make_kv_cluster(shards=2, sharder=None, rows=0, replicas=2, **kwargs):
+    """A sharded ``kv (k INT PRIMARY KEY, v INT)`` cluster, optionally
+    pre-seeded with ``rows`` rows (k, k * 10) routed through the tier."""
+    cluster = build_sharded_cluster(shards=shards, replicas=replicas,
+                                    **kwargs)
+    for group in cluster.groups:
+        session = group.connect(database="shop")
+        session.execute("CREATE TABLE kv (k INT PRIMARY KEY, v INT)")
+        session.close()
+    cluster.register_table("kv", "k", sharder or HashSharder(shards))
+    if rows:
+        session = cluster.connect(database="shop")
+        for k in range(rows):
+            session.execute(
+                f"INSERT INTO kv (k, v) VALUES ({k}, {k * 10})")
+        session.close()
+    return cluster
+
+
+@pytest.fixture
+def hash_cluster():
+    """Two hash shards, ten seeded rows."""
+    return make_kv_cluster(shards=2, rows=10)
+
+
+@pytest.fixture
+def range_cluster():
+    """Two range shards — one live segment on shard 0, so splits have
+    somewhere to move keys to."""
+    return make_kv_cluster(
+        shards=2, sharder=RangeSharder([999], [0, 1]), rows=20)

@@ -1,0 +1,182 @@
+"""Online resharding: range splits and key moves under interleaved
+writes, the dual-write window, the epoch-drained flip, and cache
+freshness across the map version bump."""
+
+import pytest
+
+from repro.cache import ResultCacheConfig
+from repro.shard import OnlineReshard, ReshardError
+
+from .conftest import make_kv_cluster
+from repro.shard import RangeSharder
+
+
+def _kv(cluster, group):
+    session = cluster.groups[group].connect(database="shop")
+    try:
+        return dict(session.execute("SELECT k, v FROM kv").rows)
+    finally:
+        session.close()
+
+
+def test_split_range_with_interleaved_writes(range_cluster):
+    cluster = range_cluster
+    session = cluster.connect(database="shop")
+    move = OnlineReshard.split_range(cluster, "kv", 9, dst=1,
+                                     database="shop")
+    assert move.start() == 10  # keys 0..9 move
+    # writes keep flowing during the copy — they land in the recovery
+    # log after the join point and arrive via catch-up
+    session.execute("UPDATE kv SET v = v + 1 WHERE k = 3")
+    while move.state == "copying":
+        move.copy_chunk(4)
+    move.catch_up()
+    move.enter_dual_write()
+    # a write inside the window is dual-written by the client itself
+    session.execute("UPDATE kv SET v = v + 1 WHERE k = 5")
+    version = move.flip()
+    assert cluster.map.version == version == 2
+    assert move.stats["rows_copied"] == 10
+    assert move.stats["entries_joined"] >= 1
+    assert move.stats["rows_deleted"] == 10
+    # nothing lost, nothing duplicated, every value current
+    assert session.execute("SELECT COUNT(*) FROM kv").rows == [(20,)]
+    assert session.execute("SELECT v FROM kv WHERE k = 3").rows == [(31,)]
+    assert session.execute("SELECT v FROM kv WHERE k = 5").rows == [(51,)]
+    # ownership really moved: ten rows on each group, none shared
+    assert set(_kv(cluster, 0)) == {k for k in range(10, 20)}
+    assert set(_kv(cluster, 1)) == {k for k in range(10)}
+    assert cluster.map.shard_of("kv", 5) == 1
+    assert cluster.map.shard_of("kv", 15) == 0
+    assert cluster.check_convergence()
+    assert not cluster.forwarding
+
+
+def test_move_keys_rebalances_hash_shards():
+    cluster = make_kv_cluster(shards=2, rows=10)
+    # keys 0, 2, 4 live on hash shard 0; move 0 and 2 to shard 1
+    move = OnlineReshard.move_keys(cluster, "kv", [0, 2], dst=1,
+                                   database="shop")
+    stats = move.run()
+    assert stats["rows_snapshot"] == 2
+    assert cluster.map.shard_of("kv", 0) == 1
+    assert cluster.map.shard_of("kv", 2) == 1
+    assert cluster.map.shard_of("kv", 4) == 0  # untouched
+    session = cluster.connect(database="shop")
+    assert session.execute("SELECT COUNT(*) FROM kv").rows == [(10,)]
+    assert session.execute("SELECT v FROM kv WHERE k = 0").rows == [(0,)]
+    assert 0 in _kv(cluster, 1) and 0 not in _kv(cluster, 0)
+    assert cluster.check_convergence()
+
+
+def test_move_keys_requires_single_source(hash_cluster):
+    with pytest.raises(ReshardError, match="span"):
+        OnlineReshard.move_keys(hash_cluster, "kv", [0, 1], dst=1,
+                                database="shop")
+
+
+def test_phases_enforce_order(range_cluster):
+    move = OnlineReshard.split_range(range_cluster, "kv", 9, dst=1,
+                                     database="shop")
+    with pytest.raises(ReshardError, match="state 'copying'"):
+        move.copy_chunk()
+    with pytest.raises(ReshardError, match="state 'copied'"):
+        move.catch_up()
+    with pytest.raises(ReshardError, match="state 'dual_write'"):
+        move.flip()
+    move.start()
+    with pytest.raises(ReshardError, match="state 'init'"):
+        move.start()
+
+
+def test_dual_write_window_counts_rows_once(range_cluster):
+    cluster = range_cluster
+    session = cluster.connect(database="shop")
+    move = OnlineReshard.split_range(cluster, "kv", 9, dst=1,
+                                     database="shop")
+    move.start()
+    while move.state == "copying":
+        move.copy_chunk()
+    move.catch_up()
+    move.enter_dual_write()
+    # moving rows exist on BOTH groups now, but scatter reads skip the
+    # dual-write destination, so aggregates stay exact
+    assert session.execute("SELECT COUNT(*) FROM kv").rows == [(20,)]
+    # pinned reads still go to the source (the owner until the flip)
+    before = cluster.stats["single_shard"]
+    assert session.execute("SELECT v FROM kv WHERE k = 5").rows == [(50,)]
+    assert cluster.stats["single_shard"] == before + 1
+    # a write in the window is a 2PC to both copies
+    twopc_before = cluster.stats["twopc_commits"]
+    session.execute("UPDATE kv SET v = 1 WHERE k = 5")
+    assert cluster.stats["twopc_commits"] == twopc_before + 1
+    assert cluster.stats["dual_writes"] >= 1
+    assert _kv(cluster, 0)[5] == _kv(cluster, 1)[5] == 1
+    move.flip()
+    assert cluster.check_convergence()
+
+
+def test_flip_waits_for_write_epoch_to_drain(range_cluster):
+    cluster = range_cluster
+    move = OnlineReshard.split_range(cluster, "kv", 9, dst=1,
+                                     database="shop")
+    move.start()
+    while move.state == "copying":
+        move.copy_chunk()
+    move.catch_up()
+    move.enter_dual_write()
+    writer = cluster.connect(database="shop")
+    writer.execute("BEGIN")
+    writer.execute("UPDATE kv SET v = 99 WHERE k = 15")
+    with pytest.raises(ReshardError, match="in-flight write"):
+        move.flip()
+    # readers do not hold up the flip
+    reader = cluster.connect(database="shop")
+    reader.execute("BEGIN")
+    reader.execute("SELECT v FROM kv WHERE k = 15")
+    writer.execute("COMMIT")
+    version = move.flip()
+    assert cluster.map.version == version
+    assert _kv(cluster, 0)[15] == 99
+    assert cluster.check_convergence()
+
+
+def test_no_stale_reads_of_moved_keys_through_cache():
+    cluster = make_kv_cluster(
+        shards=2, sharder=RangeSharder([999], [0, 1]), rows=20,
+        result_cache=ResultCacheConfig(capacity=64))
+    session = cluster.connect(database="shop")
+    # warm the source group's cache for a moving key under version 1
+    assert session.execute("SELECT v FROM kv WHERE k = 5").rows == [(50,)]
+    assert session.execute("SELECT v FROM kv WHERE k = 5").rows == [(50,)]
+    assert cluster.groups[0].result_cache.stats["hits"] >= 1
+    move = OnlineReshard.split_range(cluster, "kv", 9, dst=1,
+                                     database="shop")
+    move.start()
+    while move.state == "copying":
+        move.copy_chunk()
+    move.catch_up()
+    move.enter_dual_write()
+    session.execute("UPDATE kv SET v = 51 WHERE k = 5")
+    move.flip()
+    # post-flip the key routes to the destination AND the old cache
+    # entry (keyed under map version 1 on the source) is unreachable
+    assert session.execute("SELECT v FROM kv WHERE k = 5").rows == [(51,)]
+    # repeated reads refill under the new version and stay fresh
+    assert session.execute("SELECT v FROM kv WHERE k = 5").rows == [(51,)]
+
+
+def test_reshard_map_log_trail(range_cluster):
+    move = OnlineReshard.split_range(range_cluster, "kv", 9, dst=1,
+                                     database="shop")
+    move.run()
+    kinds = [r.kind for r in range_cluster.map_log.records]
+    for expected in ("reshard_begin", "reshard_dual_write",
+                     "reshard_flip", "map_install"):
+        assert expected in kinds
+    flip = range_cluster.map_log.of_kind("reshard_flip")[-1]
+    assert flip.payload["version"] == 2
+    assert flip.payload["rows_deleted"] == 10
+    spans = {s.name for s in range_cluster.tracer.finished_spans()}
+    assert {"reshard.begin", "reshard.copy", "reshard.dualwrite",
+            "reshard.flip"} <= spans

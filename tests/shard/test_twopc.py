@@ -1,0 +1,268 @@
+"""Cross-shard 2PC: atomicity, decision records, presumed abort, the
+rescind/no-op resolution path, and the certification-equivalence
+property (2PC on one shard decides exactly what that group's ordinary
+pipeline would)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bench.harness import build_cluster
+from repro.ha import HAPair
+from repro.sqlengine import LockConflict, SerializationError
+
+from .conftest import make_kv_cluster
+
+
+def _values(cluster, group, keys):
+    session = cluster.groups[group].connect(database="shop")
+    try:
+        return {
+            k: session.execute(
+                f"SELECT v FROM kv WHERE k = {k}").rows[0][0]
+            for k in keys
+        }
+    finally:
+        session.close()
+
+
+# ---------------------------------------------------------------------------
+# commit / abort atomicity
+# ---------------------------------------------------------------------------
+
+def test_cross_shard_commit_is_atomic(hash_cluster):
+    session = hash_cluster.connect(database="shop")
+    session.execute("BEGIN")
+    session.execute("UPDATE kv SET v = 1 WHERE k = 0")  # shard 0
+    session.execute("UPDATE kv SET v = 1 WHERE k = 1")  # shard 1
+    session.execute("COMMIT")
+    assert hash_cluster.stats["twopc_commits"] == 1
+    assert hash_cluster.twopc.stats["commits"] == 1
+    assert hash_cluster.twopc.stats["prepares"] == 2
+    assert _values(hash_cluster, 0, [0]) == {0: 1}
+    assert _values(hash_cluster, 1, [1]) == {1: 1}
+    assert hash_cluster.check_convergence()
+    record = hash_cluster.map_log.of_kind("2pc_decision")[-1]
+    assert record.payload["decision"] == "commit"
+    assert len(record.payload["seqs"]) == 2
+
+
+def test_conflict_aborts_all_participants(hash_cluster):
+    a = hash_cluster.connect(database="shop")
+    b = hash_cluster.connect(database="shop")
+    a.execute("BEGIN")
+    a.execute("UPDATE kv SET v = 100 WHERE k = 0")
+    a.execute("UPDATE kv SET v = 100 WHERE k = 1")
+    # b commits k=0 first: first-committer-wins aborts a's 2PC
+    b.execute("UPDATE kv SET v = 7 WHERE k = 0")
+    with pytest.raises(SerializationError, match="2pc"):
+        a.execute("COMMIT")
+    assert not a.in_transaction
+    # neither shard kept a's writes — including the one that certified
+    # fine on its own shard
+    assert _values(hash_cluster, 0, [0]) == {0: 7}
+    assert _values(hash_cluster, 1, [1]) == {1: 10}
+    assert hash_cluster.twopc.stats["aborts"] == 1
+    assert hash_cluster.map_log.of_kind("2pc_decision")[-1].payload[
+        "decision"] == "abort"
+    assert hash_cluster.check_convergence()
+    # the aborted session is reusable
+    a.execute("UPDATE kv SET v = 8 WHERE k = 0")
+    assert _values(hash_cluster, 0, [0]) == {0: 8}
+
+
+def test_single_shard_transaction_skips_2pc(hash_cluster):
+    session = hash_cluster.connect(database="shop")
+    session.execute("BEGIN")
+    session.execute("UPDATE kv SET v = 5 WHERE k = 0")
+    session.execute("UPDATE kv SET v = 5 WHERE k = 2")  # same shard
+    session.execute("COMMIT")
+    assert hash_cluster.stats["single_shard_commits"] == 1
+    assert hash_cluster.stats["twopc_commits"] == 0
+    assert hash_cluster.twopc.stats["prepares"] == 0
+    assert hash_cluster.map_log.of_kind("2pc_decision") == []
+
+
+def test_read_only_groups_never_prepare(hash_cluster):
+    session = hash_cluster.connect(database="shop")
+    session.execute("BEGIN")
+    session.execute("SELECT v FROM kv WHERE k = 1")     # read on shard 1
+    session.execute("UPDATE kv SET v = 9 WHERE k = 0")  # write on shard 0
+    session.execute("COMMIT")
+    # the read-only participant commits locally, no 2PC involved
+    assert hash_cluster.stats["single_shard_commits"] == 1
+    assert hash_cluster.twopc.stats["prepares"] == 0
+
+
+def test_presumed_abort_without_decision_record(hash_cluster):
+    assert hash_cluster.map_log.decision_of("never-started") is None
+
+
+# ---------------------------------------------------------------------------
+# rescind: the consumed seq becomes a harmless no-op
+# ---------------------------------------------------------------------------
+
+def test_rescinded_prepare_cannot_abort_later_writers(hash_cluster):
+    # c snapshots group 0 *before* a's doomed prepare consumes a seq
+    c = hash_cluster.connect(database="shop")
+    c.execute("BEGIN")
+    c.execute("SELECT v FROM kv WHERE k = 0")
+    a = hash_cluster.connect(database="shop")
+    b = hash_cluster.connect(database="shop")
+    a.execute("BEGIN")
+    a.execute("UPDATE kv SET v = 50 WHERE k = 0")  # shard 0: prepares OK
+    a.execute("UPDATE kv SET v = 50 WHERE k = 1")  # shard 1: will conflict
+    b.execute("UPDATE kv SET v = 6 WHERE k = 1")
+    with pytest.raises(SerializationError):
+        a.execute("COMMIT")
+    assert hash_cluster.twopc.stats["rescinds"] == 1
+    # c writes the same key a's rescinded prepare covered; with the
+    # footprint emptied there is no first-committer conflict left
+    c.execute("UPDATE kv SET v = 60 WHERE k = 0")
+    c.execute("COMMIT")
+    assert _values(hash_cluster, 0, [0]) == {0: 60}
+    assert hash_cluster.check_convergence()
+
+
+def test_abort_leaves_gapless_recovery_log(hash_cluster):
+    group0 = hash_cluster.groups[0]
+    a = hash_cluster.connect(database="shop")
+    b = hash_cluster.connect(database="shop")
+    a.execute("BEGIN")
+    a.execute("UPDATE kv SET v = 50 WHERE k = 0")
+    a.execute("UPDATE kv SET v = 50 WHERE k = 1")
+    b.execute("UPDATE kv SET v = 6 WHERE k = 1")
+    with pytest.raises(SerializationError):
+        a.execute("COMMIT")
+    # the seq the prepare consumed exists in the log as an empty entry
+    seqs = [entry.seq for entry in group0.recovery_log.entries_since(0)]
+    assert seqs == sorted(seqs)
+    empty = [entry for entry in group0.recovery_log.entries_since(0)
+             if entry.kind == "writeset" and not entry.payload]
+    assert len(empty) == 1
+    # and ordinary traffic continues past it
+    b.execute("UPDATE kv SET v = 7 WHERE k = 0")
+    assert hash_cluster.check_convergence()
+
+
+def test_promotion_does_not_resurrect_aborted_2pc():
+    cluster = make_kv_cluster(shards=2, rows=10, replicas=3)
+    pair = HAPair(cluster.groups[0])
+    a = cluster.connect(database="shop")
+    b = cluster.connect(database="shop")
+    a.execute("BEGIN")
+    a.execute("UPDATE kv SET v = 50 WHERE k = 0")  # shard 0 (HA-paired)
+    a.execute("UPDATE kv SET v = 50 WHERE k = 1")
+    # a reconnect-capable client ships its txn id with the prepare; the
+    # aborted id must not survive as a dedup-able ledger record
+    a.group_session(0).client_id = "client-a"
+    a.group_session(0).client_txn_id = "client-a-txn-1"
+    b.execute("UPDATE kv SET v = 6 WHERE k = 1")
+    with pytest.raises(SerializationError):
+        a.execute("COMMIT")
+    # the standby saw the prepare; the no-op resolution must have
+    # cleared it from the ledger so promotion cannot replay it
+    assert pair.state.ledger.stats["dropped_pending"] == 1
+    assert pair.state.ledger.pending_records() == []
+    pair.promote()
+    promoted = pair.active
+    connection = promoted.replicas[0].engine.connect(
+        "admin", "", database="shop")
+    assert connection.execute(
+        "SELECT v FROM kv WHERE k = 0").rows == [(0,)]
+    assert promoted.check_convergence()
+
+
+# ---------------------------------------------------------------------------
+# equivalence: per-group 2PC certification == single-group certification
+# ---------------------------------------------------------------------------
+
+def _seed_single_group():
+    middleware = build_cluster(2, replication="writeset",
+                               consistency="gsi", name="solo")
+    session = middleware.connect(database="shop")
+    session.execute("CREATE TABLE kv (k INT PRIMARY KEY, v INT)")
+    for key in range(0, 16, 2):
+        session.execute(f"INSERT INTO kv (k, v) VALUES ({key}, 0)")
+    session.close()
+    return middleware
+
+
+def _seed_sharded():
+    cluster = make_kv_cluster(shards=2, replicas=2)
+    session = cluster.connect(database="shop")
+    for key in range(0, 16, 2):  # even keys only: all on hash shard 0
+        session.execute(f"INSERT INTO kv (k, v) VALUES ({key}, 0)")
+    session.close()
+    return cluster
+
+
+def _run_round(connect, keys_a, keys_b, force_2pc, tag):
+    """Two concurrent txns with interleaved writes; returns their
+    commit outcomes.  ``force_2pc`` widens every predicate with key 15
+    (odd -> shard 1, row absent) so the sharded run takes the 2PC path
+    with a zero-row second participant."""
+    outcomes = []
+    a, b = connect(), connect()
+    dead = set()
+    a.execute("BEGIN")
+    b.execute("BEGIN")
+    for session, keys in ((a, keys_a), (b, keys_b)):
+        for key in keys:
+            try:
+                if force_2pc:
+                    session.execute(
+                        f"UPDATE kv SET v = v + 1 WHERE k IN ({key}, 15)")
+                else:
+                    session.execute(
+                        f"UPDATE kv SET v = v + 1 WHERE k = {key}")
+            except (LockConflict, SerializationError):
+                session.rollback()
+                dead.add(id(session))
+                break
+    for session in (a, b):
+        if id(session) in dead:
+            outcomes.append("abort")
+            continue
+        try:
+            session.execute("COMMIT")
+            outcomes.append("commit")
+        except SerializationError:
+            outcomes.append("abort")
+    a.close()
+    b.close()
+    return outcomes
+
+
+_keys = st.lists(st.sampled_from(range(0, 16, 2)), min_size=1, max_size=3,
+                 unique=True)
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.tuples(_keys, _keys, st.booleans()),
+                min_size=1, max_size=4))
+def test_2pc_outcomes_equal_single_group_certification(rounds):
+    """All shard keys land on one shard: commit/abort decisions and
+    final values through the shard tier (fast path or forced 2PC) must
+    be exactly what one standalone group decides for the same
+    schedule."""
+    solo = _seed_single_group()
+    sharded = _seed_sharded()
+    for keys_a, keys_b, force_2pc in rounds:
+        solo_outcome = _run_round(
+            lambda: solo.connect(database="shop"),
+            keys_a, keys_b, force_2pc, "solo")
+        shard_outcome = _run_round(
+            lambda: sharded.connect(database="shop"),
+            keys_a, keys_b, force_2pc, "shard")
+        assert shard_outcome == solo_outcome, (keys_a, keys_b, force_2pc)
+    solo_session = solo.connect(database="shop")
+    solo_rows = solo_session.execute(
+        "SELECT k, v FROM kv ORDER BY k").rows
+    shard_session = sharded.connect(database="shop")
+    shard_rows = shard_session.execute(
+        "SELECT k, v FROM kv ORDER BY k").rows
+    assert shard_rows == solo_rows
+    assert sharded.check_convergence()
+    if any(force for _, _, force in rounds):
+        # the widened predicates really exercised the 2PC machinery
+        assert sharded.twopc.stats["prepares"] > 0
