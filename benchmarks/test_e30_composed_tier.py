@@ -1,0 +1,469 @@
+"""E30 — the composed tier: sharded + HA + open-loop at full scale.
+
+Every prior tier ran alone: E26 failed over one HA pair, E28 shed an
+open-loop flash crowd at one group's door, E29 split a range under load.
+The paper's section 5 complaint is precisely that evaluations stop
+there — components proven in isolation, never the composition an
+operator actually runs.  E30 is that composition: N shard groups, each
+an active/standby pair behind its virtual IP, registered with one shard
+router, driven by the E28 session-arrival tier through its admission
+gate — while the E22-style chaos harness kills one group's middleware
+*in the middle of* a live range split on another.
+
+* **drill** (simulated time): 3 groups x 2 replicas; a flash crowd
+  rides a constant arrival base; at t=1.0 an :class:`OnlineReshard`
+  starts moving half of group 0's keyspace to group 1; at t=1.2 — with
+  the split mid-flight — group 2's active middleware is killed and its
+  standby promoted through the fenced path (E26's cycle, per-group via
+  :class:`GroupKillTrack`).  Gates: **zero acked-commit loss** (final
+  ``SUM(v)`` equals acked update transactions exactly), **zero stale
+  reads** and **zero missing rows** on a monotonic probe that spans
+  moving keys *and* the killed group's keys, p99 within the E28
+  deadline, and the outage window provably overlapping the reshard.
+* **hotpath** (wall clock): the composed per-statement path — router
+  route-plan memo + compiled key plans (PR 10), ``analyze`` memo, and
+  the engine's compiled access-plan shapes — against the same stack
+  with every cache toggled off.  Best-of-N per arm (noise floors, the
+  E28 convention); results must be bit-identical and the fast arm
+  >= MIN_HOTPATH x.
+* **trace** (state only): one traced pass over the composed stack —
+  point ops, a cross-shard 2PC commit, a live split, a kill+promote —
+  and the union of span names it emits, pinned against the vocabulary
+  documented in ``docs/TOPOLOGY.md`` so trace-driven diagnosis and the
+  docs cannot drift apart.
+
+Results land in ``BENCH_e30.json``; simulated-time gates are
+deterministic, the wall-clock arm gates only on the fast/compat ratio.
+"""
+
+import json
+import random
+import time
+from pathlib import Path
+
+from repro.bench.chaos import GroupKillTrack
+from repro.bench.harness import Report, build_composed_cluster
+from repro.bench.simdriver import SessionArrivalDriver, TimedShardedCluster
+from repro.cluster.sim import Environment
+from repro.core import analysis
+from repro.core.admission import default_gate
+from repro.core.errors import MiddlewareDown
+from repro.shard import HashSharder, OnlineReshard, RangeSharder, ReshardError
+from repro.sqlengine import planner
+from repro.sqlengine.parser import parse_script
+from repro.workloads.generator import TxnSpec
+from repro.workloads.openloop import ConstantRate, FlashCrowd, OpenLoopWorkload
+
+SEED = 30
+BENCH_PATH = Path(__file__).resolve().parent.parent / "BENCH_e30.json"
+
+# drill arm
+GROUPS = 3
+KEYS = 600                 # 0..399 on group 0, 400..599 on group 2
+SPLIT_BOUND = 199          # keys 0..199 move from group 0 to group 1
+RESHARD_AT = 1.0
+DUAL_WINDOW = 0.4
+KILL_AT = 1.2              # inside the split: copy/dual-write window
+DETECTION_DELAY = 0.3
+BASE_RATE = 200.0          # sessions/s
+CROWD_AT = 2.5             # flash crowd after the overlap clears
+CROWD_LEN = 1.0
+CROWD_MULTIPLIER = 2.0
+HORIZON = 6.0
+DEADLINE = 0.75            # the E28 impatience deadline
+PROBE_KEYS = (0, SPLIT_BOUND, 300, 500)   # moving, staying, killed-group
+PROBE_INTERVAL = 0.02
+
+# hotpath arm
+HOTPATH_OPS = 12000
+HOTPATH_WARMUP = 500
+HOTPATH_TRIALS = 4
+HOTPATH_KEYS = 64
+MIN_HOTPATH = 1.2
+
+# the composed span vocabulary (docs/TOPOLOGY.md) that one traced pass
+# over the full stack must cover
+EXPECTED_SPANS = {
+    "shard.route", "shard.2pc", "shard.2pc.prepare", "shard.2pc.decide",
+    "shard.2pc.commit", "reshard.begin", "reshard.copy", "reshard.catchup",
+    "reshard.dualwrite", "reshard.flip", "ha.promote",
+    "mw.statement", "balancer.choose", "certify", "replica.execute",
+    "replica.commit",
+}
+
+
+def _create_kv(cluster):
+    for group in cluster.groups:
+        session = group.connect(database="shop")
+        session.execute("CREATE TABLE kv (k INT PRIMARY KEY, v INT)")
+        session.close()
+
+
+def _seed_kv(cluster, keys):
+    """Seed v=0 through the tier: the zero-loss gate counts on every
+    acked update incrementing exactly one row from that floor."""
+    session = cluster.connect(database="shop")
+    for key in range(keys):
+        session.execute(f"INSERT INTO kv (k, v) VALUES ({key}, 0)")
+    session.close()
+
+
+# ---------------------------------------------------------------------------
+# scenario A: failover during a live split, under an admitted flash crowd
+# ---------------------------------------------------------------------------
+
+class DrillWorkload(OpenLoopWorkload):
+    """Uniform point reads/updates over a fully seeded keyspace spanning
+    all three groups, so every acked update changed exactly one row (the
+    accounting the zero-loss gate relies on) and the killed group is
+    never idle."""
+
+    def __init__(self):
+        super().__init__(rows=KEYS, seed_rows=KEYS, read_fraction=0.5,
+                         table="kv", mean_session_length=2.0,
+                         mean_think_time=0.01)
+
+    def next_transaction(self, rng: random.Random) -> TxnSpec:
+        key = rng.randrange(KEYS)
+        if rng.random() < self.read_fraction:
+            return TxnSpec([(f"SELECT v FROM kv WHERE k = {key}", [])],
+                           True, ["kv"], kind="point_read")
+        return TxnSpec([(f"UPDATE kv SET v = v + 1 WHERE k = {key}", [])],
+                       False, ["kv"], kind="point_write")
+
+
+def _reshard_process(env, cluster, log):
+    """E29's phase-by-phase split, with a dual-write window wide enough
+    that the kill on the *other* group lands strictly inside the move."""
+    yield env.timeout(RESHARD_AT)
+    move = OnlineReshard.split_range(cluster, "kv", SPLIT_BOUND, dst=1,
+                                     database="shop")
+    move.start()
+    log["reshard_started_at"] = env.now
+    while move.state == "copying":
+        move.copy_chunk(64)
+        yield env.timeout(0.01)
+    while move.catch_up() > 2:
+        yield env.timeout(0.005)
+    move.enter_dual_write()
+    log["dual_write_at"] = env.now
+    yield env.timeout(DUAL_WINDOW)
+    flip_retries = 0
+    while True:
+        try:
+            move.flip()
+            break
+        except ReshardError:
+            flip_retries += 1
+            yield env.timeout(0.005)
+    log["flip_at"] = env.now
+    log["flip_retries"] = flip_retries
+    log["stats"] = dict(move.stats)
+
+
+def _probe_process(env, cluster, log):
+    """Monotonic freshness probe across all three groups: v only ever
+    increments, so a read going backwards is a stale read.  During the
+    killed group's outage window the probe records the unavailability
+    instead of failing — exactly what an external prober sees through
+    the virtual IP."""
+    session = cluster.connect(database="shop")
+    last = {}
+    while True:
+        for key in PROBE_KEYS:
+            try:
+                rows = session.execute(
+                    f"SELECT v FROM kv WHERE k = {key}").rows
+            except MiddlewareDown:
+                log["unavailable_probes"] += 1
+                continue
+            value = rows[0][0] if rows else None
+            if value is None:
+                log["missing_rows"] += 1
+            elif value < last.get(key, 0):
+                log["stale_reads"] += 1
+            if value is not None:
+                last[key] = value
+            log["probes"] += 1
+        yield env.timeout(PROBE_INTERVAL)
+
+
+def run_drill() -> dict:
+    env = Environment()
+    cluster = build_composed_cluster(shards=GROUPS, replicas=2, env=env,
+                                     name="e30")
+    _create_kv(cluster)
+    # three live segments: 0..399 on group 0, 400..599 on group 2,
+    # group 1 empty until the split assigns it keys <= SPLIT_BOUND
+    cluster.register_table("kv", "k",
+                           RangeSharder([399, KEYS * 10], [0, 2, 1]))
+    _seed_kv(cluster, KEYS)
+    timed = TimedShardedCluster(env, cluster)
+    curve = FlashCrowd(ConstantRate(BASE_RATE), start=CROWD_AT,
+                       duration=CROWD_LEN, multiplier=CROWD_MULTIPLIER,
+                       ramp=0.2)
+    gate = default_gate(clock=lambda: env.now)
+    driver = SessionArrivalDriver(timed, DrillWorkload(), curve, seed=SEED,
+                                  admission=gate, txn_deadline=DEADLINE)
+    track = GroupKillTrack(env, cluster, index=2, kill_times=[KILL_AT],
+                           detection_delay=DETECTION_DELAY)
+    log = {"stale_reads": 0, "missing_rows": 0, "probes": 0,
+           "unavailable_probes": 0}
+    driver.start(HORIZON)
+    env.process(_reshard_process(env, cluster, log), name="reshard")
+    env.process(_probe_process(env, cluster, log), name="probe")
+    env.process(track.process(), name="kill-track")
+    env.run(until=HORIZON + 0.5)
+
+    acked_updates = driver.metrics.write_latency.count()
+    session = cluster.connect(database="shop")
+    total = session.execute("SELECT SUM(v) FROM kv").rows[0][0] or 0
+    count = session.execute("SELECT COUNT(*) FROM kv").rows[0][0]
+    per_group = []
+    for group in cluster.groups:
+        direct = group.connect(database="shop")
+        per_group.append(
+            direct.execute("SELECT COUNT(*) FROM kv").rows[0][0])
+        direct.close()
+    summary = driver.summary(HORIZON)
+    summary.update({
+        "acked_update_txns": acked_updates,
+        "sum_v": total,
+        "rows": count,
+        "rows_per_group": per_group,
+        "map_version": cluster.map.version,
+        "converged": cluster.check_convergence(),
+        "dual_writes": cluster.stats["dual_writes"],
+        "group_promotions": cluster.stats["group_promotions"],
+        "failover_reroutes": cluster.stats["failover_reroutes"],
+        "kills": track.kills,
+        "promotions": track.promotions,
+        "sessions_lost": track.sessions_lost,
+        "probe": {k: log[k] for k in ("stale_reads", "missing_rows",
+                                      "probes", "unavailable_probes")},
+        "reshard": {k: log.get(k)
+                    for k in ("reshard_started_at", "dual_write_at",
+                              "flip_at", "flip_retries", "stats")},
+    })
+    return summary
+
+
+# ---------------------------------------------------------------------------
+# scenario B: the composed hot path, caches on vs off
+# ---------------------------------------------------------------------------
+
+def _set_hotpath_caches(cluster, fast: bool) -> None:
+    analysis.CACHE_ENABLED = fast
+    planner.PLAN_CACHE_ENABLED = fast
+    cluster.route_caching = fast
+
+
+def run_hotpath(fast: bool) -> dict:
+    """Point reads through the full composed stack (router -> pair ->
+    middleware -> engine), wall clock.  ``fast=False`` switches every
+    PR-10 cache off: per-call ``analyze`` in router and middleware,
+    interpreted shard-key extraction, per-call access planning."""
+    cluster = build_composed_cluster(shards=2, replicas=1, name="e30hp")
+    cluster.tracer.enabled = False
+    for pair in cluster.pairs:
+        pair.leader.tracer.enabled = False
+        pair.standby.tracer.enabled = False
+    _create_kv(cluster)
+    cluster.register_table("kv", "k", HashSharder(2))
+    session = cluster.connect(database="shop")
+    for key in range(HOTPATH_KEYS):
+        session.execute(f"INSERT INTO kv (k, v) VALUES ({key}, {key})")
+    sql = "SELECT v FROM kv WHERE k = ?"
+    statement = parse_script(sql)[0]
+
+    def one_run() -> float:
+        for i in range(HOTPATH_WARMUP):
+            session.execute_one_parsed(statement, sql, [i % HOTPATH_KEYS])
+        start = time.perf_counter()
+        for i in range(HOTPATH_OPS):
+            session.execute_one_parsed(statement, sql, [i % HOTPATH_KEYS])
+        return HOTPATH_OPS / (time.perf_counter() - start)
+
+    try:
+        _set_hotpath_caches(cluster, fast)
+        best = max(one_run() for _ in range(HOTPATH_TRIALS))
+        digest = 0
+        for i in range(HOTPATH_KEYS):
+            digest += session.execute_one_parsed(
+                statement, sql, [i]).rows[0][0]
+    finally:
+        _set_hotpath_caches(cluster, True)
+    return {"ops_per_sec": best, "digest": digest,
+            "trials": HOTPATH_TRIALS, "ops": HOTPATH_OPS}
+
+
+# ---------------------------------------------------------------------------
+# scenario C: one traced pass covers the documented span vocabulary
+# ---------------------------------------------------------------------------
+
+def run_trace() -> dict:
+    """Exercise every composed layer once with tracing on and collect
+    the union of span names — the vocabulary docs/TOPOLOGY.md documents
+    for trace-driven diagnosis."""
+    cluster = build_composed_cluster(shards=2, replicas=2, name="e30tr")
+    _create_kv(cluster)
+    cluster.register_table("kv", "k",
+                           RangeSharder([7, 1000], [0, 1, 1]))
+    _seed_kv(cluster, 16)
+    session = cluster.connect(database="shop")
+    session.execute("SELECT v FROM kv WHERE k = 3")
+    session.execute("UPDATE kv SET v = v + 1 WHERE k = 3")
+    # cross-shard transaction -> 2PC spans
+    session.execute("BEGIN")
+    session.execute("UPDATE kv SET v = v + 1 WHERE k = 2")
+    session.execute("UPDATE kv SET v = v + 1 WHERE k = 12")
+    session.execute("COMMIT")
+    # live split -> reshard spans
+    move = OnlineReshard.split_range(cluster, "kv", 3, dst=1,
+                                     database="shop")
+    move.start()
+    while move.state == "copying":
+        move.copy_chunk(8)
+    # a write behind the join point so catch-up has a tail to replay
+    session.execute("UPDATE kv SET v = v + 1 WHERE k = 1")
+    move.catch_up()
+    move.enter_dual_write()
+    move.flip()
+    # kill + fenced promotion -> ha spans (on the standby's tracer)
+    pair = cluster.pairs[0]
+    standby = pair.standby
+    pair.kill_active()
+    pair.promote()
+    session = cluster.connect(database="shop")
+    session.execute("SELECT v FROM kv WHERE k = 9")
+
+    tracers = [cluster.tracer, standby.tracer]
+    for group in cluster.groups:
+        tracers.append(group.tracer)
+    for p in cluster.pairs:
+        tracers.append(p.leader.tracer)
+    names = set()
+    for tracer in tracers:
+        names.update(span.name for span in tracer.finished_spans())
+    return {"span_names": sorted(names),
+            "missing": sorted(EXPECTED_SPANS - names)}
+
+
+# ---------------------------------------------------------------------------
+# the experiment
+# ---------------------------------------------------------------------------
+
+def test_e30_composed_tier(benchmark):
+    def experiment():
+        return {
+            "drill": run_drill(),
+            "hotpath_fast": run_hotpath(fast=True),
+            "hotpath_compat": run_hotpath(fast=False),
+            "trace": run_trace(),
+        }
+
+    results = benchmark.pedantic(experiment, rounds=1, iterations=1)
+    drill = results["drill"]
+    fast = results["hotpath_fast"]
+    compat = results["hotpath_compat"]
+    trace = results["trace"]
+    speedup = fast["ops_per_sec"] / compat["ops_per_sec"]
+    probe = drill["probe"]
+    reshard = drill["reshard"]
+
+    report = Report(
+        "E30  Composed tier: sharded + HA + open-loop (section 5)",
+        ["scenario", "metric", "value", "note"])
+    report.add_row("drill", "acked update txns",
+                   drill["acked_update_txns"],
+                   f"goodput {drill['goodput_txns']}")
+    report.add_row("drill", "sum(v) after drill", drill["sum_v"],
+                   "zero acked-commit loss"
+                   if drill["sum_v"] == drill["acked_update_txns"]
+                   else "LOSS DETECTED")
+    report.add_row("drill", "stale / missing reads",
+                   f"{probe['stale_reads']} / {probe['missing_rows']}",
+                   f"{probe['probes']} probes, "
+                   f"{probe['unavailable_probes']} during outage")
+    report.add_row("drill", "p99 latency (s)",
+                   round(drill["p99_latency"], 4),
+                   f"deadline {DEADLINE}s")
+    report.add_row("drill", "kill inside split",
+                   f"kill@{drill['kills'][0]:.2f}",
+                   f"split {reshard['reshard_started_at']:.2f}"
+                   f"..{reshard['flip_at']:.2f}, "
+                   f"promoted@{drill['promotions'][0]:.2f}")
+    report.add_row("drill", "rows per group",
+                   "/".join(str(n) for n in drill["rows_per_group"]),
+                   f"map v{drill['map_version']}, "
+                   f"{drill['dual_writes']} dual writes")
+    report.add_row("hotpath", "fast ops/s", round(fast["ops_per_sec"]),
+                   f"best of {HOTPATH_TRIALS}")
+    report.add_row("hotpath", "compat ops/s", round(compat["ops_per_sec"]),
+                   "all caches off")
+    report.add_row("hotpath", "speedup", f"{speedup:.2f}x",
+                   f"floor {MIN_HOTPATH}x")
+    report.add_row("trace", "span names", len(trace["span_names"]),
+                   "missing: " + (", ".join(trace["missing"]) or "none"))
+    report.show()
+
+    # -- scenario A: the composition kept every tier's promise ----------
+    # zero acked-commit loss with a kill and a live split overlapping
+    assert drill["sum_v"] == drill["acked_update_txns"], \
+        (f"acked {drill['acked_update_txns']} updates but the table "
+         f"sums to {drill['sum_v']}")
+    assert probe["stale_reads"] == 0
+    assert probe["missing_rows"] == 0
+    assert probe["probes"] > 100
+    # the probe really spanned the outage window
+    assert probe["unavailable_probes"] > 0
+    # the kill landed strictly inside the live split
+    assert len(drill["kills"]) == 1 and len(drill["promotions"]) == 1
+    assert reshard["reshard_started_at"] < drill["kills"][0] \
+        < reshard["flip_at"]
+    assert drill["group_promotions"] == 1
+    # live traffic hit the dead group (autocommit point ops hold no open
+    # transaction at the kill instant, so the driver's failed sessions —
+    # not the pair's in-flight count — prove the outage was not idle)
+    assert any("MiddlewareDown" in kind for kind in drill["errors"]), \
+        f"no session ever saw the outage: {drill['errors']}"
+    # the split landed where it should despite the concurrent failover
+    assert drill["map_version"] == 2
+    assert drill["rows"] == KEYS
+    assert drill["rows_per_group"] == [KEYS // 3] * 3
+    assert reshard["stats"]["rows_copied"] == SPLIT_BOUND + 1
+    assert drill["dual_writes"] > 0
+    assert drill["converged"]
+    # the session tier held its deadline through the overlap
+    assert drill["p99_latency"] <= DEADLINE
+    assert drill["acked_commits"] > 0
+
+    # -- scenario B: the composed hot path pays for itself --------------
+    assert fast["digest"] == compat["digest"], \
+        "fast and compat arms disagree on query results"
+    assert speedup >= MIN_HOTPATH, \
+        f"composed hot path {speedup:.2f}x under the {MIN_HOTPATH}x floor"
+
+    # -- scenario C: the documented span vocabulary is live -------------
+    assert trace["missing"] == [], \
+        f"documented spans never emitted: {trace['missing']}"
+
+    payload = {
+        "experiment": "e30_composed_tier",
+        "seed": SEED,
+        "min_hotpath": MIN_HOTPATH,
+        "drill": drill,
+        "hotpath": {
+            "speedup": speedup,
+            "fast": fast,
+            "compat": compat,
+        },
+        "trace": trace,
+    }
+    BENCH_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+    benchmark.extra_info["acked_commit_loss"] = (
+        drill["acked_update_txns"] - drill["sum_v"])
+    benchmark.extra_info["stale_reads"] = probe["stale_reads"]
+    benchmark.extra_info["hotpath_speedup"] = round(speedup, 3)
+    benchmark.extra_info["group_promotions"] = drill["group_promotions"]

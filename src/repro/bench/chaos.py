@@ -697,6 +697,52 @@ class ChaosRun:
             connection.close()
 
 
+class GroupKillTrack:
+    """Per-group middleware kill schedule for a composed sharded tier
+    (E30): the E26 single-pair kill/promote/rebuild cycle, generalized
+    so each shard group of a :class:`~repro.shard.router.ShardedCluster`
+    can run its own fault track while the others stay up.
+
+    At each scheduled time the track kills group ``index``'s active
+    middleware, waits out the failure-detection delay, promotes the
+    standby through the fenced path, and hands the router a freshly
+    rebuilt pair (``attach_pair``) so later kills still have a target —
+    exactly what an operator would do behind the virtual IP."""
+
+    def __init__(self, env: Environment, cluster, index: int,
+                 kill_times: List[float],
+                 detection_delay: float = 0.3):
+        if cluster.pairs[index] is None:
+            raise ValueError(
+                f"group {index} has no HA pair; a kill track needs one")
+        self.env = env
+        self.cluster = cluster
+        self.index = index
+        self.kill_times = sorted(kill_times)
+        self.detection_delay = detection_delay
+        self.kills: List[float] = []
+        self.promotions: List[float] = []
+        self.sessions_lost = 0
+
+    def process(self):
+        """The simulation process — ``env.process(track.process())``."""
+        for kill_at in self.kill_times:
+            delay = kill_at - self.env.now
+            if delay > 0:
+                yield self.env.timeout(delay)
+            pair = self.cluster.pairs[self.index]
+            self.sessions_lost += pair.kill_active()
+            self.kills.append(self.env.now)
+            yield self.env.timeout(self.detection_delay)
+            pair.promote()
+            self.promotions.append(self.env.now)
+            # operator rebuilds a standby behind the new leader; the
+            # bootstrap transfer is state-copy only (instantaneous — it
+            # does not block the already-promoted leader)
+            self.cluster.attach_pair(
+                self.index, HAPair(self.cluster.groups[self.index]))
+
+
 def run_chaos(config: ChaosConfig) -> ChaosResult:
     """Run one seeded chaos experiment and return its result."""
     return ChaosRun(config).run()

@@ -115,6 +115,39 @@ def build_sharded_cluster(shards: int = 2,
     return ShardedCluster(groups, name=name)
 
 
+def build_composed_cluster(shards: int = 3,
+                           replicas: int = 2,
+                           replication: str = "writeset",
+                           consistency: str = "gsi",
+                           propagation: str = "sync",
+                           env: Optional[Environment] = None,
+                           result_cache: Optional["ResultCacheConfig"] = None,
+                           admission=None,
+                           name: str = "comp",
+                           **kwargs):
+    """Build the full composed tier (E30, docs/TOPOLOGY.md): ``shards``
+    replication groups, each fronted by an HA active/standby pair behind
+    its virtual IP, all registered with one shard router.  Returns the
+    :class:`~repro.shard.router.ShardedCluster`; per-group pairs are on
+    ``cluster.pairs`` and the current leaders on ``cluster.groups``.
+
+    The pair is built *before* any schema loads so the standby's
+    bootstrap transfer starts empty and every later commit ships through
+    the two-phase prepare/ack path — the same order the E26 chaos
+    harness uses."""
+    from ..ha import HAPair
+    from ..shard import ShardedCluster
+    pairs = []
+    for index in range(shards):
+        leader = build_cluster(replicas, replication=replication,
+                               consistency=consistency,
+                               propagation=propagation, env=env,
+                               result_cache=result_cache,
+                               name=f"{name}{index}", **kwargs)
+        pairs.append(HAPair(leader))
+    return ShardedCluster(pairs, name=name, admission=admission)
+
+
 def load_workload(middleware: ReplicationMiddleware, workload: Workload,
                   database: str = DEFAULT_DATABASE) -> None:
     """Run the workload's setup DDL+data through the middleware so every

@@ -158,6 +158,44 @@ def analyze(statement: ast.Statement) -> StatementInfo:
     return info
 
 
+# -- memoized analysis ------------------------------------------------------
+
+#: toggle for A/B benchmarking (the E30 compat arm runs with the memo off)
+CACHE_ENABLED = True
+_CACHE_CAPACITY = 4096
+#: id(statement) -> (statement, info).  Each entry keeps a strong
+#: reference to the statement so its id can never be recycled while the
+#: memo holds it (AST nodes use __slots__, so the info cannot be stashed
+#: on the node).  Cleared wholesale at capacity: statements are
+#: parse-cache residents, so the working set re-warms in one pass.
+_analysis_cache: dict = {}
+
+
+def analyze_cached(statement: ast.Statement) -> StatementInfo:
+    """:func:`analyze` memoized by statement identity.
+
+    The composed request path walks every statement at the shard router
+    *and again* inside the chosen group's middleware; for the
+    parse-cached templates a driver replays millions of times, the
+    second walk is pure overhead.  Statements whose analysis found
+    nondeterministic calls are never memoized — the middleware may
+    rewrite those trees in place (``rewrite_nondeterministic``), which
+    would invalidate a cached info."""
+    if not CACHE_ENABLED:
+        return analyze(statement)
+    key = id(statement)
+    hit = _analysis_cache.get(key)
+    if hit is not None and hit[0] is statement:
+        return hit[1]
+    info = analyze(statement)
+    if info.nondeterministic_calls:
+        return info
+    if len(_analysis_cache) >= _CACHE_CAPACITY:
+        _analysis_cache.clear()
+    _analysis_cache[key] = (statement, info)
+    return info
+
+
 def _note_table(info: StatementInfo, name: ast.QualifiedName,
                 write: bool) -> None:
     table_key = str(name).lower()

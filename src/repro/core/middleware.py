@@ -40,7 +40,9 @@ from ..sqlengine.errors import ConnectionError_
 from ..sqlengine.executor import Result
 from ..sqlengine.locks import LockConflict, LockManager, LockMode
 from ..sqlengine.parser import parse_script
-from .analysis import StatementInfo, analyze, rewrite_nondeterministic
+from .analysis import (
+    StatementInfo, analyze, analyze_cached, rewrite_nondeterministic,
+)
 from .certifier import Certifier
 from .consistency import ClusterView, ConsistencyProtocol, SessionView
 from .consistency.gsi import GeneralizedSnapshotIsolation
@@ -883,7 +885,7 @@ class MiddlewareSession:
             self._rollback_transaction()
             return Result()
 
-        info = analyze(statement)
+        info = analyze_cached(statement)
         self._track_temp_tables(info)
         if isinstance(statement, (ast.UseStatement, ast.SetStatement)):
             # connection-local state the cache key cannot witness

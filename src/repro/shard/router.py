@@ -28,15 +28,25 @@ group session's result-cache keys (``MiddlewareSession.cache_salt``), so
 the instant a reshard flips the map, every cache entry filled under the
 old placement becomes unreachable — a moved key can never be served
 stale.
+
+**HA composition** (docs/TOPOLOGY.md): a group entry may be an
+:class:`~repro.ha.pair.HAPair` instead of a bare middleware.  The
+cluster then keeps a per-group pair registry, repoints ``groups[i]`` at
+the promoted standby on every switch, and the session layer re-resolves
+its cached group handles — so a fenced-out or killed group middleware
+surfaces as *retry-after-failover* (``core/resilience.py``'s
+classification) instead of failing the scatter, and an autocommit
+statement that provably changed nothing is transparently re-dispatched
+to the new leader.
 """
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Sequence, Set
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..core.admission import AdmissionGate
 from ..core.analysis import StatementInfo, analyze
-from ..core.errors import MiddlewareDown, UnsupportedStatementError
+from ..core.errors import FencedOut, MiddlewareDown, UnsupportedStatementError
 from ..core.middleware import MiddlewareSession, ReplicationMiddleware
 from ..core.partitioning import _key_values_from_where, _literal_value
 from ..obs.tracing import Tracer
@@ -66,44 +76,239 @@ class ForwardingRule:
         return table == self.table and self.contains(value)
 
 
-class ShardedCluster:
-    """The shard tier: N replication groups behind one versioned map."""
+# -- compiled key plans ------------------------------------------------------
+#
+# ``_key_values_from_where`` walks the WHERE tree on every call deciding
+# the same AST-shape questions each time.  These compilers make those
+# decisions once per (statement, spec) and return a closure over the
+# parameter slots, mirroring the interpreter's semantics exactly
+# (including the "a NULL key value means unpinned" rule).  ``None``
+# means "this statement never pins" — a constant the interpreter could
+# only rediscover per call.
 
-    def __init__(self, groups: Sequence[ReplicationMiddleware],
+KeyPlan = Optional[Callable[[List[Any]], Optional[List[Any]]]]
+
+#: "no compiled plan — interpret per call"; distinct from ``None``,
+#: which is a compiled constant meaning "this statement never pins"
+_NO_PLAN = object()
+
+
+def _compile_key_plan(statement: ast.Statement, spec: ShardSpec) -> KeyPlan:
+    if isinstance(statement, ast.InsertStatement):
+        return _compile_insert_plan(statement, spec)
+    return _compile_where_plan(getattr(statement, "where", None),
+                               spec.key_column)
+
+
+def _compile_insert_plan(statement: ast.InsertStatement,
+                         spec: ShardSpec) -> KeyPlan:
+    if statement.columns is None or statement.rows is None:
+        raise UnsupportedStatementError(
+            f"INSERT into sharded table {spec.table!r} must list its "
+            f"columns including the shard key {spec.key_column!r}")
+    lowered = [c.lower() for c in statement.columns]
+    if spec.key_column not in lowered:
+        raise UnsupportedStatementError(
+            f"INSERT into sharded table {spec.table!r} without the "
+            f"shard key {spec.key_column!r}: the row cannot be placed")
+    key_index = lowered.index(spec.key_column)
+    getters: List[Tuple[str, Any]] = []
+    for row in statement.rows:
+        expr = row[key_index]
+        if isinstance(expr, ast.Literal):
+            getters.append(("lit", expr.value))
+        elif isinstance(expr, ast.Param):
+            getters.append(("param", expr.index))
+        else:
+            raise UnsupportedStatementError(
+                "INSERT shard-key values must be literals or bound "
+                "parameters")
+
+    def plan(params: List[Any]) -> Optional[List[Any]]:
+        values = []
+        for kind, slot in getters:
+            if kind == "lit":
+                value = slot
+            else:
+                value = params[slot] if slot < len(params) else None
+                if value is None:
+                    raise UnsupportedStatementError(
+                        "INSERT shard-key values must be literals or "
+                        "bound parameters")
+            values.append(value)
+        return values
+
+    return plan
+
+
+def _compile_where_plan(where, key_column: str) -> KeyPlan:
+    if where is None:
+        return None
+    if isinstance(where, ast.BinaryOp):
+        if where.op == "AND":
+            left = _compile_where_plan(where.left, key_column)
+            right = _compile_where_plan(where.right, key_column)
+            if left is None:
+                return right
+            if right is None:
+                return left
+
+            def both(params, left=left, right=right):
+                left_values = left(params)
+                right_values = right(params)
+                if left_values is not None and right_values is not None:
+                    pinned = [v for v in left_values if v in right_values]
+                    return pinned or left_values
+                return (left_values if left_values is not None
+                        else right_values)
+
+            return both
+        if where.op == "OR":
+            left = _compile_where_plan(where.left, key_column)
+            right = _compile_where_plan(where.right, key_column)
+            if left is None or right is None:
+                return None
+
+            def either(params, left=left, right=right):
+                left_values = left(params)
+                right_values = right(params)
+                if left_values is None or right_values is None:
+                    return None
+                return left_values + right_values
+
+            return either
+        if where.op == "=":
+            column = literal = None
+            if isinstance(where.left, ast.ColumnRef):
+                column, literal = where.left, where.right
+            elif isinstance(where.right, ast.ColumnRef):
+                column, literal = where.right, where.left
+            if column is not None and column.name.lower() == key_column:
+                if isinstance(literal, ast.Literal):
+                    if literal.value is None:
+                        return None
+                    value = literal.value
+                    return lambda params, value=value: [value]
+                if isinstance(literal, ast.Param):
+                    index = literal.index
+
+                    def pin(params, index=index):
+                        value = (params[index] if index < len(params)
+                                 else None)
+                        return None if value is None else [value]
+
+                    return pin
+            return None
+        return None
+    if isinstance(where, ast.InList) and not where.negated \
+            and isinstance(where.expr, ast.ColumnRef) \
+            and where.expr.name.lower() == key_column and where.items:
+        entries: List[Tuple[str, Any]] = []
+        for item in where.items:
+            if isinstance(item, ast.Literal):
+                if item.value is None:
+                    return None
+                entries.append(("lit", item.value))
+            elif isinstance(item, ast.Param):
+                entries.append(("param", item.index))
+            else:
+                return None
+
+        def inlist(params, entries=tuple(entries)):
+            values = []
+            for kind, slot in entries:
+                if kind == "lit":
+                    values.append(slot)
+                else:
+                    value = params[slot] if slot < len(params) else None
+                    if value is None:
+                        return None
+                    values.append(value)
+            return values
+
+        return inlist
+    return None
+
+
+class ShardedCluster:
+    """The shard tier: N replication groups behind one versioned map.
+
+    Each entry in ``groups`` is either a bare
+    :class:`~repro.core.middleware.ReplicationMiddleware` or an
+    :class:`~repro.ha.pair.HAPair` fronting one (duck-typed on
+    ``active``/``kill_active`` so this module never imports
+    ``repro.ha``).  For paired groups the router tracks promotions:
+    ``self.groups[i]`` always points at the group's current leader."""
+
+    def __init__(self, groups: Sequence,
                  shard_map: Optional[ShardMap] = None,
                  name: str = "sharded",
                  admission: Optional[AdmissionGate] = None,
                  tracing: bool = True):
         if not groups:
             raise ValueError("a sharded cluster needs at least one group")
-        for group in groups:
+        self.name = name
+        self.pairs: List[Optional[Any]] = []
+        self.groups: List[ReplicationMiddleware] = []
+        for entry in groups:
+            pair = entry if hasattr(entry, "kill_active") \
+                and hasattr(entry, "active") else None
+            self.pairs.append(pair)
+            self.groups.append(pair.active if pair is not None else entry)
+        for group in self.groups:
             if group.config.replication != "writeset":
                 raise ValueError(
                     f"group {group.name!r} uses "
                     f"{group.config.replication!r} replication; the shard "
                     "tier's 2PC prepares against per-group writeset "
                     "certification and requires replication='writeset'")
-        self.name = name
-        self.groups: List[ReplicationMiddleware] = list(groups)
-        self.map = shard_map or ShardMap(len(groups))
-        if self.map.shards != len(groups):
+        self.map = shard_map or ShardMap(len(self.groups))
+        if self.map.shards != len(self.groups):
             raise ValueError(
-                f"map has {self.map.shards} shards but {len(groups)} "
+                f"map has {self.map.shards} shards but {len(self.groups)} "
                 "groups were provided")
         self.map_log = ShardMapLog()
         self.map_log.append("map_install", version=self.map.version,
                             shards=self.map.shards)
-        self.tracer = Tracer(clock=groups[0].monitor.peek, enabled=tracing)
+        self.tracer = Tracer(clock=self.groups[0].monitor.peek,
+                             enabled=tracing)
         self.twopc = TwoPCCoordinator(self)
         self.admission = admission
         self.forwarding: List[ForwardingRule] = []
         self.sessions: List["ShardedSession"] = []
         self._session_counter = 0
+        self.route_caching = True
+        self._route_plans: Dict[int, tuple] = {}
         self.stats: Dict[str, int] = {
             "single_shard": 0, "scatter_reads": 0, "multi_shard_writes": 0,
             "broadcast": 0, "single_shard_commits": 0, "twopc_commits": 0,
-            "admission_rejected": 0,
+            "admission_rejected": 0, "group_promotions": 0,
+            "failover_reroutes": 0,
         }
+        for index, pair in enumerate(self.pairs):
+            if pair is not None:
+                self._watch_pair(index, pair)
+
+    # -- HA pair registry -----------------------------------------------
+
+    def _watch_pair(self, index: int, pair) -> None:
+        def switched(new_leader, index=index):
+            self.groups[index] = new_leader
+            self.stats["group_promotions"] += 1
+        pair.on_switch(switched)
+
+    def attach_pair(self, index: int, pair) -> None:
+        """Register (or replace, after an operator rebuilt the standby
+        behind a promoted leader) the HA pair fronting group ``index``
+        and repoint the group handle at its current active leader."""
+        self.pairs[index] = pair
+        self.groups[index] = pair.active
+        self._watch_pair(index, pair)
+
+    def group_alive(self, index: int) -> bool:
+        """Can group ``index``'s current handle take a statement now?"""
+        group = self.groups[index]
+        return not group.failed and not group.standby_mode
 
     # -- map management -------------------------------------------------
 
@@ -131,6 +336,37 @@ class ShardedCluster:
 
     def rules_for(self, table: str) -> List[ForwardingRule]:
         return [r for r in self.forwarding if r.table == table]
+
+    # -- route-plan memo -------------------------------------------------
+
+    def _route_plan(self, statement: ast.Statement) -> tuple:
+        """``(statement, info, map_version, spec, key_plan)`` memoized by
+        statement identity — the open-loop drivers replay a small set of
+        parse-cached templates, so the analysis walk, the spec lookup and
+        the WHERE-shape inspection are all loop-invariant; only the bound
+        parameters change per call.  Each entry holds a strong reference
+        to the statement so its id cannot be recycled while cached, and
+        entries self-invalidate when a reshard advances the map version
+        (the key plan bakes in the spec)."""
+        key = id(statement)
+        plan = self._route_plans.get(key)
+        if plan is not None and plan[0] is statement \
+                and plan[2] == self.map.version:
+            return plan
+        info = analyze(statement)
+        spec = None
+        for table in info.all_tables():
+            spec = self.map.spec_of(table)
+            if spec is not None:
+                break
+        key_plan = None
+        if spec is not None and not info.is_ddl:
+            key_plan = _compile_key_plan(statement, spec)
+        plan = (statement, info, self.map.version, spec, key_plan)
+        if len(self._route_plans) >= 4096:
+            self._route_plans.clear()
+        self._route_plans[key] = plan
+        return plan
 
     # -- sessions / cluster plumbing ------------------------------------
 
@@ -170,6 +406,10 @@ class ShardedSession:
         self.password = password
         self.database = database
         self.closed = False
+        # exactly-once identity, propagated to every group session so
+        # each group's commit ledger can dedup a post-failover replay
+        self.client_id: Optional[str] = None
+        self.client_txn_id: Optional[str] = None
         self._sessions: Dict[int, MiddlewareSession] = {}
         self.in_transaction = False
         self._txn_groups: Set[int] = set()
@@ -245,15 +485,52 @@ class ShardedSession:
     # -- per-group sessions ---------------------------------------------
 
     def group_session(self, index: int) -> MiddlewareSession:
+        cluster = self.cluster
         session = self._sessions.get(index)
+        if session is not None and (
+                session.closed
+                or session.middleware is not cluster.groups[index]):
+            # the group failed over (or the handle was fenced out)
+            # since this session was opened: drop it and re-resolve
+            # through the pair's virtual IP.  If a transaction died with
+            # the old instance, the caller must replay the whole
+            # transaction — surface that as retry-after-failover.
+            stale_txn = (index in self._txn_groups
+                         or index in self._txn_write_groups)
+            if not session.closed:
+                try:
+                    session.close()
+                except Exception:  # noqa: BLE001 — old instance is gone
+                    pass
+            del self._sessions[index]
+            session = None
+            if stale_txn:
+                exc = MiddlewareDown(
+                    f"group {index} middleware failed over "
+                    "mid-transaction")
+                exc.retry_after_failover = True
+                raise exc
         if session is None:
-            session = self.cluster.groups[index].connect(
-                self.user, self.password, self.database)
+            session = self._connect_group(index)
             self._sessions[index] = session
         # the map version salts this group's result-cache keys, so a
         # reshard flip instantly orphans entries filled under the old
         # placement (tentpole: no stale reads of moved keys)
-        session.cache_salt = self.cluster.map.version
+        session.cache_salt = cluster.map.version
+        if self.client_txn_id is not None:
+            session.client_txn_id = self.client_txn_id
+        return session
+
+    def _connect_group(self, index: int) -> MiddlewareSession:
+        cluster = self.cluster
+        pair = cluster.pairs[index]
+        if pair is not None:
+            return pair.connect(self.user, self.password, self.database,
+                                client_id=self.client_id)
+        session = cluster.groups[index].connect(
+            self.user, self.password, self.database)
+        if self.client_id is not None:
+            session.client_id = self.client_id
         return session
 
     def _txn_session(self, index: int) -> MiddlewareSession:
@@ -263,6 +540,59 @@ class ShardedSession:
                 session.begin()
             self._txn_groups.add(index)
         return session
+
+    def _execute_on(self, index: int, statement: ast.Statement,
+                    sql_text: str, params: List[Any]) -> Result:
+        """Dispatch one statement to group ``index``; when the group's
+        active middleware died or was fenced underneath an autocommit
+        statement, re-resolve to the promoted leader and retry once.
+
+        Safe because ``MiddlewareSession._dispatch_one`` checks
+        liveness/fencing *before* any state change: a
+        ``MiddlewareDown``/``FencedOut`` from an autocommit statement
+        proves nothing durable happened, so one re-dispatch cannot
+        double-apply.  Mid-transaction failures are never retried here —
+        they surface tagged ``retry_after_failover`` so the client
+        replays the whole transaction (exactly-once via the group's
+        commit ledger)."""
+        try:
+            return self._txn_session(index).execute_one_parsed(
+                statement, sql_text, params)
+        except MiddlewareDown as exc:
+            if not self._failover_retryable(index, exc):
+                raise
+            self.cluster.stats["failover_reroutes"] += 1
+            try:
+                return self._txn_session(index).execute_one_parsed(
+                    statement, sql_text, params)
+            except MiddlewareDown as again:
+                # the retry hit another dead/fenced instance — keep the
+                # failover classification on what the client sees
+                self._failover_retryable(index, again)
+                raise
+
+    def _failover_retryable(self, index: int, exc: MiddlewareDown) -> bool:
+        """Tag every failover-shaped error ``retry_after_failover`` (the
+        ``core/resilience.py`` classification) and decide whether this
+        statement may be transparently re-dispatched right now: only
+        when no transaction state died with the old instance and the
+        group handle already points at a live leader."""
+        cluster = self.cluster
+        if isinstance(exc, FencedOut) or cluster.pairs[index] is not None:
+            exc.retry_after_failover = True
+        if self.in_transaction:
+            return False
+        stale = self._sessions.get(index)
+        if stale is not None and not stale.closed and stale.in_transaction:
+            return False
+        if stale is not None:
+            if not stale.closed:
+                try:
+                    stale.close()
+                except Exception:  # noqa: BLE001 — old instance is gone
+                    pass
+            self._sessions.pop(index, None)
+        return cluster.group_alive(index)
 
     # -- statement execution --------------------------------------------
 
@@ -276,25 +606,31 @@ class ShardedSession:
             return self._rollback()
 
         cluster = self.cluster
-        info = analyze(statement)
+        if cluster.route_caching:
+            _stmt, info, _version, spec, key_plan = \
+                cluster._route_plan(statement)
+        else:
+            info = analyze(statement)
+            _table, spec = self._sharded_table_of(info)
+            key_plan = _NO_PLAN
         span = cluster.tracer.start_span(
             "shard.route", session=self.id, sql=sql_text[:80],
             map_version=cluster.map.version)
         try:
-            table, spec = self._sharded_table_of(info)
             if info.is_ddl or spec is None:
                 return self._dispatch_global(statement, sql_text, params,
                                              info, span)
             span.set_tag("table", spec.table)
-            targets = self._resolve_targets(statement, spec, params, info)
+            targets = self._resolve_targets(statement, spec, params, info,
+                                            key_plan)
             span.set_tag("targets", len(targets))
             if len(targets) == 1:
                 span.set_tag("kind", "single")
                 cluster.stats["single_shard"] += 1
                 target = next(iter(targets))
                 self._note_route("single", (target,), info.is_write)
-                result = self._txn_session(target).execute_one_parsed(
-                    statement, sql_text, params)
+                result = self._execute_on(target, statement, sql_text,
+                                          params)
                 if info.is_write and self.in_transaction:
                     self._txn_write_groups.add(target)
                 return result
@@ -319,15 +655,20 @@ class ShardedSession:
     # -- target resolution ----------------------------------------------
 
     def _resolve_targets(self, statement: ast.Statement, spec: ShardSpec,
-                         params: List[Any],
-                         info: StatementInfo) -> Set[int]:
+                         params: List[Any], info: StatementInfo,
+                         key_plan=_NO_PLAN) -> Set[int]:
         cluster = self.cluster
         rules = cluster.rules_for(spec.table)
-        if isinstance(statement, ast.InsertStatement):
-            keys = self._insert_key_values(statement, spec, params)
+        if key_plan is _NO_PLAN:
+            # uncompiled path: interpret the WHERE/VALUES shape per call
+            if isinstance(statement, ast.InsertStatement):
+                keys = self._insert_key_values(statement, spec, params)
+            else:
+                where = getattr(statement, "where", None)
+                keys = _key_values_from_where(where, spec.key_column,
+                                              params)
         else:
-            where = getattr(statement, "where", None)
-            keys = _key_values_from_where(where, spec.key_column, params)
+            keys = key_plan(params) if key_plan is not None else None
         if keys is None:
             # unpinned: every owning group.  Reads skip a dual-write
             # destination (it holds the moving rows too — counting them
@@ -391,15 +732,14 @@ class ShardedSession:
             self._note_route("broadcast", every, True)
             result = Result()
             for index in every:
-                result = self._txn_session(index).execute_one_parsed(
-                    statement, sql_text, params)
+                result = self._execute_on(index, statement, sql_text,
+                                          params)
                 if self.in_transaction:
                     self._txn_write_groups.add(index)
             return result
         span.set_tag("kind", "global_read")
         self._note_route("global_read", (0,), False)
-        return self._txn_session(0).execute_one_parsed(
-            statement, sql_text, params)
+        return self._execute_on(0, statement, sql_text, params)
 
     def _dispatch_scatter(self, statement: ast.Statement, sql_text: str,
                           params: List[Any],
@@ -409,8 +749,7 @@ class ShardedSession:
         self._note_route("scatter", targets, False)
         plan = plan_scatter(statement, sql_text, params)
         results = [
-            self._txn_session(index).execute_one_parsed(
-                plan.statement, plan.sql_text, params)
+            self._execute_on(index, plan.statement, plan.sql_text, params)
             for index in targets
         ]
         return plan.merge(results)
@@ -433,8 +772,8 @@ class ShardedSession:
                 result = Result()
                 rowcount = 0
                 for index in targets:
-                    partial = self._txn_session(index).execute_one_parsed(
-                        statement, sql_text, params)
+                    partial = self._execute_on(index, statement, sql_text,
+                                               params)
                     self._txn_write_groups.add(index)
                     rowcount += partial.rowcount
                 result = Result(rowcount=rowcount)
@@ -466,8 +805,9 @@ class ShardedSession:
         for index, rows in sorted(by_group.items()):
             shard_statement = ast.InsertStatement(
                 statement.table, statement.columns, rows=rows)
-            partial = self._txn_session(index).execute_one_parsed(
-                shard_statement, f"{sql_text} /*shard:{index}*/", params)
+            partial = self._execute_on(
+                index, shard_statement, f"{sql_text} /*shard:{index}*/",
+                params)
             self._txn_write_groups.add(index)
             rowcount += partial.rowcount
         return Result(rowcount=rowcount, lastrowid=None)
@@ -514,6 +854,17 @@ class ShardedSession:
                 finally:
                     span.end()
                 cluster.stats["twopc_commits"] += 1
+        except MiddlewareDown as exc:
+            # the commit died with a group's middleware: the client must
+            # replay the whole transaction against the promoted leader;
+            # each group's commit ledger makes that replay exactly-once
+            for index in write_groups | read_groups:
+                if isinstance(exc, FencedOut) \
+                        or cluster.pairs[index] is not None:
+                    exc.retry_after_failover = True
+                    break
+            self._abort_open_groups()
+            raise
         except Exception:
             self._abort_open_groups()
             raise
@@ -530,9 +881,15 @@ class ShardedSession:
         return Result()
 
     def _abort_open_groups(self) -> None:
-        for session in self._sessions.values():
-            if session.in_transaction:
+        for session in list(self._sessions.values()):
+            if session.closed or not session.in_transaction:
+                continue
+            try:
                 session.rollback()
+            except MiddlewareDown:
+                # the instance died holding this transaction; its locks
+                # and staged state died with it — nothing to roll back
+                pass
 
     def _reset_txn(self) -> None:
         self.in_transaction = False

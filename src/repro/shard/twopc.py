@@ -42,6 +42,7 @@ from __future__ import annotations
 import itertools
 from typing import Any, Dict, List, Optional
 
+from ..core.errors import FencedOut, MiddlewareDown
 from ..core.writesets import invalidation_keys
 from ..sqlengine import SerializationError
 
@@ -74,52 +75,71 @@ class TwoPCCoordinator:
         prepared = []   # (index, middleware, group_session, request, seq)
         plain = []      # (index, group_session) with nothing to certify
         conflict = None
+        participant_down = None
         for index in sorted(write_groups):
             middleware = cluster.groups[index]
-            group_session = shard_session.group_session(index)
-            request = group_session.stage_commit_request()
-            if request is None:
-                # the writes matched zero rows here: nothing global to
-                # decide for this group, a plain local commit suffices
-                plain.append((index, group_session))
-                continue
-            span = tracer.child_span(
-                "shard.2pc.prepare", parent_span, txn=txn_id,
-                shard=middleware.name, keys=len(request.keys),
-                start_seq=request.start_seq)
-            outcome = middleware.certifier.certify(request.start_seq,
-                                                   request.keys)
-            self.stats["prepares"] += 1
-            if self.equivalence_log is not None:
-                self.equivalence_log.append({
-                    "shard": middleware.name, "txn": txn_id,
-                    "start_seq": request.start_seq, "keys": request.keys,
-                    "ok": outcome.ok, "seq": outcome.seq,
-                    "conflict_seq": outcome.conflict_seq,
-                })
-            span.set_tag("ok", outcome.ok)
-            if not outcome.ok:
-                span.set_tag("conflict_seq", outcome.conflict_seq)
+            try:
+                group_session = shard_session.group_session(index)
+                request = group_session.stage_commit_request()
+                if request is None:
+                    # the writes matched zero rows here: nothing global
+                    # to decide for this group, a plain local commit
+                    # suffices
+                    plain.append((index, group_session))
+                    continue
+                span = tracer.child_span(
+                    "shard.2pc.prepare", parent_span, txn=txn_id,
+                    shard=middleware.name, keys=len(request.keys),
+                    start_seq=request.start_seq)
+                outcome = middleware.certifier.certify(request.start_seq,
+                                                       request.keys)
+                self.stats["prepares"] += 1
+                if self.equivalence_log is not None:
+                    self.equivalence_log.append({
+                        "shard": middleware.name, "txn": txn_id,
+                        "start_seq": request.start_seq,
+                        "keys": request.keys,
+                        "ok": outcome.ok, "seq": outcome.seq,
+                        "conflict_seq": outcome.conflict_seq,
+                    })
+                span.set_tag("ok", outcome.ok)
+                if not outcome.ok:
+                    span.set_tag("conflict_seq", outcome.conflict_seq)
+                    span.end()
+                    conflict = (middleware, outcome)
+                    break
+                span.set_tag("seq", outcome.seq)
                 span.end()
-                conflict = (middleware, outcome)
+                # a certified-but-unshipped entry must be resolvable, so
+                # record the prepare *before* the ship call can fail
+                prepared.append((index, middleware, group_session,
+                                 request, outcome.seq))
+                # prepare = certify + ship: the standby learns about the
+                # in-doubt entry before any group commits it
+                middleware._ship_prepare(group_session, outcome.seq,
+                                         request.keys, "writeset",
+                                         request.entries, request.tables)
+            except MiddlewareDown as exc:
+                # this participant's middleware died (or was fenced out)
+                # mid-prepare: presumed abort.  Its own in-doubt state is
+                # settled at promotion (a PENDING prepare above the
+                # replica watermark is dropped and its seq reused); the
+                # surviving participants' prepared entries are rescinded
+                # below so a leaked certified slot can never block later
+                # transactions against a write that never happened.
+                participant_down = (index, middleware, exc)
                 break
-            span.set_tag("seq", outcome.seq)
-            span.end()
-            # prepare = certify + ship: the standby learns about the
-            # in-doubt entry before any group commits it
-            middleware._ship_prepare(group_session, outcome.seq,
-                                     request.keys, "writeset",
-                                     request.entries, request.tables)
-            prepared.append((index, middleware, group_session, request,
-                             outcome.seq))
 
-        decision = "abort" if conflict is not None else "commit"
+        decision = "abort" if conflict is not None \
+            or participant_down is not None else "commit"
         record = cluster.map_log.append(
             "2pc_decision", txn=txn_id, decision=decision,
             shards=[cluster.groups[i].name
                     for i, *_ in prepared] if prepared else [],
             seqs={middleware.name: seq
-                  for _, middleware, _, _, seq in prepared})
+                  for _, middleware, _, _, seq in prepared},
+            reason=("participant_down" if participant_down is not None
+                    else "conflict" if conflict is not None else None))
         decide_span = tracer.child_span(
             "shard.2pc.decide", parent_span, txn=txn_id,
             decision=decision, record_seq=record.seq,
@@ -128,6 +148,16 @@ class TwoPCCoordinator:
 
         if decision == "commit":
             for index, middleware, group_session, request, seq in prepared:
+                if middleware.failed \
+                        or middleware is not cluster.groups[index]:
+                    # this participant died (or was deposed) between its
+                    # prepare and this commit round.  The decision record
+                    # is durable and says COMMIT, so the transaction must
+                    # not half-apply: replay the decided writeset on the
+                    # group's promoted leader.
+                    self._replay_decision(index, middleware, request,
+                                          txn_id, parent_span=parent_span)
+                    continue
                 span = tracer.child_span(
                     "shard.2pc.commit", parent_span, txn=txn_id,
                     shard=middleware.name, seq=seq)
@@ -142,20 +172,72 @@ class TwoPCCoordinator:
 
         # presumed abort: resolve the prepared groups' certified entries
         for index, middleware, group_session, request, seq in prepared:
+            if middleware.failed or middleware is not cluster.groups[index]:
+                # the dead instance's prepared entry resolves at
+                # promotion: a PENDING prepare above the replicas'
+                # applied watermark is dropped and its seq reused.
+                # Resolving it here would apply a no-op at that seq to
+                # the *shared* replicas, advancing the watermark and
+                # making promotion resurrect the aborted txn as
+                # committed — so leave it to the promotion path.
+                continue
             span = tracer.child_span(
                 "shard.2pc.abort", parent_span, txn=txn_id,
                 shard=middleware.name, seq=seq)
             with span:
                 self._resolve_abort(middleware, group_session, seq)
-            group_session._rollback_transaction()
+            if not group_session.closed:
+                group_session._rollback_transaction()
         for index, group_session in plain:
-            group_session.rollback()
-        conflicted_mw, outcome = conflict
+            if not group_session.closed:
+                group_session.rollback()
         self.stats["aborts"] += 1
+        if participant_down is not None:
+            down_index, down_middleware, exc = participant_down
+            if isinstance(exc, FencedOut) \
+                    or cluster.pairs[down_index] is not None:
+                exc.retry_after_failover = True
+            raise exc
+        conflicted_mw, outcome = conflict
         raise SerializationError(
             f"2pc certification failed on shard {conflicted_mw.name!r}: "
             f"conflicts with its seq {outcome.conflict_seq} "
             "(first-committer-wins)")
+
+    # ------------------------------------------------------------------
+
+    def _replay_decision(self, index: int, dead_middleware, request,
+                         txn_id: str, parent_span=None) -> int:
+        """Honour a durable COMMIT decision on a participant whose
+        middleware died between prepare and commit: install the decided
+        writeset on the group's promoted leader as one ordered unit (the
+        promoted standby dropped the dead instance's PENDING prepare at
+        promotion, so this is the first and only application), and mark
+        the client transaction COMMITTED in the leader's ledger so a
+        client-side replay dedups instead of double-applying."""
+        cluster = self.cluster
+        leader = cluster.groups[index]
+        if leader is dead_middleware or leader.failed or leader.standby_mode:
+            exc = MiddlewareDown(
+                f"group {index} has no live leader to honour 2PC "
+                f"decision for {txn_id!r}; the decision record in the "
+                "shard-map log replays it at recovery")
+            if cluster.pairs[index] is not None:
+                exc.retry_after_failover = True
+            raise exc
+        session = request.session
+        seq = install_unit(leader, request.entries, tables=request.tables,
+                           user=session.user, database=session.database)
+        client_txn = getattr(session, "client_txn_id", None)
+        if leader.commit_ledger is not None and client_txn is not None:
+            leader.commit_ledger.mark_committed(client_txn, seq)
+        self.stats.setdefault("decision_replays", 0)
+        self.stats["decision_replays"] += 1
+        span = cluster.tracer.child_span(
+            "shard.2pc.commit", parent_span, txn=txn_id,
+            shard=leader.name, seq=seq, replayed=True)
+        span.end()
+        return seq
 
     # ------------------------------------------------------------------
 

@@ -28,7 +28,8 @@ from .mvcc import (
     READ_UNCOMMITTED, SERIALIZABLE, Snapshot, latest_committed_change,
     uncommitted_writer, visible_rows, visible_version,
 )
-from .planner import AccessPlan, SEQ_SCAN, plan_table_access
+from .planner import (AccessPlan, SEQ_SCAN, plan_table_access,
+                      plan_table_access_cached)
 from .sequences import Sequence
 from .procedures import Procedure
 from .storage import RowVersion, Table
@@ -95,7 +96,7 @@ class Executor:
         """
         txn_id = session.txn.id if session.txn else None
         stats = self.engine.stats
-        plan = (plan_table_access(table, binding, where, ctx)
+        plan = (plan_table_access_cached(table, binding, where, ctx)
                 if self.engine.use_indexes else AccessPlan(SEQ_SCAN, table))
         self.last_access_paths.append(plan.describe())
         if plan.is_index:

@@ -187,6 +187,109 @@ def evaluate_value(expr: ast.Expression, ctx):
     return evaluate(expr, ctx)
 
 
+# -- compiled plan shapes ---------------------------------------------------
+#
+# Conjunct extraction and index choice depend only on the statement shape
+# and the table schema, not on parameter values, so they are compiled once
+# per (WHERE clause, table) and revalidated against ``table.schema_epoch``.
+# Re-executions of a cached statement only re-evaluate the probe-key
+# values.  ``PLAN_CACHE_ENABLED`` is a module toggle so benchmarks can
+# A/B the compiled path against per-call planning.
+
+PLAN_CACHE_ENABLED = True
+_PLAN_CACHE_CAPACITY = 4096
+_plan_cache: dict = {}
+
+
+class _ProbeShape:
+    """The schema-dependent half of an index-probe plan: the chosen index
+    and, per key column, the candidate value expressions plus the column
+    type their values coerce to."""
+
+    __slots__ = ("index", "columns")
+
+    def __init__(self, index: IndexDef,
+                 columns: List[tuple]):
+        self.index = index
+        self.columns = columns  # [(exprs, column_type)] per key column
+
+
+def plan_table_access_cached(table: Table, binding: str,
+                             where: Optional[ast.Expression],
+                             ctx) -> AccessPlan:
+    """Memoized :func:`plan_table_access`.
+
+    Entries are keyed by object identity of the WHERE clause and table
+    (the parse cache keeps statement trees alive, so identity is stable)
+    and carry strong references, which also guards against ``id()``
+    reuse.  A shape is recompiled whenever ``table.schema_epoch`` moves
+    (new/dropped index, added column).  The cache is cleared wholesale at
+    capacity — repopulating a working set is cheaper than tracking LRU
+    order on the hot path.
+    """
+    if not PLAN_CACHE_ENABLED:
+        return plan_table_access(table, binding, where, ctx)
+    if where is None or not table.indexes:
+        return AccessPlan(SEQ_SCAN, table)
+    key = (id(where), id(table))
+    hit = _plan_cache.get(key)
+    if hit is None or hit[0] is not where or hit[1] is not table \
+            or hit[2] != table.schema_epoch or hit[3] != binding:
+        shape = _compile_shape(table, binding, where)
+        if len(_plan_cache) >= _PLAN_CACHE_CAPACITY:
+            _plan_cache.clear()
+        hit = (where, table, table.schema_epoch, binding, shape)
+        _plan_cache[key] = hit
+    shape = hit[4]
+    if shape is None:
+        return AccessPlan(SEQ_SCAN, table)
+    return _probe_from_shape(table, shape, ctx)
+
+
+def _compile_shape(table: Table, binding: str,
+                   where: ast.Expression) -> Optional[_ProbeShape]:
+    """The value-independent part of :func:`plan_table_access`; ``None``
+    means the statement always sequential-scans this table."""
+    candidates = equality_candidates(where, binding, table)
+    if not candidates:
+        return None
+    index = _choose_index(table, list(candidates.keys()))
+    if index is None:
+        return None
+    columns: List[tuple] = []
+    total = 1
+    for column in index.columns:
+        exprs = candidates[column]
+        total *= len(exprs)
+        if total > _MAX_PROBE_KEYS:
+            return None
+        columns.append((exprs, table.column(column).type))
+    return _ProbeShape(index, columns)
+
+
+def _probe_from_shape(table: Table, shape: _ProbeShape, ctx) -> AccessPlan:
+    """Evaluate a compiled shape's probe keys against one execution's
+    context.  Matches :func:`plan_table_access` exactly: an uncoercible
+    value falls back to a scan, NULL keys are dropped (``col = NULL``
+    never matches)."""
+    per_column_values: List[List[Any]] = []
+    for exprs, column_type in shape.columns:
+        values = []
+        for expr in exprs:
+            try:
+                value = coerce(evaluate_value(expr, ctx), column_type)
+            except SQLError:
+                return AccessPlan(SEQ_SCAN, table)
+            if value is not None:
+                values.append(value)
+        per_column_values.append(values)
+    if len(per_column_values) == 1:
+        keys = [(value,) for value in per_column_values[0]]
+    else:
+        keys = [tuple(key) for key in itertools.product(*per_column_values)]
+    return AccessPlan(INDEX_PROBE, table, shape.index, keys)
+
+
 def select_has_subquery(select: ast.SelectStatement) -> bool:
     """Whether any part of ``select`` contains a subquery (scalar, EXISTS,
     ``IN (SELECT ...)`` or a derived table).  Read-dependency extraction

@@ -77,6 +77,9 @@ class Table:
         # Constraint-backed ones (primary key, UNIQUE columns) are created
         # here with ``auto=True`` and cannot be dropped by DROP INDEX.
         self.indexes: Dict[str, "IndexDef"] = {}
+        # Bumped on any schema change (columns, indexes); compiled access
+        # plans (repro.sqlengine.planner) revalidate against it.
+        self.schema_epoch = 0
         self.last_inserted_id: Optional[int] = None
         pk_columns = tuple(
             c.name.lower() for c in self.columns if c.primary_key)
@@ -114,6 +117,7 @@ class Table:
                 f"column {column.name!r} already exists in {self.name!r}")
         self.columns.append(column)
         self._column_map[column.name.lower()] = column
+        self.schema_epoch += 1
         default = None
         for versions in self._rows.values():
             for version in versions:
@@ -202,6 +206,7 @@ class Table:
         """Attach ``index`` and populate it from the existing versions."""
         index.rebuild(self.versions())
         self.indexes[index.name.lower()] = index
+        self.schema_epoch += 1
         return index
 
     def create_index(self, name: str, columns: Sequence[str],
@@ -215,6 +220,7 @@ class Table:
         if index is None or index.auto:
             return False
         del self.indexes[name.lower()]
+        self.schema_epoch += 1
         return True
 
     def index_for_columns(self, columns: Sequence[str]) -> Optional["IndexDef"]:

@@ -13,7 +13,13 @@ Three guarantees, all stdlib:
    hand-maintained list;
 3. every experiment ``benchmarks/test_eNN_*.py`` has a ``| ENN |``
    row in both ``EXPERIMENTS.md`` and ``DESIGN.md``'s per-experiment
-   index — the drift E24 once exhibited.
+   index — the drift E24 once exhibited;
+4. every span name the docs advertise exists in the code: inside any
+   ``docs/*.md`` section whose heading mentions "span", each backticked
+   lowercase dotted token (``mw.statement``, ``shard.2pc.prepare``, …)
+   must appear as literal text somewhere under ``src/repro/``.  Module
+   paths (``repro.*``) and class attributes (leading capital) are
+   exempt.  This is what keeps TOPOLOGY.md's vocabulary honest.
 
 Exit code 0 = all green; 1 = problems, printed one per line.
 """
@@ -100,11 +106,54 @@ def check_experiment_rows(problems):
                     f"{doc}: no table row for experiment {experiment}")
 
 
+#: a span/event name: lowercase dotted identifier inside a code span.
+#: One dot minimum — plain words (`retry`, `certify` is referenced
+#: dotted nowhere) and snake_case tags don't qualify; `repro.*` module
+#: paths are filtered at the call site.
+SPAN_TOKEN = re.compile(r"`([a-z][a-z0-9_]*(?:\.[a-z0-9_*]+)+)`")
+HEADING = re.compile(r"^#+\s*(.*)")
+
+
+def check_span_vocabulary(problems):
+    root = REPO / "src" / "repro"
+    sources = "\n".join(
+        path.read_text()
+        for path in sorted(root.rglob("*.py"))
+        if not SKIP_DIRS.intersection(p.name for p in path.parents))
+    for path in sorted((REPO / "docs").glob("*.md")):
+        in_span_section = False
+        in_fence = False
+        for number, line in enumerate(
+                path.read_text().splitlines(), start=1):
+            if FENCE.match(line.strip()):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            heading = HEADING.match(line)
+            if heading:
+                in_span_section = "span" in heading.group(1).lower()
+                continue
+            if not in_span_section:
+                continue
+            for token in SPAN_TOKEN.findall(line):
+                if token.startswith("repro."):
+                    continue
+                # `reshard.*`-style families check their prefix
+                literal = token.rstrip("*").rstrip(".")
+                if literal not in sources:
+                    problems.append(
+                        f"{path.relative_to(REPO)}:{number}: span "
+                        f"`{token}` is not emitted anywhere in "
+                        f"src/repro/")
+
+
 def main() -> int:
     problems: list = []
     check_links(problems)
     check_architecture_coverage(problems)
     check_experiment_rows(problems)
+    check_span_vocabulary(problems)
     for problem in problems:
         print(problem)
     count = len(problems)
